@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Ablation study of the design choices DESIGN.md section 5 calls out,
+ * on a representative scene subset. Each row disables/varies exactly
+ * one mechanism of the full virtualized-treelet-queue configuration so
+ * its individual contribution is visible.
+ *
+ * Rows:
+ *   full            the complete proposed configuration
+ *   no_preload      no treelet / ray-data preloading (section 4.3)
+ *   no_repack       no warp repacking (section 4.5)
+ *   no_group        no grouping of underpopulated queues (section 4.4)
+ *   no_virt         no ray virtualization (section 3.1)
+ *   diverge_4       lax initial-phase divergence threshold
+ *   skip_treelet    no treelet-stationary phase at all (section 6.4)
+ *   small_treelet   2KB treelets (quarter of half-L1)
+ *   queue_32        low underpopulation threshold
+ */
+
+#include <iostream>
+#include <optional>
+
+#include "harness/harness.hh"
+
+int
+main()
+{
+    using namespace trt;
+    HarnessOptions opt = HarnessOptions::fromEnv();
+    // Default to a representative subset; TRT_SCENES overrides. The
+    // no_group / skip_treelet rows run deliberately pathological
+    // regimes, so clamp the frame size (rows are normalized against a
+    // baseline at the same resolution).
+    if (!std::getenv("TRT_SCENES"))
+        opt.scenes = {"BUNNY", "CRNVL", "FRST"};
+    opt.resolution = std::min(opt.resolution, 128u);
+    printBenchHeader("Ablation: VTQ design choices", opt);
+
+    struct Variant
+    {
+        std::string name;
+        GpuConfig cfg;
+        /** Rebuild the BVH with these parameters (unset = shared
+         *  default build). */
+        std::optional<BvhConfig> bvhCfg;
+    };
+
+    auto vtq = [&]() {
+        return opt.apply(GpuConfig::virtualizedTreeletQueues());
+    };
+
+    std::vector<Variant> variants;
+    variants.push_back({"full", vtq()});
+    {
+        Variant v{"no_preload", vtq()};
+        v.cfg.preloadEnabled = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"no_repack", vtq()};
+        v.cfg.repackThreshold = 0;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"no_group", vtq()};
+        v.cfg.groupUnderpopulated = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"no_virt", vtq()};
+        v.cfg.rayVirtualization = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"diverge_4", vtq()};
+        v.cfg.initialDivergeThreshold = 4;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"skip_treelet", vtq()};
+        v.cfg.skipTreeletPhase = true;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"small_treelet", vtq()};
+        BvhConfig bc;
+        bc.treeletMaxBytes = 2048;
+        v.bvhCfg = bc;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"queue_32", vtq()};
+        v.cfg.queueThreshold = 32;
+        variants.push_back(v);
+    }
+    {
+        // Section 7.3: compressed wide BVH (Ylitie et al.) composed
+        // with treelet queues — 32B quantized nodes, twice the nodes
+        // per treelet and per cache line.
+        Variant v{"compressed_vtq", vtq()};
+        BvhConfig bc;
+        bc.quantizedNodes = true;
+        v.bvhCfg = bc;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"compressed_base", opt.apply(GpuConfig{})};
+        BvhConfig bc;
+        bc.quantizedNodes = true;
+        v.bvhCfg = bc;
+        variants.push_back(v);
+    }
+
+    std::vector<std::string> headers = {"variant"};
+    for (const auto &s : opt.scenes)
+        headers.push_back(s);
+    headers.push_back("geomean");
+    Table t(headers);
+
+    // Baseline cycles per scene (and rebuilt-BVH variants on demand).
+    std::vector<uint64_t> base_cycles(opt.scenes.size());
+    parallelForScenes(opt, [&](size_t i, const std::string &name) {
+        base_cycles[i] = runScene(name, opt.apply(GpuConfig{}), opt)
+                             .cycles;
+    });
+
+    for (const auto &v : variants) {
+        std::vector<double> speedups(opt.scenes.size());
+        parallelForScenes(opt, [&](size_t i, const std::string &name) {
+            uint64_t cycles;
+            if (!v.bvhCfg) {
+                cycles = runScene(name, v.cfg, opt).cycles;
+            } else {
+                const SceneBundle &b = getSceneBundle(name,
+                                                      opt.sceneScale);
+                Bvh alt = Bvh::build(b.scene.triangles, *v.bvhCfg);
+                cycles = simulate(v.cfg, b.scene, alt).cycles;
+            }
+            speedups[i] = double(base_cycles[i]) / double(cycles);
+        });
+        t.row().cell(v.name);
+        for (double s : speedups)
+            t.cell(s, 3);
+        t.cell(geomean(speedups), 3);
+    }
+
+    t.print(std::cout);
+    writeCsv(opt, t, "ablation.csv");
+    return 0;
+}

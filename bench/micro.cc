@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark): throughput sanity for the
+ * substrate kernels — intersection tests, BVH construction, functional
+ * traversal, treelet-order traversal and the cache model. These do not
+ * correspond to a paper figure; they document the host-side cost of the
+ * simulator's building blocks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bvh/bvh.hh"
+#include "bvh/traverser.hh"
+#include "geom/rng.hh"
+#include "memsys/cache.hh"
+#include "memsys/memsys.hh"
+#include "scene/registry.hh"
+
+namespace
+{
+
+using namespace trt;
+
+const Scene &
+benchScene()
+{
+    static Scene s = buildScene("BUNNY", 0.25f);
+    return s;
+}
+
+const Bvh &
+benchBvh()
+{
+    static Bvh b = Bvh::build(benchScene().triangles);
+    return b;
+}
+
+Ray
+randomRay(Pcg32 &rng, const Aabb &bounds)
+{
+    Vec3 e = bounds.extent();
+    Vec3 o{bounds.lo.x + e.x * rng.nextFloat(),
+           bounds.lo.y + e.y * rng.nextFloat(),
+           bounds.lo.z + e.z * rng.nextFloat()};
+    Vec3 d = normalize(Vec3{rng.nextFloat() - 0.5f, rng.nextFloat() - 0.5f,
+                            rng.nextFloat() - 0.5f});
+    return Ray(o, d);
+}
+
+void
+BM_TriangleIntersect(benchmark::State &state)
+{
+    Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 0};
+    Ray r({0.1f, 0.0f, -2}, {0, 0, 1});
+    float t, u, v;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(intersectTriangle(r, tri, t, u, v));
+    }
+}
+BENCHMARK(BM_TriangleIntersect);
+
+void
+BM_AabbIntersect(benchmark::State &state)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    Ray r({0, 0, -5}, {0.1f, 0.05f, 1});
+    RayInv inv(r);
+    float t;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(intersectAabb(r, inv, box, t));
+    }
+}
+BENCHMARK(BM_AabbIntersect);
+
+void
+BM_BvhBuild(benchmark::State &state)
+{
+    const Scene &s = benchScene();
+    for (auto _ : state) {
+        Bvh b = Bvh::build(s.triangles);
+        benchmark::DoNotOptimize(b.totalBytes());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) *
+                            int64_t(s.triangles.size()));
+}
+BENCHMARK(BM_BvhBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_ClosestHit(benchmark::State &state)
+{
+    const Bvh &bvh = benchBvh();
+    Pcg32 rng(1);
+    Aabb bounds = bvh.rootBounds();
+    for (auto _ : state) {
+        Ray r = randomRay(rng, bounds);
+        benchmark::DoNotOptimize(bvh.intersectClosest(r));
+    }
+}
+BENCHMARK(BM_ClosestHit);
+
+void
+BM_TreeletOrderTraversal(benchmark::State &state)
+{
+    const Bvh &bvh = benchBvh();
+    Pcg32 rng(2);
+    Aabb bounds = bvh.rootBounds();
+    for (auto _ : state) {
+        RayTraverser t(&bvh, randomRay(rng, bounds));
+        while (!t.done()) {
+            if (t.atBoundary()) {
+                t.enterNextTreelet();
+                continue;
+            }
+            t.complete();
+        }
+        benchmark::DoNotOptimize(t.hit());
+    }
+}
+BENCHMARK(BM_TreeletOrderTraversal);
+
+void
+BM_CacheFullyAssoc(benchmark::State &state)
+{
+    Cache c(16 * 1024, 0, 128);
+    Pcg32 rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(uint64_t(rng.nextBounded(4096)) * 128));
+    }
+}
+BENCHMARK(BM_CacheFullyAssoc);
+
+void
+BM_CacheSetAssoc(benchmark::State &state)
+{
+    Cache c(128 * 1024, 16, 128);
+    Pcg32 rng(4);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(uint64_t(rng.nextBounded(65536)) * 128));
+    }
+}
+BENCHMARK(BM_CacheSetAssoc);
+
+void
+BM_MemorySystemRead(benchmark::State &state)
+{
+    MemConfig mc;
+    mc.numL1s = 1;
+    MemorySystem mem(mc);
+    Pcg32 rng(5);
+    uint64_t now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mem.read(now++, 0, uint64_t(rng.nextBounded(1 << 20)) * 128,
+                     64, MemClass::BvhNode));
+    }
+}
+BENCHMARK(BM_MemorySystemRead);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

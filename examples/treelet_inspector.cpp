@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Treelet inspector: build a scene's BVH, print the treelet partition
+ * statistics, and show an ASCII histogram of treelet sizes plus the
+ * per-ray treelet-visit distribution — useful when reasoning about why
+ * treelet queues do or don't pay off on a given scene.
+ *
+ * Usage: treelet_inspector [scene] [scale]
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "analytic/analytic.hh"
+#include "bvh/traverser.hh"
+#include "scene/registry.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace trt;
+    std::string name = argc > 1 ? argv[1] : "CRNVL";
+    float scale = argc > 2 ? float(atof(argv[2])) : 0.25f;
+
+    Scene scene = buildScene(name, scale);
+    Bvh bvh = Bvh::build(scene.triangles);
+    BvhStats st = bvh.stats();
+
+    std::cout << "scene " << name << " @ scale " << scale << "\n"
+              << "  triangles:       " << st.triCount << "\n"
+              << "  wide nodes:      " << st.nodeCount << "\n"
+              << "  max depth:       " << st.maxDepth << "\n"
+              << "  avg leaf tris:   " << st.avgLeafTris << "\n"
+              << "  BVH bytes:       " << st.totalBytes << " ("
+              << st.totalBytes / 1048576.0 << " MB)\n"
+              << "  treelets:        " << st.treeletCount << "\n"
+              << "  avg treelet:     " << st.avgTreeletBytes << " B, "
+              << st.avgTreeletNodes << " nodes, depth "
+              << st.avgTreeletDepth << "\n\n";
+
+    // Histogram of treelet byte sizes.
+    std::map<uint32_t, uint32_t> histo; // bucket(KB) -> count
+    for (uint32_t t = 0; t < bvh.treeletCount(); t++)
+        histo[bvh.treeletBytes(t) / 1024]++;
+    uint32_t max_count = 0;
+    for (auto &[kb, n] : histo)
+        max_count = std::max(max_count, n);
+    std::cout << "treelet size histogram (KB buckets):\n";
+    for (auto &[kb, n] : histo) {
+        int bar = int(50.0 * n / max_count);
+        std::cout << "  " << kb << "-" << kb + 1 << "KB | "
+                  << std::string(size_t(bar), '#') << " " << n << "\n";
+    }
+
+    // Per-ray treelet visits from a functional trace of the frame.
+    auto traces = recordTraces(scene, bvh, 64, 64, 3, 0.02f, 20000);
+    std::map<size_t, uint32_t> visits;
+    uint64_t total_visits = 0, total_nodes = 0;
+    for (const auto &tr : traces) {
+        visits[tr.treelets.size()]++;
+        total_visits += tr.treelets.size();
+        total_nodes += tr.nodesVisited;
+    }
+    std::cout << "\nrays traced: " << traces.size()
+              << ", avg unique treelets/ray: "
+              << double(total_visits) / double(traces.size())
+              << ", avg nodes/ray: "
+              << double(total_nodes) / double(traces.size()) << "\n";
+    std::cout << "unique-treelets-per-ray distribution:\n";
+    max_count = 0;
+    for (auto &[k, n] : visits)
+        max_count = std::max(max_count, n);
+    for (auto &[k, n] : visits) {
+        if (k > 24)
+            break;
+        int bar = int(50.0 * n / max_count);
+        std::cout << "  " << k << " | " << std::string(size_t(bar), '#')
+                  << " " << n << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run every benchmark binary, teeing output into results/.
+# Environment knobs (TRT_RES, TRT_SCALE, TRT_SCENES, TRT_FAST) apply.
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+: > results/bench_all.log
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    echo "=== $name ===" | tee -a results/bench_all.log
+    "$b" 2>&1 | tee "results/${name}.txt" | tail -40
+    cat "results/${name}.txt" >> results/bench_all.log
+done
+echo "all benches complete"

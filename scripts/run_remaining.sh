@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Resume the bench sweep: run every bench binary whose results file is
+# missing or incomplete (no trailing "paper:" note / table).
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    name=$(basename "$b")
+    out="results/${name}.txt"
+    if [ -s "$out" ] && [ "$1" != "force" ] && ! grep -q INCOMPLETE "$out"; then
+        continue
+    fi
+    echo "running $name"
+    echo INCOMPLETE > "$out"
+    "$b" > "$out.tmp" 2>&1 && mv "$out.tmp" "$out" || echo "FAILED $name" >> "$out"
+done
+echo ALL_DONE > results/.benches_done

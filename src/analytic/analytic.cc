@@ -1,0 +1,110 @@
+#include "analytic/analytic.hh"
+
+#include <unordered_set>
+
+#include "bvh/traverser.hh"
+#include "gpu/shader.hh"
+
+namespace trt
+{
+
+std::vector<RayTrace>
+recordTraces(const Scene &scene, const Bvh &bvh, uint32_t width,
+             uint32_t height, uint32_t max_bounces, float cutoff,
+             uint32_t max_rays)
+{
+    PathTracer pt(scene, bvh, max_bounces, cutoff);
+    std::vector<RayTrace> traces;
+
+    uint32_t pixels = width * height;
+    for (uint32_t pixel = 0; pixel < pixels; pixel++) {
+        PathState st = pt.startPath(pixel, width, height);
+        while (st.alive) {
+            if (max_rays && traces.size() >= max_rays)
+                return traces;
+
+            RayTrace tr;
+            std::unordered_set<uint32_t> seen;
+            RayTraverser t(&bvh, st.ray);
+            while (!t.done()) {
+                if (t.atBoundary()) {
+                    t.enterNextTreelet();
+                    uint32_t tl = t.currentTreelet();
+                    if (seen.insert(tl).second)
+                        tr.treelets.push_back(tl);
+                    continue;
+                }
+                bool leaf = t.currentAccess().leaf;
+                t.complete();
+                if (!leaf)
+                    tr.nodesVisited++;
+            }
+            traces.push_back(std::move(tr));
+            pt.shade(st, t.hit());
+        }
+    }
+    return traces;
+}
+
+AnalyticModel::AnalyticModel(std::vector<RayTrace> traces,
+                             double nodes_per_treelet)
+    : traces_(std::move(traces)), nodesPerTreelet_(nodes_per_treelet)
+{
+    totalNodes_ = 0;
+    for (const auto &t : traces_)
+        totalNodes_ += t.nodesVisited;
+}
+
+AnalyticModel::AnalyticModel(std::vector<RayTrace> traces,
+                             std::vector<uint32_t> treelet_nodes)
+    : AnalyticModel(std::move(traces), 0.0)
+{
+    treeletNodes_ = std::move(treelet_nodes);
+}
+
+double
+AnalyticModel::treeletFetchCost(uint32_t treelet) const
+{
+    if (treeletNodes_.empty())
+        return nodesPerTreelet_;
+    return treelet < treeletNodes_.size() ? double(treeletNodes_[treelet])
+                                          : 1.0;
+}
+
+double
+AnalyticModel::baselineCost() const
+{
+    // Every node visit is a miss paying full memory latency; the
+    // latency multiplies both sides so it cancels in speedup().
+    return double(totalNodes_);
+}
+
+double
+AnalyticModel::treeletCost(uint32_t concurrent_rays) const
+{
+    if (concurrent_rays == 0 || traces_.empty())
+        return baselineCost();
+
+    double cost = 0.0;
+    for (size_t start = 0; start < traces_.size();
+         start += concurrent_rays) {
+        size_t end = std::min(traces_.size(),
+                              start + size_t(concurrent_rays));
+        std::unordered_set<uint32_t> unique;
+        for (size_t i = start; i < end; i++)
+            for (uint32_t t : traces_[i].treelets)
+                unique.insert(t);
+        for (uint32_t t : unique)
+            cost += treeletFetchCost(t);
+    }
+    return cost;
+}
+
+double
+AnalyticModel::speedup(uint32_t concurrent_rays) const
+{
+    double tc = treeletCost(concurrent_rays);
+    return tc > 0.0 ? baselineCost() / tc : 0.0;
+}
+
+} // namespace trt

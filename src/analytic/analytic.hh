@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The paper's section 2.4 standalone analytical model (Figure 5): an
+ * upper-bound estimate of treelet-queue speedup as a function of the
+ * number of concurrent rays in flight, with no caching modeled.
+ *
+ *  - Baseline cycles  = (total BVH nodes visited by all rays) x memLat.
+ *  - Treelet cycles   = sum over batches of B concurrent rays of
+ *                       (unique treelets touched by the batch)
+ *                       x (nodes per treelet) x memLat.
+ *
+ * Rays in the same batch reuse a fetched treelet at no cost; more
+ * concurrent rays means fewer unique treelet fetches per ray.
+ */
+
+#ifndef TRT_ANALYTIC_ANALYTIC_HH
+#define TRT_ANALYTIC_ANALYTIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "scene/scene.hh"
+
+namespace trt
+{
+
+/** Per-ray traversal footprint recorded from functional traversal. */
+struct RayTrace
+{
+    uint32_t nodesVisited = 0;
+    std::vector<uint32_t> treelets; //!< Unique treelets, visit order.
+};
+
+/**
+ * Record the BVH access footprint of every path-traced ray of a frame
+ * (primary + secondary, same workload as section 5.1).
+ *
+ * @param max_rays Cap on recorded rays (0 = unlimited).
+ */
+std::vector<RayTrace> recordTraces(const Scene &scene, const Bvh &bvh,
+                                   uint32_t width, uint32_t height,
+                                   uint32_t max_bounces, float cutoff,
+                                   uint32_t max_rays = 0);
+
+/** The analytical model over a set of recorded traces. */
+class AnalyticModel
+{
+  public:
+    /**
+     * @param traces Recorded per-ray footprints.
+     * @param nodes_per_treelet Average nodes in a treelet (the model's
+     *        fixed treelet fetch cost, as in the paper's formulation).
+     */
+    AnalyticModel(std::vector<RayTrace> traces, double nodes_per_treelet);
+
+    /**
+     * Variant pricing each treelet fetch at that treelet's actual node
+     * count (tighter than the paper's constant when treelet sizes are
+     * skewed). @p treelet_nodes is indexed by treelet id.
+     */
+    AnalyticModel(std::vector<RayTrace> traces,
+                  std::vector<uint32_t> treelet_nodes);
+
+    /** Baseline cycles (memLat factors out of the speedup). */
+    double baselineCost() const;
+
+    /** Treelet-queue cycles with batches of @p concurrent_rays. */
+    double treeletCost(uint32_t concurrent_rays) const;
+
+    /** Estimated speedup at @p concurrent_rays rays in flight. */
+    double speedup(uint32_t concurrent_rays) const;
+
+    size_t rayCount() const { return traces_.size(); }
+
+  private:
+    double treeletFetchCost(uint32_t treelet) const;
+
+    std::vector<RayTrace> traces_;
+    double nodesPerTreelet_;
+    std::vector<uint32_t> treeletNodes_; //!< Empty = use the constant.
+    uint64_t totalNodes_;
+};
+
+} // namespace trt
+
+#endif // TRT_ANALYTIC_ANALYTIC_HH

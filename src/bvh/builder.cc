@@ -1,0 +1,597 @@
+/**
+ * @file
+ * BVH construction: binned-SAH binary build, collapse to a 4-wide BVH,
+ * treelet partitioning and byte-level memory layout.
+ */
+
+#include "bvh/bvh.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <queue>
+
+namespace trt
+{
+
+namespace
+{
+
+/** Binary build node (temporary). */
+struct BinNode
+{
+    Aabb bounds;
+    uint32_t left = kInvalidNode;   //!< Child index, or kInvalidNode.
+    uint32_t right = kInvalidNode;
+    uint32_t firstTri = 0;          //!< Leaf only: range into the index
+    uint32_t triCount = 0;          //!< permutation array.
+
+    bool isLeaf() const { return triCount > 0; }
+};
+
+struct PrimRef
+{
+    Aabb bounds;
+    Vec3 centroid;
+    uint32_t tri;
+};
+
+class BinaryBuilder
+{
+  public:
+    BinaryBuilder(const std::vector<Triangle> &tris, const BvhConfig &cfg)
+        : cfg_(cfg)
+    {
+        prims_.reserve(tris.size());
+        for (uint32_t i = 0; i < tris.size(); i++) {
+            PrimRef p;
+            p.bounds = tris[i].bounds();
+            p.centroid = p.bounds.center();
+            p.tri = i;
+            prims_.push_back(p);
+        }
+    }
+
+    /** Build; returns root index (kInvalidNode for an empty scene). */
+    uint32_t
+    build()
+    {
+        if (prims_.empty())
+            return kInvalidNode;
+        return buildRange(0, uint32_t(prims_.size()));
+    }
+
+    const std::vector<BinNode> &nodes() const { return nodes_; }
+    const std::vector<PrimRef> &prims() const { return prims_; }
+
+  private:
+    uint32_t
+    buildRange(uint32_t begin, uint32_t end)
+    {
+        Aabb bounds, cbounds;
+        for (uint32_t i = begin; i < end; i++) {
+            bounds.grow(prims_[i].bounds);
+            cbounds.grow(prims_[i].centroid);
+        }
+
+        uint32_t count = end - begin;
+        uint32_t idx = uint32_t(nodes_.size());
+        nodes_.emplace_back();
+        nodes_[idx].bounds = bounds;
+
+        if (count <= uint32_t(cfg_.maxLeafTris)) {
+            nodes_[idx].firstTri = begin;
+            nodes_[idx].triCount = count;
+            return idx;
+        }
+
+        uint32_t mid = findSplit(begin, end, bounds, cbounds);
+        uint32_t l = buildRange(begin, mid);
+        uint32_t r = buildRange(mid, end);
+        nodes_[idx].left = l;
+        nodes_[idx].right = r;
+        return idx;
+    }
+
+    /** Binned SAH split; falls back to a median split when degenerate. */
+    uint32_t
+    findSplit(uint32_t begin, uint32_t end, const Aabb &bounds,
+              const Aabb &cbounds)
+    {
+        const int nbins = cfg_.sahBins;
+        Vec3 cext = cbounds.extent();
+        int axis = cext.maxDim();
+
+        uint32_t count = end - begin;
+        if (cext[axis] <= 1e-12f) {
+            // All centroids coincide: equal split keeps the tree balanced.
+            uint32_t mid = begin + count / 2;
+            std::nth_element(prims_.begin() + begin, prims_.begin() + mid,
+                             prims_.begin() + end,
+                             [axis](const PrimRef &a, const PrimRef &b) {
+                                 return a.centroid[axis] < b.centroid[axis];
+                             });
+            return mid;
+        }
+
+        float lo = cbounds.lo[axis];
+        float scale = float(nbins) / cext[axis];
+        auto bin_of = [&](const PrimRef &p) {
+            int b = int((p.centroid[axis] - lo) * scale);
+            return std::clamp(b, 0, nbins - 1);
+        };
+
+        struct Bin
+        {
+            Aabb bounds;
+            uint32_t count = 0;
+        };
+        std::vector<Bin> bins(nbins);
+        for (uint32_t i = begin; i < end; i++) {
+            Bin &b = bins[bin_of(prims_[i])];
+            b.bounds.grow(prims_[i].bounds);
+            b.count++;
+        }
+
+        // Sweep to evaluate SAH for each of the nbins-1 split planes.
+        std::vector<float> rightArea(nbins, 0.0f);
+        std::vector<uint32_t> rightCount(nbins, 0);
+        Aabb acc;
+        uint32_t cacc = 0;
+        for (int b = nbins - 1; b > 0; b--) {
+            acc.grow(bins[b].bounds);
+            cacc += bins[b].count;
+            rightArea[b] = acc.surfaceArea();
+            rightCount[b] = cacc;
+        }
+
+        float best_cost = std::numeric_limits<float>::max();
+        int best_split = -1;
+        acc = Aabb();
+        cacc = 0;
+        float inv_root = 1.0f / std::max(bounds.surfaceArea(), 1e-20f);
+        for (int b = 0; b < nbins - 1; b++) {
+            acc.grow(bins[b].bounds);
+            cacc += bins[b].count;
+            if (cacc == 0 || rightCount[b + 1] == 0)
+                continue;
+            float cost = cfg_.traversalCost +
+                         cfg_.intersectCost * inv_root *
+                             (acc.surfaceArea() * float(cacc) +
+                              rightArea[b + 1] * float(rightCount[b + 1]));
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_split = b;
+            }
+        }
+
+        if (best_split < 0) {
+            uint32_t mid = begin + count / 2;
+            std::nth_element(prims_.begin() + begin, prims_.begin() + mid,
+                             prims_.begin() + end,
+                             [axis](const PrimRef &a, const PrimRef &b) {
+                                 return a.centroid[axis] < b.centroid[axis];
+                             });
+            return mid;
+        }
+
+        auto it = std::partition(prims_.begin() + begin, prims_.begin() + end,
+                                 [&](const PrimRef &p) {
+                                     return bin_of(p) <= best_split;
+                                 });
+        uint32_t mid = uint32_t(it - prims_.begin());
+        assert(mid > begin && mid < end);
+        return mid;
+    }
+
+    const BvhConfig &cfg_;
+    std::vector<PrimRef> prims_;
+    std::vector<BinNode> nodes_;
+};
+
+/** Bytes node @p n occupies including the leaf blocks it references. */
+uint32_t
+nodeFootprintBytes(const WideNode &n, uint32_t node_bytes)
+{
+    uint32_t bytes = node_bytes;
+    for (const auto &c : n.child)
+        if (c.kind == WideChild::Leaf)
+            bytes += c.count * kTriBytes;
+    return bytes;
+}
+
+/**
+ * Quantize every child box to an 8-bit grid anchored at its node's
+ * union box, growing outward so the quantized box always contains the
+ * exact one (Ylitie et al. compressed wide BVH). Traversal then tests
+ * exactly what the hardware would decode.
+ */
+void
+quantizeChildBounds(std::vector<WideNode> &nodes)
+{
+    for (auto &n : nodes) {
+        Aabb u;
+        for (const auto &c : n.child)
+            if (c.kind != WideChild::Invalid)
+                u.grow(c.bounds);
+        if (u.empty())
+            continue;
+        Vec3 ext = u.extent();
+        for (auto &c : n.child) {
+            if (c.kind == WideChild::Invalid)
+                continue;
+            Aabb exact = c.bounds;
+            for (int a = 0; a < 3; a++) {
+                float e = ext[a];
+                if (e <= 0.0f)
+                    continue; // flat axis: exact representation
+                float step = e / 255.0f;
+                float qlo = u.lo[a] +
+                            std::floor((exact.lo[a] - u.lo[a]) / step) *
+                                step;
+                float qhi = u.lo[a] +
+                            std::ceil((exact.hi[a] - u.lo[a]) / step) *
+                                step;
+                // Guard against float round-off un-conserving the box.
+                c.bounds.lo[a] = std::min(qlo, exact.lo[a]);
+                c.bounds.hi[a] = std::max(qhi, exact.hi[a]);
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+/** Collapses the binary tree into the wide node array of @p out. */
+class BvhBuilder
+{
+  public:
+    static void
+    collapse(const std::vector<BinNode> &bin, uint32_t bin_root, Bvh &out)
+    {
+        if (bin_root == kInvalidNode) {
+            out.nodes_.emplace_back();
+            return;
+        }
+        if (bin[bin_root].isLeaf()) {
+            // Degenerate: root itself is a leaf; wrap it in a node.
+            WideNode n;
+            n.child[0].bounds = bin[bin_root].bounds;
+            n.child[0].kind = WideChild::Leaf;
+            n.child[0].index = bin[bin_root].firstTri;
+            n.child[0].count = bin[bin_root].triCount;
+            out.nodes_.push_back(n);
+            return;
+        }
+        out.nodes_.emplace_back();
+        collapseNode(bin, bin_root, 0, out);
+    }
+
+    static void
+    partitionTreelets(Bvh &bvh, uint32_t max_bytes)
+    {
+        auto &nodes = bvh.nodes_;
+        bvh.nodeTreelet_.assign(nodes.size(), kInvalidTreelet);
+
+        // Treelet node membership in assignment order, used for layout.
+        std::vector<std::vector<uint32_t>> members;
+
+        std::deque<uint32_t> pending;
+        pending.push_back(0);
+        while (!pending.empty()) {
+            uint32_t root = pending.front();
+            pending.pop_front();
+            uint32_t tid = uint32_t(members.size());
+            members.emplace_back();
+
+            // Frontier ordered by surface area so the biggest subtrees
+            // are pulled into the treelet first (Aila & Karras).
+            using Entry = std::pair<float, uint32_t>;
+            std::priority_queue<Entry> frontier;
+            auto area_of = [&](uint32_t n) {
+                Aabb b;
+                for (const auto &c : nodes[n].child)
+                    if (c.kind != WideChild::Invalid)
+                        b.grow(c.bounds);
+                return b.surfaceArea();
+            };
+            frontier.emplace(area_of(root), root);
+            uint32_t bytes = 0;
+
+            while (!frontier.empty()) {
+                uint32_t n = frontier.top().second;
+                frontier.pop();
+                uint32_t fp = nodeFootprintBytes(nodes[n],
+                                                 bvh.nodeBytes_);
+                if (bytes > 0 && bytes + fp > max_bytes) {
+                    pending.push_back(n);
+                    continue;
+                }
+                bvh.nodeTreelet_[n] = tid;
+                members[tid].push_back(n);
+                bytes += fp;
+                for (const auto &c : nodes[n].child)
+                    if (c.kind == WideChild::Internal)
+                        frontier.emplace(area_of(c.index), c.index);
+            }
+        }
+
+        layout(bvh, members);
+        computeTreeletDepths(bvh, members);
+    }
+
+  private:
+    static void
+    collapseNode(const std::vector<BinNode> &bin, uint32_t bin_idx,
+                 uint32_t wide_idx, Bvh &out)
+    {
+        // Gather up to kBvhWidth binary descendants, greedily expanding
+        // the internal slot with the largest surface area.
+        uint32_t slots[kBvhWidth];
+        int n_slots = 0;
+        slots[n_slots++] = bin[bin_idx].left;
+        slots[n_slots++] = bin[bin_idx].right;
+
+        while (n_slots < kBvhWidth) {
+            int best = -1;
+            float best_area = -1.0f;
+            for (int i = 0; i < n_slots; i++) {
+                if (bin[slots[i]].isLeaf())
+                    continue;
+                float a = bin[slots[i]].bounds.surfaceArea();
+                if (a > best_area) {
+                    best_area = a;
+                    best = i;
+                }
+            }
+            if (best < 0)
+                break;
+            uint32_t expand = slots[best];
+            slots[best] = bin[expand].left;
+            slots[n_slots++] = bin[expand].right;
+        }
+
+        // First create all children entries (reserving wide indices for
+        // the internal ones), then recurse; out.nodes_ may reallocate so
+        // never hold a reference across the recursion.
+        uint32_t child_wide[kBvhWidth];
+        for (int i = 0; i < n_slots; i++) {
+            const BinNode &c = bin[slots[i]];
+            WideChild wc;
+            wc.bounds = c.bounds;
+            if (c.isLeaf()) {
+                wc.kind = WideChild::Leaf;
+                wc.index = c.firstTri;
+                wc.count = c.triCount;
+                child_wide[i] = kInvalidNode;
+            } else {
+                wc.kind = WideChild::Internal;
+                wc.index = uint32_t(out.nodes_.size());
+                child_wide[i] = wc.index;
+                out.nodes_.emplace_back();
+            }
+            out.nodes_[wide_idx].child[i] = wc;
+        }
+        for (int i = 0; i < n_slots; i++)
+            if (child_wide[i] != kInvalidNode)
+                collapseNode(bin, slots[i], child_wide[i], out);
+    }
+
+    static void
+    layout(Bvh &bvh, const std::vector<std::vector<uint32_t>> &members)
+    {
+        bvh.nodeAddr_.assign(bvh.nodes_.size(), 0);
+        bvh.triAddr_.assign(std::max<size_t>(1, bvh.tris_.size()), 0);
+        bvh.treeletAddr_.assign(members.size(), 0);
+        bvh.treeletNodes_.assign(members.size(), 0);
+        bvh.treeletBytes_.assign(members.size(), 0);
+
+        uint64_t cur = kBvhBaseAddr;
+        for (uint32_t t = 0; t < members.size(); t++) {
+            uint64_t base = cur;
+            bvh.treeletAddr_[t] = base;
+            bvh.treeletNodes_[t] = uint32_t(members[t].size());
+            for (uint32_t n : members[t]) {
+                bvh.nodeAddr_[n] = cur;
+                cur += bvh.nodeBytes_;
+            }
+            for (uint32_t n : members[t]) {
+                for (const auto &c : bvh.nodes_[n].child) {
+                    if (c.kind != WideChild::Leaf)
+                        continue;
+                    for (uint32_t k = 0; k < c.count; k++)
+                        bvh.triAddr_[c.index + k] = cur + k * kTriBytes;
+                    cur += uint64_t(c.count) * kTriBytes;
+                }
+            }
+            bvh.treeletBytes_[t] = uint32_t(cur - base);
+        }
+        bvh.totalBytes_ = cur - kBvhBaseAddr;
+    }
+
+    static void
+    computeTreeletDepths(Bvh &bvh,
+                         const std::vector<std::vector<uint32_t>> &members)
+    {
+        // Within-treelet depth: a treelet's entry node has depth 1;
+        // children in the same treelet are one deeper. Used to estimate
+        // how many node visits a ray makes per treelet (preload timing,
+        // section 4.3).
+        std::vector<uint32_t> depth(bvh.nodes_.size(), 0);
+        depth[0] = 1;
+        // Nodes were appended parent-before-child per treelet, but child
+        // wide indices are globally increasing, so a forward sweep works.
+        for (uint32_t n = 0; n < bvh.nodes_.size(); n++) {
+            if (depth[n] == 0)
+                depth[n] = 1; // treelet entry reached via cross edge
+            for (const auto &c : bvh.nodes_[n].child) {
+                if (c.kind != WideChild::Internal)
+                    continue;
+                depth[c.index] =
+                    bvh.nodeTreelet_[c.index] == bvh.nodeTreelet_[n]
+                        ? depth[n] + 1
+                        : 1;
+            }
+        }
+        bvh.treeletDepth_.assign(members.size(), 1.0f);
+        for (uint32_t t = 0; t < members.size(); t++) {
+            double sum = 0.0;
+            for (uint32_t n : members[t])
+                sum += depth[n];
+            if (!members[t].empty())
+                bvh.treeletDepth_[t] = float(sum / members[t].size());
+        }
+    }
+};
+
+Bvh
+Bvh::build(const std::vector<Triangle> &tris, const BvhConfig &cfg)
+{
+    Bvh bvh;
+
+    BinaryBuilder bb(tris, cfg);
+    uint32_t bin_root = bb.build();
+
+    // Reorder triangles by the permutation the binary build produced so
+    // leaf ranges are contiguous.
+    bvh.tris_.reserve(tris.size());
+    bvh.triOrig_.reserve(tris.size());
+    for (const auto &p : bb.prims()) {
+        bvh.tris_.push_back(tris[p.tri]);
+        bvh.triOrig_.push_back(p.tri);
+    }
+
+    BvhBuilder::collapse(bb.nodes(), bin_root, bvh);
+
+    if (cfg.quantizedNodes) {
+        bvh.nodeBytes_ = kCompressedNodeBytes;
+        quantizeChildBounds(bvh.nodes_);
+    }
+    for (const auto &c : bvh.nodes_[0].child)
+        if (c.kind != WideChild::Invalid)
+            bvh.rootBounds_.grow(c.bounds);
+
+    BvhBuilder::partitionTreelets(bvh, cfg.treeletMaxBytes);
+    return bvh;
+}
+
+HitRecord
+Bvh::intersectClosest(const Ray &ray) const
+{
+    HitRecord hit;
+    RayInv inv(ray);
+
+    Ray r = ray; // r.tmax shrinks as hits are found
+    struct Entry
+    {
+        uint32_t node;
+        float t;
+    };
+    std::vector<Entry> stack;
+    stack.push_back({0, r.tmin});
+
+    while (!stack.empty()) {
+        Entry e = stack.back();
+        stack.pop_back();
+        if (hit.hit() && e.t > hit.t)
+            continue;
+
+        const WideNode &n = nodes_[e.node];
+        // Collect intersected children, then push far-to-near.
+        struct ChildHit
+        {
+            const WideChild *c;
+            float t;
+        };
+        ChildHit hits[kBvhWidth];
+        int nh = 0;
+        for (const auto &c : n.child) {
+            if (c.kind == WideChild::Invalid)
+                continue;
+            float t;
+            if (intersectAabb(r, inv, c.bounds, t))
+                hits[nh++] = {&c, t};
+        }
+        // Insertion sort by descending t (at most kBvhWidth entries;
+        // avoids std::sort's code paths tripping -Warray-bounds).
+        for (int i = 1; i < nh; i++) {
+            ChildHit key = hits[i];
+            int j = i - 1;
+            while (j >= 0 && hits[j].t < key.t) {
+                hits[j + 1] = hits[j];
+                j--;
+            }
+            hits[j + 1] = key;
+        }
+        for (int i = 0; i < nh; i++) {
+            const WideChild &c = *hits[i].c;
+            if (c.kind == WideChild::Internal) {
+                stack.push_back({c.index, hits[i].t});
+            } else {
+                for (uint32_t k = 0; k < c.count; k++) {
+                    float t, u, v;
+                    if (intersectTriangle(r, tris_[c.index + k], t, u, v)) {
+                        hit.t = t;
+                        hit.u = u;
+                        hit.v = v;
+                        hit.triIndex = c.index + k;
+                        r.tmax = t;
+                    }
+                }
+            }
+        }
+    }
+    return hit;
+}
+
+BvhStats
+Bvh::stats() const
+{
+    BvhStats st;
+    st.nodeCount = uint32_t(nodes_.size());
+    st.triCount = uint32_t(tris_.size());
+    st.totalBytes = totalBytes_;
+    st.treeletCount = treeletCount();
+
+    uint64_t leaf_tris = 0;
+    for (const auto &n : nodes_) {
+        for (const auto &c : n.child) {
+            if (c.kind == WideChild::Leaf) {
+                st.leafCount++;
+                leaf_tris += c.count;
+            }
+        }
+    }
+    st.avgLeafTris = st.leafCount ? double(leaf_tris) / st.leafCount : 0.0;
+
+    // Depth via explicit traversal.
+    struct Entry
+    {
+        uint32_t node;
+        uint32_t depth;
+    };
+    std::vector<Entry> stack{{0, 1}};
+    while (!stack.empty()) {
+        Entry e = stack.back();
+        stack.pop_back();
+        st.maxDepth = std::max(st.maxDepth, e.depth);
+        for (const auto &c : nodes_[e.node].child)
+            if (c.kind == WideChild::Internal)
+                stack.push_back({c.index, e.depth + 1});
+    }
+
+    double tb = 0.0, tn = 0.0, td = 0.0;
+    for (uint32_t t = 0; t < treeletCount(); t++) {
+        tb += treeletBytes_[t];
+        tn += treeletNodes_[t];
+        td += treeletDepth_[t];
+    }
+    if (treeletCount()) {
+        st.avgTreeletBytes = tb / treeletCount();
+        st.avgTreeletNodes = tn / treeletCount();
+        st.avgTreeletDepth = td / treeletCount();
+    }
+    return st;
+}
+
+} // namespace trt

@@ -1,0 +1,91 @@
+#include "bvh/io.hh"
+
+#include <cstdint>
+
+namespace trt
+{
+
+namespace
+{
+
+template <typename T>
+void
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = v.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    if (n)
+        os.write(reinterpret_cast<const char *>(v.data()),
+                 std::streamsize(n * sizeof(T)));
+}
+
+template <typename T>
+bool
+readVec(std::istream &is, std::vector<T> &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!is || n > (1ull << 32))
+        return false;
+    v.resize(n);
+    if (n)
+        is.read(reinterpret_cast<char *>(v.data()),
+                std::streamsize(n * sizeof(T)));
+    return bool(is);
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return bool(is);
+}
+
+} // anonymous namespace
+
+void
+BvhIo::save(std::ostream &os, const Bvh &bvh)
+{
+    writeVec(os, bvh.nodes_);
+    writeVec(os, bvh.tris_);
+    writeVec(os, bvh.triOrig_);
+    writePod(os, bvh.rootBounds_);
+    writeVec(os, bvh.nodeTreelet_);
+    writeVec(os, bvh.treeletNodes_);
+    writeVec(os, bvh.treeletBytes_);
+    writeVec(os, bvh.treeletAddr_);
+    writeVec(os, bvh.treeletDepth_);
+    writeVec(os, bvh.nodeAddr_);
+    writeVec(os, bvh.triAddr_);
+    writePod(os, bvh.totalBytes_);
+    writePod(os, bvh.nodeBytes_);
+}
+
+bool
+BvhIo::load(std::istream &is, Bvh &bvh)
+{
+    return readVec(is, bvh.nodes_) && readVec(is, bvh.tris_) &&
+           readVec(is, bvh.triOrig_) && readPod(is, bvh.rootBounds_) &&
+           readVec(is, bvh.nodeTreelet_) &&
+           readVec(is, bvh.treeletNodes_) &&
+           readVec(is, bvh.treeletBytes_) &&
+           readVec(is, bvh.treeletAddr_) &&
+           readVec(is, bvh.treeletDepth_) && readVec(is, bvh.nodeAddr_) &&
+           readVec(is, bvh.triAddr_) && readPod(is, bvh.totalBytes_) &&
+           // Trailing field added later; absent in older streams, which
+           // can only hold default (uncompressed) builds.
+           (readPod(is, bvh.nodeBytes_) || (bvh.nodeBytes_ = kNodeBytes));
+}
+
+} // namespace trt

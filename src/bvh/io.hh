@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Flat binary serialization of a built Bvh, used by the harness's
+ * bundle disk cache so benchmark binaries don't rebuild multi-million
+ * triangle BVHs on every launch. The format is an internal cache — not
+ * a stable interchange format — and is versioned by the harness.
+ */
+
+#ifndef TRT_BVH_IO_HH
+#define TRT_BVH_IO_HH
+
+#include <istream>
+#include <ostream>
+
+#include "bvh/bvh.hh"
+
+namespace trt
+{
+
+/** Save/load access to Bvh internals. */
+struct BvhIo
+{
+    static void save(std::ostream &os, const Bvh &bvh);
+    /** @return false on malformed input. */
+    static bool load(std::istream &is, Bvh &bvh);
+};
+
+} // namespace trt
+
+#endif // TRT_BVH_IO_HH

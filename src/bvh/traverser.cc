@@ -1,0 +1,179 @@
+#include "bvh/traverser.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trt
+{
+
+RayTraverser::RayTraverser(const Bvh *bvh, const Ray &ray)
+    : bvh_(bvh), ray_(ray), inv_(ray)
+{
+    // The ray conceptually starts outside any treelet with the root on
+    // its treelet stack, so even the first step is a boundary crossing
+    // into the root treelet. This is exactly how the paper's treelet
+    // queues see fresh rays: they are inserted into the root treelet's
+    // queue first.
+    treeletStack_.push_back({bvh_->rootNode(), ray.tmin});
+    phase_ = Phase::AtBoundary;
+}
+
+void
+RayTraverser::pruneStacks()
+{
+    auto dead = [this](const Entry &e) {
+        return hitRec_.hit() && e.t > hitRec_.t;
+    };
+    while (!currentStack_.empty() && dead(currentStack_.back()))
+        currentStack_.pop_back();
+    while (currentStack_.empty() && !treeletStack_.empty() &&
+           dead(treeletStack_.back())) {
+        treeletStack_.pop_back();
+    }
+}
+
+uint32_t
+RayTraverser::nextTreelet() const
+{
+    assert(phase_ == Phase::AtBoundary && !treeletStack_.empty());
+    return bvh_->treeletOf(treeletStack_.back().node);
+}
+
+void
+RayTraverser::enterNextTreelet()
+{
+    assert(phase_ == Phase::AtBoundary && !treeletStack_.empty());
+    Entry e = treeletStack_.back();
+    treeletStack_.pop_back();
+    curTreelet_ = bvh_->treeletOf(e.node);
+    fetchNode_ = e.node;
+    phase_ = Phase::FetchNode;
+    counts_.treeletSwitches++;
+}
+
+RayTraverser::Access
+RayTraverser::currentAccess() const
+{
+    Access a;
+    if (phase_ == Phase::FetchNode) {
+        a.addr = bvh_->nodeAddr(fetchNode_);
+        a.bytes = bvh_->nodeBytes();
+        a.node = fetchNode_;
+        a.leaf = false;
+    } else if (phase_ == Phase::FetchLeaf) {
+        assert(!pendingLeaves_.empty());
+        const PendingLeaf &pl = pendingLeaves_.back();
+        a.addr = bvh_->triBlockAddr(pl.firstTri);
+        a.bytes = pl.count * kTriBytes;
+        a.node = fetchNode_;
+        a.leaf = true;
+    }
+    return a;
+}
+
+uint32_t
+RayTraverser::complete()
+{
+    uint32_t tests = 0;
+    if (phase_ == Phase::FetchNode) {
+        counts_.nodeFetches++;
+        const WideNode &n = bvh_->nodes()[fetchNode_];
+
+        // Shrink the ray interval to the best hit so far.
+        Ray r = ray_;
+        if (hitRec_.hit())
+            r.tmax = hitRec_.t;
+
+        struct ChildHit
+        {
+            const WideChild *c;
+            float t;
+        };
+        ChildHit hits[kBvhWidth];
+        int nh = 0;
+        for (const auto &c : n.child) {
+            if (c.kind == WideChild::Invalid)
+                continue;
+            tests++;
+            float t;
+            if (intersectAabb(r, inv_, c.bounds, t))
+                hits[nh++] = {&c, t};
+        }
+        counts_.boxTests += tests;
+
+        // Internal children pushed far-to-near so the nearest pops
+        // first; leaf children queued for triangle fetches. Insertion
+        // sort: at most kBvhWidth entries.
+        for (int i = 1; i < nh; i++) {
+            ChildHit key = hits[i];
+            int j = i - 1;
+            while (j >= 0 && hits[j].t < key.t) {
+                hits[j + 1] = hits[j];
+                j--;
+            }
+            hits[j + 1] = key;
+        }
+        for (int i = 0; i < nh; i++) {
+            const WideChild &c = *hits[i].c;
+            if (c.kind == WideChild::Internal) {
+                Entry e{c.index, hits[i].t};
+                if (bvh_->treeletOf(c.index) == curTreelet_)
+                    currentStack_.push_back(e);
+                else
+                    treeletStack_.push_back(e);
+            } else {
+                pendingLeaves_.push_back({c.index, c.count});
+            }
+        }
+
+        if (!pendingLeaves_.empty()) {
+            phase_ = Phase::FetchLeaf;
+        } else {
+            advance();
+        }
+    } else if (phase_ == Phase::FetchLeaf) {
+        counts_.leafFetches++;
+        PendingLeaf pl = pendingLeaves_.back();
+        pendingLeaves_.pop_back();
+
+        Ray r = ray_;
+        if (hitRec_.hit())
+            r.tmax = hitRec_.t;
+        for (uint32_t k = 0; k < pl.count; k++) {
+            tests++;
+            float t, u, v;
+            const Triangle &tri = bvh_->triangles()[pl.firstTri + k];
+            if (intersectTriangle(r, tri, t, u, v)) {
+                hitRec_.t = t;
+                hitRec_.u = u;
+                hitRec_.v = v;
+                hitRec_.triIndex = pl.firstTri + k;
+                r.tmax = t;
+            }
+        }
+        counts_.triTests += tests;
+
+        if (pendingLeaves_.empty())
+            advance();
+    } else {
+        assert(false && "complete() called with no outstanding access");
+    }
+    return tests;
+}
+
+void
+RayTraverser::advance()
+{
+    pruneStacks();
+    if (!currentStack_.empty()) {
+        fetchNode_ = currentStack_.back().node;
+        currentStack_.pop_back();
+        phase_ = Phase::FetchNode;
+    } else if (!treeletStack_.empty()) {
+        phase_ = Phase::AtBoundary;
+    } else {
+        phase_ = Phase::Done;
+    }
+}
+
+} // namespace trt

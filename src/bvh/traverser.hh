@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Stepwise BVH traversal in the treelet traversal order of Chou et al.
+ * (MICRO'23), which the paper's baseline and all proposed RT-unit
+ * variants use (paper section 5).
+ *
+ * Each ray keeps two stacks: a *current stack* for nodes inside the
+ * treelet it is currently traversing and a *treelet stack* for pending
+ * nodes in other treelets. The ray drains its current stack before
+ * popping the treelet stack (a treelet boundary crossing). The RT unit
+ * timing models drive this class one memory access at a time so they can
+ * charge cache/DRAM latency per access; the functional results (closest
+ * hit) are computed here and are bit-identical across every
+ * architecture variant.
+ */
+
+#ifndef TRT_BVH_TRAVERSER_HH
+#define TRT_BVH_TRAVERSER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "geom/ray.hh"
+
+namespace trt
+{
+
+/** Per-ray stepwise traverser. Copyable; cheap enough to store per ray. */
+class RayTraverser
+{
+  public:
+    /** Phase of the per-ray state machine. */
+    enum class Phase : uint8_t
+    {
+        AtBoundary, //!< Next node must come from the treelet stack.
+        FetchNode,  //!< A node fetch is outstanding / due.
+        FetchLeaf,  //!< A leaf triangle-block fetch is outstanding / due.
+        Done,       //!< Traversal complete; hit() is final.
+    };
+
+    /** Description of the memory access the ray needs next. */
+    struct Access
+    {
+        uint64_t addr = 0;
+        uint32_t bytes = 0;
+        uint32_t node = kInvalidNode;
+        bool leaf = false;
+    };
+
+    /** Counts of work performed, for the mode-breakdown figures. */
+    struct Counts
+    {
+        uint64_t nodeFetches = 0;
+        uint64_t leafFetches = 0;
+        uint64_t boxTests = 0;
+        uint64_t triTests = 0;
+        uint64_t treeletSwitches = 0;
+    };
+
+    RayTraverser() = default;
+
+    /** Begin traversal of @p ray over @p bvh (kept by pointer; must
+     *  outlive the traverser). */
+    RayTraverser(const Bvh *bvh, const Ray &ray);
+
+    Phase phase() const { return phase_; }
+    bool done() const { return phase_ == Phase::Done; }
+
+    /**
+     * True when the ray sits at a treelet boundary: its current stack is
+     * exhausted and the next node lives in another treelet. The caller
+     * decides whether to continue (ray-stationary) via
+     * enterNextTreelet() or to park the ray in that treelet's queue
+     * (treelet-stationary).
+     */
+    bool atBoundary() const { return phase_ == Phase::AtBoundary; }
+
+    /** Treelet the ray will enter next. Only valid atBoundary(). */
+    uint32_t nextTreelet() const;
+
+    /** Cross the boundary: pop the treelet stack into the current
+     *  stack. Moves to Phase::FetchNode. */
+    void enterNextTreelet();
+
+    /** The access needed now. Valid in FetchNode / FetchLeaf. */
+    Access currentAccess() const;
+
+    /**
+     * Complete the outstanding access: run the box/triangle tests for
+     * the fetched data and advance the state machine.
+     * @return number of intersection tests this step performed.
+     */
+    uint32_t complete();
+
+    /** Treelet the ray is currently inside (kInvalidTreelet initially). */
+    uint32_t currentTreelet() const { return curTreelet_; }
+
+    const HitRecord &hit() const { return hitRec_; }
+    const Counts &counts() const { return counts_; }
+    const Ray &ray() const { return ray_; }
+
+    /** Entries remaining across both stacks (diagnostics). */
+    size_t stackDepth() const
+    { return currentStack_.size() + treeletStack_.size(); }
+
+  private:
+    struct Entry
+    {
+        uint32_t node;
+        float t;
+    };
+
+    struct PendingLeaf
+    {
+        uint32_t firstTri;
+        uint32_t count;
+    };
+
+    /** Drop stack entries that can no longer beat the current hit. */
+    void pruneStacks();
+    /** Choose the next step after finishing a node/leaf. */
+    void advance();
+
+    const Bvh *bvh_ = nullptr;
+    Ray ray_;
+    RayInv inv_{Ray{}};
+    Phase phase_ = Phase::Done;
+
+    std::vector<Entry> currentStack_;
+    std::vector<Entry> treeletStack_;
+    uint32_t curTreelet_ = kInvalidTreelet;
+    uint32_t fetchNode_ = kInvalidNode;
+    std::vector<PendingLeaf> pendingLeaves_;
+
+    HitRecord hitRec_;
+    Counts counts_;
+};
+
+} // namespace trt
+
+#endif // TRT_BVH_TRAVERSER_HH

@@ -1,0 +1,45 @@
+#include "core/arch.hh"
+
+#include "core/prefetch_unit.hh"
+#include "core/treelet_queue_unit.hh"
+
+namespace trt
+{
+
+Gpu::RtUnitFactory
+makeRtUnitFactory()
+{
+    return [](const GpuConfig &cfg, MemorySystem &mem, const Bvh &bvh,
+              uint32_t sm_id) -> std::unique_ptr<RtUnitBase> {
+        switch (cfg.arch) {
+          case RtArch::TreeletPrefetch:
+            return std::make_unique<TreeletPrefetchRtUnit>(cfg, mem, bvh,
+                                                           sm_id);
+          case RtArch::TreeletQueues:
+            return std::make_unique<TreeletQueueRtUnit>(cfg, mem, bvh,
+                                                        sm_id);
+          case RtArch::Baseline:
+          default:
+            return std::make_unique<BaselineRtUnit>(cfg, mem, bvh, sm_id);
+        }
+    };
+}
+
+RunStats
+simulate(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh)
+{
+    Gpu gpu(cfg, scene, bvh, makeRtUnitFactory());
+    return gpu.run();
+}
+
+RunStats
+simulateRays(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
+             const std::vector<Ray> &rays)
+{
+    GpuConfig c = cfg;
+    c.maxBounces = 0; // queries are a single trace per thread
+    Gpu gpu(c, scene, bvh, makeRtUnitFactory(), &rays);
+    return gpu.run();
+}
+
+} // namespace trt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Architecture selection: builds the right RT unit for a GpuConfig and
+ * provides the one-call simulation entry point used by examples, tests
+ * and the benchmark harness.
+ */
+
+#ifndef TRT_CORE_ARCH_HH
+#define TRT_CORE_ARCH_HH
+
+#include "gpu/gpu.hh"
+
+namespace trt
+{
+
+/** Factory dispatching on GpuConfig::arch. */
+Gpu::RtUnitFactory makeRtUnitFactory();
+
+/**
+ * Build a Gpu for @p cfg over @p scene / @p bvh and simulate the frame.
+ * This is the main public entry point of the library.
+ */
+RunStats simulate(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh);
+
+/**
+ * Simulate a general tree-traversal workload (section 8): trace the
+ * given rays through the RT unit(s) instead of camera-generated path
+ * tracing rays. One thread per ray, no bounces; per-ray closest hits
+ * come back in RunStats::primaryHits.
+ */
+RunStats simulateRays(const GpuConfig &cfg, const Scene &scene,
+                      const Bvh &bvh, const std::vector<Ray> &rays);
+
+} // namespace trt
+
+#endif // TRT_CORE_ARCH_HH

@@ -1,0 +1,77 @@
+#include "core/prefetch_unit.hh"
+
+#include <unordered_map>
+
+namespace trt
+{
+
+TreeletPrefetchRtUnit::TreeletPrefetchRtUnit(const GpuConfig &cfg,
+                                             MemorySystem &mem,
+                                             const Bvh &bvh, uint32_t sm_id)
+    : BaselineRtUnit(cfg, mem, bvh, sm_id)
+{
+}
+
+uint32_t
+TreeletPrefetchRtUnit::popularTreelet() const
+{
+    std::unordered_map<uint32_t, uint32_t> histo;
+    for (const auto &slot : slots_) {
+        if (!slot.active)
+            continue;
+        for (const auto &e : slot.rays) {
+            if (!e.valid || e.stage == Stage::Done)
+                continue;
+            uint32_t t = e.trav.currentTreelet();
+            if (t != kInvalidTreelet)
+                histo[t]++;
+        }
+    }
+    uint32_t best = kInvalidTreelet;
+    uint32_t best_count = std::max(1u, cfg_.prefetchMinRays) - 1;
+    for (const auto &[t, n] : histo) {
+        if (n > best_count || (n == best_count && t < best)) {
+            best = t;
+            best_count = n;
+        }
+    }
+    return best;
+}
+
+void
+TreeletPrefetchRtUnit::onTreeletEnter(uint64_t now, uint32_t)
+{
+    if (now < nextAllowed_)
+        return;
+    uint32_t popular = popularTreelet();
+    if (popular == kInvalidTreelet || popular == lastPrefetched_)
+        return;
+    nextAllowed_ = now + cfg_.prefetchCooldown;
+
+    lastPrefetched_ = popular;
+    stats_.prefetchIssues++;
+
+    uint64_t base = bvh_.treeletBaseAddr(popular);
+    uint32_t bytes = bvh_.treeletBytes(popular);
+    mem_.prefetchL1(now, smId_, base, bytes, MemClass::BvhNode);
+
+    uint32_t line = mem_.lineBytes();
+    uint64_t first = base & ~uint64_t(line - 1);
+    uint64_t last = (base + bytes - 1) & ~uint64_t(line - 1);
+    for (uint64_t a = first; a <= last; a += line) {
+        if (outstanding_.insert(a).second)
+            stats_.prefetchLines++;
+    }
+}
+
+void
+TreeletPrefetchRtUnit::onDemandLine(uint64_t line_addr)
+{
+    auto it = outstanding_.find(line_addr);
+    if (it != outstanding_.end()) {
+        outstanding_.erase(it);
+        stats_.prefetchUsedLines++;
+    }
+}
+
+} // namespace trt

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Treelet Prefetching RT unit — the comparison point of Chou et al.
+ * (MICRO'23), the most recent treelet work on ray tracing GPUs and the
+ * baseline the paper's Figure 10 compares against.
+ *
+ * The unit behaves like the baseline ray-stationary RT unit but watches
+ * which treelet is most popular among the rays in the warp buffer and
+ * prefetches that whole treelet into the L1. Prefetched lines that are
+ * never demanded before the next prefetch are counted as wasted
+ * bandwidth (the paper quotes 43.5% unused for Chou et al.).
+ */
+
+#ifndef TRT_CORE_PREFETCH_UNIT_HH
+#define TRT_CORE_PREFETCH_UNIT_HH
+
+#include <unordered_set>
+
+#include "gpu/rt_unit.hh"
+
+namespace trt
+{
+
+/** Baseline + most-popular-treelet prefetcher. */
+class TreeletPrefetchRtUnit : public BaselineRtUnit
+{
+  public:
+    TreeletPrefetchRtUnit(const GpuConfig &cfg, MemorySystem &mem,
+                          const Bvh &bvh, uint32_t sm_id);
+
+  protected:
+    void onTreeletEnter(uint64_t now, uint32_t treelet) override;
+    void onDemandLine(uint64_t line_addr) override;
+
+  private:
+    /** Most popular current treelet among active rays (or invalid). */
+    uint32_t popularTreelet() const;
+
+    uint32_t lastPrefetched_ = kInvalidTreelet;
+    /** Earliest cycle the next prefetch may issue (cooldown). */
+    uint64_t nextAllowed_ = 0;
+    /** Prefetched lines not yet demanded. */
+    std::unordered_set<uint64_t> outstanding_;
+};
+
+} // namespace trt
+
+#endif // TRT_CORE_PREFETCH_UNIT_HH

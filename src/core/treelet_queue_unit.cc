@@ -1,0 +1,605 @@
+#include "core/treelet_queue_unit.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace trt
+{
+
+namespace
+{
+
+/** Base simulated address of the per-SM ray-data region (section 4.2:
+ *  ray data lives in a reserved portion of the L2). */
+constexpr uint64_t kRayDataBase = 0x200000000ull;
+
+} // anonymous namespace
+
+TreeletQueueRtUnit::TreeletQueueRtUnit(const GpuConfig &cfg,
+                                       MemorySystem &mem, const Bvh &bvh,
+                                       uint32_t sm_id)
+    : RtUnitBase(cfg, mem, bvh, sm_id)
+{
+    slots_.resize(cfg.warpBufferSize);
+    for (auto &s : slots_)
+        s.entries.resize(cfg.warpSize);
+}
+
+TraversalMode
+TreeletQueueRtUnit::modeOf(SlotKind k)
+{
+    switch (k) {
+      case SlotKind::Fresh:
+        return TraversalMode::Initial;
+      case SlotKind::Treelet:
+        return TraversalMode::TreeletStationary;
+      default:
+        return TraversalMode::RayStationary;
+    }
+}
+
+uint64_t
+TreeletQueueRtUnit::rayDataAddr(uint32_t ray_id) const
+{
+    return kRayDataBase +
+           (uint64_t(smId_) * cfg_.maxVirtualRaysPerSm + ray_id) *
+               kRayDataBytes;
+}
+
+uint32_t
+TreeletQueueRtUnit::allocRayId()
+{
+    if (!freeRayIds_.empty()) {
+        uint32_t id = freeRayIds_.back();
+        freeRayIds_.pop_back();
+        return id;
+    }
+    return nextRayId_++;
+}
+
+void
+TreeletQueueRtUnit::releaseRayId(uint32_t ray_id)
+{
+    freeRayIds_.push_back(ray_id);
+}
+
+bool
+TreeletQueueRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
+{
+    uint32_t lanes = uint32_t(req.lanes.size());
+    if (raysInFlight_ + lanes > cfg_.maxVirtualRaysPerSm)
+        return false;
+
+    warps_[req.token] = WarpBk{lanes, {}};
+    std::vector<Parked> fresh;
+    fresh.reserve(lanes);
+    for (const auto &lr : req.lanes) {
+        Parked p;
+        p.trav = RayTraverser(&bvh_, lr.ray);
+        p.warpToken = req.token;
+        p.ctaToken = req.ctaToken;
+        p.lane = lr.lane;
+        p.rayId = allocRayId();
+        // Section 4.2 step 1: ray data is written to the reserved L2
+        // region as the warp issues to the RT unit.
+        mem_.write(now, smId_, rayDataAddr(p.rayId), kRayDataBytes,
+                   MemClass::RayData);
+        fresh.push_back(std::move(p));
+    }
+    raysInFlight_ += lanes;
+    stats_.maxConcurrentRays =
+        std::max<uint64_t>(stats_.maxConcurrentRays, raysInFlight_);
+    pendingFresh_.push_back(std::move(fresh));
+    dispatch(now);
+    return true;
+}
+
+void
+TreeletQueueRtUnit::deliver(uint64_t warp_token, uint8_t lane,
+                            const HitRecord &hit)
+{
+    auto it = warps_.find(warp_token);
+    assert(it != warps_.end());
+    it->second.hits.push_back({lane, hit});
+    if (--it->second.outstanding == 0) {
+        std::vector<LaneHit> hits = std::move(it->second.hits);
+        warps_.erase(it);
+        if (completion_)
+            completion_(warp_token, std::move(hits));
+    }
+}
+
+void
+TreeletQueueRtUnit::finishEntry(Slot &slot, RayEntry &e)
+{
+    deliver(e.warpToken, e.lane, e.trav.hit());
+    releaseRayId(e.rayId);
+    e.valid = false;
+    e.stage = Stage::Done;
+    slot.active--;
+    raysInFlight_--;
+    stats_.raysCompleted++;
+}
+
+void
+TreeletQueueRtUnit::enqueue(uint64_t now, Parked &&p, uint32_t treelet)
+{
+    (void)now;
+    queues_[treelet].push_back(std::move(p));
+    queuedRays_++;
+    stats_.raysEnqueued++;
+    updateTableHighWater();
+}
+
+void
+TreeletQueueRtUnit::updateTableHighWater()
+{
+    stats_.countTableHighWater = std::max<uint32_t>(
+        stats_.countTableHighWater, uint32_t(queues_.size()));
+    uint32_t over = 0, entries = 0;
+    for (const auto &[t, q] : queues_) {
+        if (q.size() >= cfg_.queueThreshold)
+            over++;
+        entries += uint32_t((q.size() + cfg_.warpSize - 1) / cfg_.warpSize);
+    }
+    stats_.countTableOverThresholdHW =
+        std::max(stats_.countTableOverThresholdHW, over);
+    stats_.queueTableEntriesHW =
+        std::max(stats_.queueTableEntriesHW, entries);
+}
+
+void
+TreeletQueueRtUnit::parkEntry(uint64_t now, Slot &slot, RayEntry &e)
+{
+    uint32_t target = e.trav.atBoundary() ? e.trav.nextTreelet()
+                                          : e.trav.currentTreelet();
+    assert(target != kInvalidTreelet);
+
+    Parked p;
+    p.trav = std::move(e.trav);
+    p.warpToken = e.warpToken;
+    p.ctaToken = e.ctaToken;
+    p.rayId = e.rayId;
+    p.lane = e.lane;
+
+    // Ray state (shrunk tmax / hit-so-far) is written back to the
+    // reserved L2 region; the queue-table update itself is charged to
+    // the energy model per enqueue (the 6.29KB table is pinned next to
+    // the treelet data, section 6.5).
+    mem_.write(now, smId_, rayDataAddr(p.rayId), kRayDataBytes,
+               MemClass::RayData);
+    enqueue(now, std::move(p), target);
+
+    e.valid = false;
+    e.stage = Stage::Done;
+    slot.active--;
+}
+
+void
+TreeletQueueRtUnit::installParked(uint64_t now, Slot &slot, Parked &&p)
+{
+    for (auto &e : slot.entries) {
+        if (e.valid)
+            continue;
+        e.valid = true;
+        e.lane = p.lane;
+        e.warpToken = p.warpToken;
+        e.ctaToken = p.ctaToken;
+        e.rayId = p.rayId;
+        e.trav = std::move(p.trav);
+        e.fetchIsLeaf = false;
+        // Fetch the parked ray's data from the reserved L2 region,
+        // bypassing the L1 so treelet data is not evicted — unless the
+        // preloader already fetched it (section 4.3).
+        e.stage = Stage::WaitData;
+        if (p.dataReadyAt > 0) {
+            e.ready = std::max(now, p.dataReadyAt);
+        } else {
+            e.ready = mem_.read(now, smId_, rayDataAddr(p.rayId),
+                                kRayDataBytes, MemClass::RayData, true)
+                          .readyCycle;
+        }
+        slot.active++;
+        return;
+    }
+    assert(false && "no free entry in slot");
+}
+
+uint32_t
+TreeletQueueRtUnit::largestQueue() const
+{
+    uint32_t best = kInvalidTreelet;
+    size_t best_size = 0;
+    for (const auto &[t, q] : queues_) {
+        if (q.size() > best_size) {
+            best = t;
+            best_size = q.size();
+        }
+    }
+    return best;
+}
+
+std::vector<TreeletQueueRtUnit::Parked>
+TreeletQueueRtUnit::gatherStrays(uint32_t max)
+{
+    // Section 4.4: select queues starting from the first treelet count
+    // table entry until enough rays fill the warp.
+    std::vector<Parked> out;
+    auto it = queues_.begin();
+    while (it != queues_.end() && out.size() < max) {
+        auto &q = it->second;
+        while (!q.empty() && out.size() < max) {
+            out.push_back(std::move(q.front()));
+            q.pop_front();
+            queuedRays_--;
+        }
+        if (q.empty())
+            it = queues_.erase(it);
+        else
+            ++it;
+    }
+    return out;
+}
+
+void
+TreeletQueueRtUnit::dispatchFresh(uint64_t now, Slot &slot)
+{
+    std::vector<Parked> fresh = std::move(pendingFresh_.front());
+    pendingFresh_.pop_front();
+
+    slot.kind = SlotKind::Fresh;
+    slot.treelet = kInvalidTreelet;
+    slot.draining = false;
+    slot.active = 0;
+    for (auto &e : slot.entries)
+        e = RayEntry{};
+
+    for (auto &p : fresh) {
+        for (auto &e : slot.entries) {
+            if (e.valid)
+                continue;
+            e.valid = true;
+            e.lane = p.lane;
+            e.warpToken = p.warpToken;
+            e.ctaToken = p.ctaToken;
+            e.rayId = p.rayId;
+            e.trav = std::move(p.trav);
+            // Fresh rays arrive straight from the shader core's
+            // registers: no ray-data load, start at the root treelet.
+            e.trav.enterNextTreelet();
+            e.stage = Stage::NeedIssue;
+            e.ready = now;
+            slot.active++;
+            break;
+        }
+    }
+}
+
+void
+TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
+                                    uint32_t treelet)
+{
+    auto qit = queues_.find(treelet);
+    assert(qit != queues_.end() && !qit->second.empty());
+
+    if (treelet != loadedTreelet_) {
+        if (treelet == preloadedTreelet_) {
+            // Already (being) loaded by the preloader.
+            preloadedTreelet_ = kInvalidTreelet;
+        } else {
+            mem_.prefetchL1(now, smId_, bvh_.treeletBaseAddr(treelet),
+                            bvh_.treeletBytes(treelet), MemClass::BvhNode);
+        }
+        loadedTreelet_ = treelet;
+    }
+
+    slot.kind = SlotKind::Treelet;
+    slot.treelet = treelet;
+    slot.draining = false;
+    slot.active = 0;
+    for (auto &e : slot.entries)
+        e = RayEntry{};
+
+    uint32_t n = std::min<uint32_t>(cfg_.warpSize,
+                                    uint32_t(qit->second.size()));
+    for (uint32_t i = 0; i < n; i++) {
+        installParked(now, slot, std::move(qit->second.front()));
+        qit->second.pop_front();
+        queuedRays_--;
+    }
+    // Ray-data preloading (section 4.3): fetch the data of the rays
+    // forming this queue's *next* warp while the current warp runs.
+    if (cfg_.preloadEnabled) {
+        uint32_t pre = std::min<uint32_t>(cfg_.warpSize,
+                                          uint32_t(qit->second.size()));
+        for (uint32_t i = 0; i < pre; i++) {
+            Parked &p = qit->second[i];
+            if (p.dataReadyAt == 0) {
+                p.dataReadyAt =
+                    mem_.read(now, smId_, rayDataAddr(p.rayId),
+                              kRayDataBytes, MemClass::RayData, true)
+                        .readyCycle;
+            }
+        }
+    }
+    if (qit->second.empty())
+        queues_.erase(qit);
+    stats_.treeletWarpsFormed++;
+    maybePreload(now);
+}
+
+void
+TreeletQueueRtUnit::dispatchGrouped(uint64_t now, Slot &slot)
+{
+    std::vector<Parked> strays = gatherStrays(cfg_.warpSize);
+    if (strays.empty())
+        return;
+
+    slot.kind = SlotKind::Grouped;
+    slot.treelet = kInvalidTreelet;
+    slot.draining = false;
+    slot.active = 0;
+    for (auto &e : slot.entries)
+        e = RayEntry{};
+    for (auto &p : strays)
+        installParked(now, slot, std::move(p));
+    stats_.groupedWarpsFormed++;
+}
+
+void
+TreeletQueueRtUnit::maybePreload(uint64_t now)
+{
+    if (!cfg_.preloadEnabled || preloadedTreelet_ != kInvalidTreelet)
+        return;
+
+    // Trigger when at most one more warp remains in the current queue.
+    // (The paper estimates remaining cycles as remaining-warps x
+    // intersection latency x average treelet depth and preloads when
+    // that matches the memory latency; with one warp slot this reduces
+    // to "preload while the last warp drains".)
+    auto cur = queues_.find(loadedTreelet_);
+    if (cur != queues_.end() && cur->second.size() > cfg_.warpSize)
+        return;
+
+    uint32_t min_size = cfg_.groupUnderpopulated ? cfg_.queueThreshold : 1;
+    uint32_t best = kInvalidTreelet;
+    size_t best_size = 0;
+    for (const auto &[t, q] : queues_) {
+        if (t == loadedTreelet_ || q.size() < min_size)
+            continue;
+        if (q.size() > best_size) {
+            best = t;
+            best_size = q.size();
+        }
+    }
+    if (best == kInvalidTreelet)
+        return;
+
+    preloadedTreelet_ = best;
+    mem_.prefetchL1(now, smId_, bvh_.treeletBaseAddr(best),
+                    bvh_.treeletBytes(best), MemClass::BvhNode);
+}
+
+uint32_t
+TreeletQueueRtUnit::slotDivergence(const Slot &slot) const
+{
+    std::unordered_set<uint32_t> t;
+    for (const auto &e : slot.entries) {
+        if (!e.valid || e.stage == Stage::Done)
+            continue;
+        uint32_t id = e.trav.atBoundary() ? e.trav.nextTreelet()
+                                          : e.trav.currentTreelet();
+        if (id != kInvalidTreelet)
+            t.insert(id);
+    }
+    return uint32_t(t.size());
+}
+
+void
+TreeletQueueRtUnit::handlePolicy(uint64_t now, Slot &slot)
+{
+    for (auto &e : slot.entries) {
+        if (!e.valid || e.stage != Stage::NeedIssue)
+            continue;
+
+        if (e.trav.done()) {
+            finishEntry(slot, e);
+            continue;
+        }
+
+        switch (slot.kind) {
+          case SlotKind::Fresh: {
+            if (slot.draining) {
+                // Warp was terminated: park every ray at its next
+                // stopping point, mid-treelet rays keyed by their
+                // current treelet.
+                parkEntry(now, slot, e);
+                continue;
+            }
+            if (!e.trav.atBoundary())
+                continue; // issue-port limited; retried next cycle
+            if (cfg_.skipTreeletPhase ||
+                slotDivergence(slot) > cfg_.initialDivergeThreshold) {
+                slot.draining = true;
+                parkEntry(now, slot, e);
+            } else {
+                e.trav.enterNextTreelet();
+                stats_.boundaryCrossings++;
+            }
+            break;
+          }
+
+          case SlotKind::Treelet: {
+            if (!e.trav.atBoundary())
+                continue;
+            if (e.trav.nextTreelet() == slot.treelet) {
+                e.trav.enterNextTreelet();
+                stats_.boundaryCrossings++;
+            } else {
+                parkEntry(now, slot, e);
+            }
+            break;
+          }
+
+          case SlotKind::Grouped: {
+            if (!e.trav.atBoundary())
+                continue;
+            e.trav.enterNextTreelet();
+            stats_.boundaryCrossings++;
+            break;
+          }
+
+          default:
+            break;
+        }
+    }
+
+    // Warp repacking (section 4.5): refill a grouped warp whose active
+    // count fell below the threshold with fresh rays from the queues.
+    if (slot.kind == SlotKind::Grouped && cfg_.repackThreshold > 0 &&
+        slot.active > 0 && slot.active < cfg_.repackThreshold &&
+        queuedRays_ > 0) {
+        std::vector<Parked> refill =
+            gatherStrays(cfg_.warpSize - slot.active);
+        if (!refill.empty()) {
+            stats_.repackEvents++;
+            stats_.repackedRays += refill.size();
+            for (auto &p : refill)
+                installParked(now, slot, std::move(p));
+        }
+    }
+
+    if (slot.kind != SlotKind::Free && slot.active == 0) {
+        slot.kind = SlotKind::Free;
+        slot.treelet = kInvalidTreelet;
+        slot.draining = false;
+    }
+}
+
+void
+TreeletQueueRtUnit::dispatch(uint64_t now)
+{
+    for (auto &slot : slots_) {
+        if (slot.kind != SlotKind::Free)
+            continue;
+
+        if (!pendingFresh_.empty()) {
+            dispatchFresh(now, slot);
+            continue;
+        }
+        if (queuedRays_ == 0)
+            continue;
+
+        // Empty the current treelet queue before switching (3.2).
+        if (!cfg_.skipTreeletPhase && loadedTreelet_ != kInvalidTreelet) {
+            auto it = queues_.find(loadedTreelet_);
+            if (it != queues_.end() && !it->second.empty()) {
+                dispatchTreelet(now, slot, loadedTreelet_);
+                continue;
+            }
+        }
+
+        uint32_t lq = largestQueue();
+        if (lq == kInvalidTreelet)
+            continue;
+        size_t size = queues_.at(lq).size();
+        bool treelet_eligible =
+            !cfg_.skipTreeletPhase &&
+            (size >= cfg_.queueThreshold || !cfg_.groupUnderpopulated);
+        if (treelet_eligible)
+            dispatchTreelet(now, slot, lq);
+        else if (cfg_.groupUnderpopulated || cfg_.skipTreeletPhase)
+            dispatchGrouped(now, slot);
+    }
+}
+
+void
+TreeletQueueRtUnit::accountInterval(uint64_t now)
+{
+    if (now <= lastAccounted_)
+        return;
+    uint64_t dt = now - lastAccounted_;
+    lastAccounted_ = now;
+    for (const auto &slot : slots_) {
+        if (slot.kind == SlotKind::Free)
+            continue;
+        stats_.activeLaneCycles += uint64_t(slot.active) * dt;
+        stats_.slotLaneCycles += uint64_t(cfg_.warpSize) * dt;
+        stats_.modeCycles[size_t(modeOf(slot.kind))] += dt;
+    }
+}
+
+void
+TreeletQueueRtUnit::tick(uint64_t now)
+{
+    accountInterval(now);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &slot : slots_) {
+            if (slot.kind == SlotKind::Free)
+                continue;
+            uint32_t before = slot.active;
+            bool park_all = slot.kind == SlotKind::Fresh && slot.draining;
+            for (auto &e : slot.entries) {
+                if (!e.valid || e.stage == Stage::Done)
+                    continue;
+                changed |= stepRay(now, e, modeOf(slot.kind), park_all);
+            }
+            handlePolicy(now, slot);
+            changed |= slot.active != before ||
+                       slot.kind == SlotKind::Free;
+        }
+        dispatch(now);
+        // Newly dispatched rays may already be steppable this cycle;
+        // the loop above picks them up on the next pass if so.
+        for (const auto &slot : slots_) {
+            if (slot.kind == SlotKind::Free)
+                continue;
+            for (const auto &e : slot.entries) {
+                if (e.valid && e.stage == Stage::NeedIssue &&
+                    !needsPolicy(e) && memIssue_.nextFree(now) <= now) {
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+uint64_t
+TreeletQueueRtUnit::nextEventCycle() const
+{
+    uint64_t next = kNoEvent;
+    for (const auto &slot : slots_) {
+        if (slot.kind == SlotKind::Free)
+            continue;
+        for (const auto &e : slot.entries) {
+            if (!e.valid)
+                continue;
+            switch (e.stage) {
+              case Stage::WaitData:
+              case Stage::WaitMem:
+              case Stage::WaitIsect:
+                next = std::min(next, e.ready);
+                break;
+              case Stage::NeedIssue:
+                next = std::min(next, memIssue_.nextFree(lastAccounted_));
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return next;
+}
+
+bool
+TreeletQueueRtUnit::idle() const
+{
+    return raysInFlight_ == 0 && pendingFresh_.empty();
+}
+
+} // namespace trt

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Dynamic Treelet Queue RT unit — the paper's proposed architecture
+ * (sections 3.2, 4.2-4.5).
+ *
+ * Operation (Figure 7):
+ *  1. *Initial traversal phase*: fresh warps traverse ray-stationary in
+ *     the warp buffer until the rays of a warp spread over more than a
+ *     threshold of distinct treelets; the warp is then terminated and
+ *     its rays written to per-treelet queues (Treelet Count Table +
+ *     Treelet Queue Table, ray data parked in the reserved L2 region).
+ *  2. *Treelet stationary mode*: the treelet controller picks the most
+ *     populated queue (>= queueThreshold rays), loads that treelet into
+ *     the L1, fetches the queue's ray data (bypassing the L1), and runs
+ *     the rays as treelet warps; rays leaving the treelet are re-queued
+ *     by their next treelet. The next treelet (+ its ray data) is
+ *     preloaded while the current queue drains (section 4.3; treelets
+ *     are half the L1 so two fit).
+ *  3. *Ray stationary mode*: when the largest queue falls below the
+ *     threshold, stray rays from underpopulated queues are grouped into
+ *     warps that traverse freely (section 4.4); when more than
+ *     (warpSize - repackThreshold) lanes of such a warp complete, the
+ *     warp is repacked with fresh rays from the queues (section 4.5).
+ *
+ * Ray virtualization (section 3.1/4.1) lives in the Gpu/CTA scheduler;
+ * this unit enforces its ray capacity (maxVirtualRaysPerSm) by refusing
+ * warps beyond it.
+ */
+
+#ifndef TRT_CORE_TREELET_QUEUE_UNIT_HH
+#define TRT_CORE_TREELET_QUEUE_UNIT_HH
+
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "gpu/rt_unit.hh"
+
+namespace trt
+{
+
+/** The proposed virtualized-treelet-queue RT unit. */
+class TreeletQueueRtUnit : public RtUnitBase
+{
+  public:
+    TreeletQueueRtUnit(const GpuConfig &cfg, MemorySystem &mem,
+                       const Bvh &bvh, uint32_t sm_id);
+
+    bool tryAccept(uint64_t now, TraceRequest &&req) override;
+    void tick(uint64_t now) override;
+    uint64_t nextEventCycle() const override;
+    bool idle() const override;
+
+    /** Rays currently owned by this unit (active + parked). */
+    uint32_t raysInFlight() const { return raysInFlight_; }
+
+  private:
+    /** What a warp slot is currently running. */
+    enum class SlotKind : uint8_t
+    {
+        Free,
+        Fresh,   //!< Initial traversal phase warp.
+        Treelet, //!< Treelet-stationary warp.
+        Grouped, //!< Ray-stationary warp of grouped queue strays.
+    };
+
+    struct Slot
+    {
+        SlotKind kind = SlotKind::Free;
+        uint32_t treelet = kInvalidTreelet;
+        bool draining = false; //!< Fresh warp diverged: park at next stop.
+        std::vector<RayEntry> entries;
+        uint32_t active = 0;
+    };
+
+    /** A ray parked in a treelet queue. */
+    struct Parked
+    {
+        RayTraverser trav;
+        uint64_t warpToken = 0;
+        uint32_t ctaToken = 0;
+        uint32_t rayId = 0;
+        uint8_t lane = 0;
+        /** Nonzero: ray data was preloaded and arrives at this cycle
+         *  (section 4.3 ray-data preloading). */
+        uint64_t dataReadyAt = 0;
+    };
+
+    static TraversalMode modeOf(SlotKind k);
+
+    uint64_t rayDataAddr(uint32_t ray_id) const;
+    uint32_t allocRayId();
+    void releaseRayId(uint32_t ray_id);
+
+    /** Park @p entry's ray into the queue of its next treelet. */
+    void parkEntry(uint64_t now, Slot &slot, RayEntry &e);
+    /** Deliver a finished ray's hit and recycle its id. */
+    void finishEntry(Slot &slot, RayEntry &e);
+    void deliver(uint64_t warp_token, uint8_t lane, const HitRecord &hit);
+
+    void enqueue(uint64_t now, Parked &&p, uint32_t treelet);
+    void updateTableHighWater();
+
+    /** Fill free warp slots: fresh warps first, then queue dispatch. */
+    void dispatch(uint64_t now);
+    void dispatchFresh(uint64_t now, Slot &slot);
+    void dispatchTreelet(uint64_t now, Slot &slot, uint32_t treelet);
+    void dispatchGrouped(uint64_t now, Slot &slot);
+    /** Pull up to @p max rays across queues in table order. */
+    std::vector<Parked> gatherStrays(uint32_t max);
+    /** Largest queue id, or kInvalidTreelet. */
+    uint32_t largestQueue() const;
+    void maybePreload(uint64_t now);
+    void installParked(uint64_t now, Slot &slot, Parked &&p);
+
+    /** Per-slot policy when a ray stops at a boundary / finishes. */
+    void handlePolicy(uint64_t now, Slot &slot);
+    /** Distinct treelets the slot's active rays need. */
+    uint32_t slotDivergence(const Slot &slot) const;
+
+    void accountInterval(uint64_t now);
+
+    // ---- state ---------------------------------------------------------
+    std::vector<Slot> slots_;
+    std::deque<std::vector<Parked>> pendingFresh_;
+
+    /** treeletId -> parked rays; std::map gives the deterministic
+     *  "first table entry" order section 4.4 gathers in. */
+    std::map<uint32_t, std::deque<Parked>> queues_;
+    uint64_t queuedRays_ = 0;
+
+    struct WarpBk
+    {
+        uint32_t outstanding = 0;
+        std::vector<LaneHit> hits;
+    };
+    std::unordered_map<uint64_t, WarpBk> warps_;
+
+    uint32_t raysInFlight_ = 0;
+    std::vector<uint32_t> freeRayIds_;
+    uint32_t nextRayId_ = 0;
+
+    uint32_t loadedTreelet_ = kInvalidTreelet;
+    uint32_t preloadedTreelet_ = kInvalidTreelet;
+};
+
+} // namespace trt
+
+#endif // TRT_CORE_TREELET_QUEUE_UNIT_HH

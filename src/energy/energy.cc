@@ -1,0 +1,50 @@
+#include "energy/energy.hh"
+
+namespace trt
+{
+
+EnergyReport
+computeEnergy(const RunStats &run, uint32_t num_sms,
+              const EnergyParams &p)
+{
+    EnergyReport r;
+
+    // Memory hierarchy, per class so CTA-state traffic is separable.
+    for (size_t c = 0; c < run.mem.size(); c++) {
+        const MemClassStats &m = run.mem[c];
+        double dram =
+            double(m.dramReadBytes + m.dramWriteBytes) * p.dramPerByte;
+        double l2 = double(m.l2Accesses) * p.l2PerAccess;
+        double l1 = double(m.l1Accesses) * p.l1PerAccess;
+        if (MemClass(c) == MemClass::CtaState) {
+            r.ctaState += dram + l2 + l1;
+        } else {
+            r.dram += dram;
+            r.l2 += l2;
+            r.l1 += l1;
+        }
+    }
+
+    r.core = double(run.aluLaneInstrs) * p.aluPerLaneInstr;
+
+    uint64_t box = 0, tri = 0;
+    // Box vs triangle split: leaf visits ran triangle tests, node
+    // visits ran box tests; isectTests aggregates both, so apportion by
+    // visit counts (box tests dominate).
+    uint64_t tests = 0;
+    for (auto t : run.rt.isectTests)
+        tests += t;
+    uint64_t visits = run.rt.nodeVisits + run.rt.leafVisits;
+    if (visits > 0) {
+        box = tests * run.rt.nodeVisits / visits;
+        tri = tests - box;
+    }
+    r.rtUnit = double(box) * p.boxTest + double(tri) * p.triTest +
+               double(run.rt.raysEnqueued + run.rt.repackedRays) *
+                   p.queueTableOp;
+
+    r.staticE = double(run.cycles) * double(num_sms) * p.staticPerSmCycle;
+    return r;
+}
+
+} // namespace trt

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * AccelWattch-style per-event energy model (paper section 5 uses
+ * AccelWattch inside Vulkan-Sim). Energy = sum over event counts times
+ * per-event energies, plus a static/constant term proportional to
+ * runtime. Per-access energies follow published CACTI/AccelWattch-class
+ * numbers at a 7-8nm-ish node; Figure 17 only relies on *relative*
+ * energy, which a per-event model over identical event streams
+ * preserves.
+ */
+
+#ifndef TRT_ENERGY_ENERGY_HH
+#define TRT_ENERGY_ENERGY_HH
+
+#include <cstdint>
+
+#include "gpu/gpu.hh"
+
+namespace trt
+{
+
+/** Per-event energies in nanojoules. */
+struct EnergyParams
+{
+    double dramPerByte = 0.015;      //!< ~15 pJ/byte off-chip.
+    double l2PerAccess = 0.60;       //!< Per line access.
+    double l1PerAccess = 0.12;
+    double aluPerLaneInstr = 0.004;  //!< Includes RF read/write.
+    double boxTest = 0.020;          //!< Fixed-function box test.
+    double triTest = 0.060;          //!< Fixed-function triangle test.
+    double queueTableOp = 0.010;     //!< Treelet controller table update.
+    double staticPerSmCycle = 0.35;  //!< Leakage + clock tree per SM.
+};
+
+/** Energy breakdown in nanojoules. */
+struct EnergyReport
+{
+    double dram = 0.0;
+    double l2 = 0.0;
+    double l1 = 0.0;
+    double core = 0.0;       //!< Shader ALU + register file.
+    double rtUnit = 0.0;     //!< Intersection tests + controller.
+    double ctaState = 0.0;   //!< Ray virtualization save/restore traffic.
+    double staticE = 0.0;
+
+    double
+    total() const
+    {
+        return dram + l2 + l1 + core + rtUnit + ctaState + staticE;
+    }
+
+    /** Share of total energy spent on virtualization traffic. */
+    double
+    virtualizationShare() const
+    {
+        double t = total();
+        return t > 0.0 ? ctaState / t : 0.0;
+    }
+};
+
+/** Compute the energy breakdown for one finished run. */
+EnergyReport computeEnergy(const RunStats &run, uint32_t num_sms,
+                           const EnergyParams &params = {});
+
+} // namespace trt
+
+#endif // TRT_ENERGY_ENERGY_HH

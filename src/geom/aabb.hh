@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Axis-aligned bounding box used by the BVH builder, the treelet
+ * partitioner and the traversal kernels.
+ */
+
+#ifndef TRT_GEOM_AABB_HH
+#define TRT_GEOM_AABB_HH
+
+#include <limits>
+
+#include "geom/vec.hh"
+
+namespace trt
+{
+
+/**
+ * Axis-aligned bounding box. A default-constructed box is *empty*
+ * (inverted bounds) so that growing it with the first point works.
+ */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    constexpr Aabb() = default;
+    constexpr Aabb(const Vec3 &l, const Vec3 &h) : lo(l), hi(h) {}
+
+    /** True when no point has been added yet. */
+    bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+    /** Grow to include point @p p. */
+    void
+    grow(const Vec3 &p)
+    {
+        lo = min(lo, p);
+        hi = max(hi, p);
+    }
+
+    /** Grow to include box @p b. */
+    void
+    grow(const Aabb &b)
+    {
+        lo = min(lo, b.lo);
+        hi = max(hi, b.hi);
+    }
+
+    /** Diagonal extent (hi - lo); non-positive components for empty box. */
+    Vec3 extent() const { return hi - lo; }
+
+    /** Box center. */
+    Vec3 center() const { return (lo + hi) * 0.5f; }
+
+    /** Surface area; 0 for an empty box. */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** True when @p p lies inside or on the boundary. */
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** True when @p b is fully inside this box (inclusive). */
+    bool
+    contains(const Aabb &b) const
+    {
+        return contains(b.lo) && contains(b.hi);
+    }
+
+    /** True when this box and @p b intersect (inclusive). */
+    bool
+    overlaps(const Aabb &b) const
+    {
+        return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+               hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+    }
+
+    /** Union of two boxes. */
+    static Aabb
+    merge(const Aabb &a, const Aabb &b)
+    {
+        Aabb r = a;
+        r.grow(b);
+        return r;
+    }
+};
+
+} // namespace trt
+
+#endif // TRT_GEOM_AABB_HH

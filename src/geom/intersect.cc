@@ -1,0 +1,67 @@
+#include "geom/intersect.hh"
+
+#include <algorithm>
+
+namespace trt
+{
+
+bool
+intersectAabb(const Ray &ray, const RayInv &inv, const Aabb &box,
+              float &tEntry)
+{
+    // Classic slab test using precomputed reciprocal directions. Using
+    // min/max keeps the test branch-free, matching the fixed-function
+    // box-test datapath of hardware RT units.
+    float tx1 = (box.lo.x - ray.orig.x) * inv.invDir.x;
+    float tx2 = (box.hi.x - ray.orig.x) * inv.invDir.x;
+    float tlo = std::min(tx1, tx2);
+    float thi = std::max(tx1, tx2);
+
+    float ty1 = (box.lo.y - ray.orig.y) * inv.invDir.y;
+    float ty2 = (box.hi.y - ray.orig.y) * inv.invDir.y;
+    tlo = std::max(tlo, std::min(ty1, ty2));
+    thi = std::min(thi, std::max(ty1, ty2));
+
+    float tz1 = (box.lo.z - ray.orig.z) * inv.invDir.z;
+    float tz2 = (box.hi.z - ray.orig.z) * inv.invDir.z;
+    tlo = std::max(tlo, std::min(tz1, tz2));
+    thi = std::min(thi, std::max(tz1, tz2));
+
+    if (thi < tlo || thi < ray.tmin || tlo > ray.tmax)
+        return false;
+
+    tEntry = std::max(tlo, ray.tmin);
+    return true;
+}
+
+bool
+intersectTriangle(const Ray &ray, const Triangle &tri, float &t, float &u,
+                  float &v)
+{
+    constexpr float kEps = 1e-9f;
+
+    Vec3 e1 = tri.v1 - tri.v0;
+    Vec3 e2 = tri.v2 - tri.v0;
+    Vec3 pvec = cross(ray.dir, e2);
+    float det = dot(e1, pvec);
+
+    // Double-sided test: reject only near-degenerate configurations.
+    if (std::fabs(det) < kEps)
+        return false;
+
+    float inv_det = 1.0f / det;
+    Vec3 tvec = ray.orig - tri.v0;
+    u = dot(tvec, pvec) * inv_det;
+    if (u < 0.0f || u > 1.0f)
+        return false;
+
+    Vec3 qvec = cross(tvec, e1);
+    v = dot(ray.dir, qvec) * inv_det;
+    if (v < 0.0f || u + v > 1.0f)
+        return false;
+
+    t = dot(e2, qvec) * inv_det;
+    return t > ray.tmin && t < ray.tmax;
+}
+
+} // namespace trt

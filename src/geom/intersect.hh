@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ray/AABB and ray/triangle intersection kernels. These are the fixed
+ * function operations the RT unit's intersection pipeline performs; the
+ * timing model charges latency per invocation while the functional result
+ * comes from these routines.
+ */
+
+#ifndef TRT_GEOM_INTERSECT_HH
+#define TRT_GEOM_INTERSECT_HH
+
+#include "geom/aabb.hh"
+#include "geom/ray.hh"
+#include "geom/vec.hh"
+
+namespace trt
+{
+
+/** A triangle with its material binding, the unit of scene geometry. */
+struct Triangle
+{
+    Vec3 v0, v1, v2;
+    uint32_t material = 0;
+
+    Aabb
+    bounds() const
+    {
+        Aabb b;
+        b.grow(v0);
+        b.grow(v1);
+        b.grow(v2);
+        return b;
+    }
+
+    Vec3 centroid() const { return (v0 + v1 + v2) / 3.0f; }
+
+    /** Geometric (unnormalized) normal. */
+    Vec3 geometricNormal() const { return cross(v1 - v0, v2 - v0); }
+
+    float area() const { return 0.5f * length(geometricNormal()); }
+};
+
+/**
+ * Slab test of @p ray against @p box.
+ *
+ * @param ray    The ray (interval [tmin, tmax] is respected).
+ * @param inv    Precomputed reciprocal directions.
+ * @param box    Box to test.
+ * @param tEntry Out: entry distance when the test passes.
+ * @return true when the ray's interval overlaps the box.
+ */
+bool intersectAabb(const Ray &ray, const RayInv &inv, const Aabb &box,
+                   float &tEntry);
+
+/**
+ * Möller-Trumbore ray/triangle intersection.
+ *
+ * @param ray The ray; only hits with t in (tmin, tmax) are reported.
+ * @param tri Triangle to test.
+ * @param t   Out: hit distance.
+ * @param u   Out: barycentric u.
+ * @param v   Out: barycentric v.
+ * @return true on hit.
+ */
+bool intersectTriangle(const Ray &ray, const Triangle &tri, float &t,
+                       float &u, float &v);
+
+} // namespace trt
+
+#endif // TRT_GEOM_INTERSECT_HH

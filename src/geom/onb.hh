@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Orthonormal basis construction and the hemisphere sampling routines the
+ * path tracer's material models use.
+ */
+
+#ifndef TRT_GEOM_ONB_HH
+#define TRT_GEOM_ONB_HH
+
+#include "geom/vec.hh"
+
+namespace trt
+{
+
+/** Orthonormal basis around a unit normal (Duff et al. 2017 branchless). */
+struct Onb
+{
+    Vec3 t, b, n;
+
+    explicit Onb(const Vec3 &normal) : n(normal)
+    {
+        float sign = std::copysign(1.0f, n.z);
+        float a = -1.0f / (sign + n.z);
+        float c = n.x * n.y * a;
+        t = {1.0f + sign * n.x * n.x * a, sign * c, -sign * n.x};
+        b = {c, sign + n.y * n.y * a, -n.y};
+    }
+
+    /** Transform local coordinates (x along t, z along n) to world. */
+    Vec3
+    toWorld(const Vec3 &v) const
+    {
+        return t * v.x + b * v.y + n * v.z;
+    }
+};
+
+/**
+ * Cosine-weighted hemisphere direction around @p n from two uniform
+ * samples in [0, 1).
+ */
+inline Vec3
+sampleCosineHemisphere(const Vec3 &n, float u1, float u2)
+{
+    constexpr float kPi = 3.14159265358979323846f;
+    float r = std::sqrt(u1);
+    float phi = 2.0f * kPi * u2;
+    Vec3 local{r * std::cos(phi), r * std::sin(phi),
+               std::sqrt(std::fmax(0.0f, 1.0f - u1))};
+    return Onb(n).toWorld(local);
+}
+
+/** Uniform direction on the unit sphere from two uniform samples. */
+inline Vec3
+sampleUniformSphere(float u1, float u2)
+{
+    constexpr float kPi = 3.14159265358979323846f;
+    float z = 1.0f - 2.0f * u1;
+    float r = std::sqrt(std::fmax(0.0f, 1.0f - z * z));
+    float phi = 2.0f * kPi * u2;
+    return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+} // namespace trt
+
+#endif // TRT_GEOM_ONB_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ray representation shared by the functional renderer and the RT-unit
+ * timing model. The layout mirrors what the paper stores per ray in the
+ * RT unit's warp buffer / L2 ray-data region: origin, direction, tmin and
+ * tmax (32 bytes, see paper section 6.5).
+ */
+
+#ifndef TRT_GEOM_RAY_HH
+#define TRT_GEOM_RAY_HH
+
+#include <cstdint>
+
+#include "geom/vec.hh"
+
+namespace trt
+{
+
+/** Bytes of ray state held per ray in the L2 reserved region (paper 6.5). */
+constexpr uint32_t kRayDataBytes = 32;
+
+/** A ray with a parametric validity interval [tmin, tmax]. */
+struct Ray
+{
+    Vec3 orig;
+    Vec3 dir;       //!< Not required to be normalized, but usually is.
+    float tmin = 1e-4f;
+    float tmax = 3.4e38f;
+
+    Ray() = default;
+    Ray(const Vec3 &o, const Vec3 &d, float t0 = 1e-4f, float t1 = 3.4e38f)
+        : orig(o), dir(d), tmin(t0), tmax(t1)
+    {}
+
+    /** Point at parameter @p t. */
+    Vec3 at(float t) const { return orig + dir * t; }
+};
+
+/**
+ * Precomputed reciprocal directions for slab tests. Computed once per ray
+ * and reused for every AABB test during traversal, as real RT units do.
+ */
+struct RayInv
+{
+    Vec3 invDir;
+    /** Per-axis flag: direction component negative. */
+    bool neg[3];
+
+    explicit RayInv(const Ray &r)
+    {
+        auto inv = [](float d) {
+            // IEEE infinity is fine for the slab test as long as the
+            // origin is not exactly on the slab; nudge zero directions.
+            return 1.0f / (d == 0.0f ? 1e-30f : d);
+        };
+        invDir = {inv(r.dir.x), inv(r.dir.y), inv(r.dir.z)};
+        neg[0] = r.dir.x < 0.0f;
+        neg[1] = r.dir.y < 0.0f;
+        neg[2] = r.dir.z < 0.0f;
+    }
+};
+
+/** Result of the closest-hit query for one ray. */
+struct HitRecord
+{
+    float t = -1.0f;          //!< Hit distance; < 0 means miss.
+    float u = 0.0f;           //!< Barycentric u at the hit.
+    float v = 0.0f;           //!< Barycentric v at the hit.
+    uint32_t triIndex = ~0u;  //!< Index of the intersected triangle.
+
+    bool hit() const { return t >= 0.0f; }
+};
+
+} // namespace trt
+
+#endif // TRT_GEOM_RAY_HH

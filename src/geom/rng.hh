@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic random number generation. Two flavours:
+ *
+ *  - Pcg32: a sequential PCG-XSH-RR generator for procedural scene
+ *    construction, where a stream of numbers per generator is natural.
+ *  - hashRng / sampleDim: counter-based (stateless) sampling for the path
+ *    tracer so that the radiance of a pixel depends only on
+ *    (pixel, bounce, dimension) and never on execution order. This is
+ *    what makes every architecture variant render bit-identical images,
+ *    a property the test suite relies on.
+ */
+
+#ifndef TRT_GEOM_RNG_HH
+#define TRT_GEOM_RNG_HH
+
+#include <cstdint>
+
+namespace trt
+{
+
+/** Minimal PCG-XSH-RR 32-bit generator (O'Neill 2014). */
+class Pcg32
+{
+  public:
+    explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                   uint64_t seq = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0;
+        inc_ = (seq << 1) | 1u;
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** Next uniformly distributed 32-bit value. */
+    uint32_t
+    nextU32()
+    {
+        uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        uint32_t xorshifted =
+            static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+        uint32_t rot = static_cast<uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    uint32_t
+    nextBounded(uint32_t bound)
+    {
+        // Lemire's nearly-divisionless method is overkill here; simple
+        // modulo bias is acceptable for procedural content.
+        return nextU32() % bound;
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+  private:
+    uint64_t state_;
+    uint64_t inc_;
+};
+
+/** Strong 64 -> 32 bit mixing (splitmix64 finalizer). */
+inline uint32_t
+hashMix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x = x ^ (x >> 31);
+    return static_cast<uint32_t>(x);
+}
+
+/**
+ * Counter-based uniform sample in [0, 1).
+ *
+ * @param pixel Pixel (or generally, path) identifier.
+ * @param bounce Path depth.
+ * @param dim Sample dimension within the bounce.
+ */
+inline float
+sampleDim(uint32_t pixel, uint32_t bounce, uint32_t dim)
+{
+    uint64_t key = (static_cast<uint64_t>(pixel) << 24) ^
+                   (static_cast<uint64_t>(bounce) << 8) ^ dim;
+    return static_cast<float>(hashMix(key) >> 8) * (1.0f / 16777216.0f);
+}
+
+} // namespace trt
+
+#endif // TRT_GEOM_RNG_HH

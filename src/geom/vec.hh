@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Small fixed-size vector types used throughout the renderer and the
+ * geometry pipeline. Only the operations the ray tracer actually needs are
+ * provided; this is not a general linear-algebra library.
+ */
+
+#ifndef TRT_GEOM_VEC_HH
+#define TRT_GEOM_VEC_HH
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace trt
+{
+
+/** Three-component single-precision vector. */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float xx, float yy, float zz) : x(xx), y(yy), z(zz) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr Vec3 operator*(const Vec3 &o) const
+    { return {x * o.x, y * o.y, z * o.z}; }
+    constexpr Vec3 operator/(const Vec3 &o) const
+    { return {x / o.x, y / o.y, z / o.z}; }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    Vec3 &operator+=(const Vec3 &o)
+    { x += o.x; y += o.y; z += o.z; return *this; }
+    Vec3 &operator-=(const Vec3 &o)
+    { x -= o.x; y -= o.y; z -= o.z; return *this; }
+    Vec3 &operator*=(const Vec3 &o)
+    { x *= o.x; y *= o.y; z *= o.z; return *this; }
+    Vec3 &operator*=(float s) { x *= s; y *= s; z *= s; return *this; }
+
+    constexpr bool operator==(const Vec3 &o) const
+    { return x == o.x && y == o.y && z == o.z; }
+
+    /** Component access by index (0 = x, 1 = y, 2 = z). */
+    float operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+    float &
+    operator[](int i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    /** Largest component value. */
+    float maxComponent() const { return std::fmax(x, std::fmax(y, z)); }
+    /** Smallest component value. */
+    float minComponent() const { return std::fmin(x, std::fmin(y, z)); }
+
+    /** Index of the component with the largest magnitude. */
+    int
+    maxDim() const
+    {
+        float ax = std::fabs(x), ay = std::fabs(y), az = std::fabs(z);
+        if (ax >= ay && ax >= az)
+            return 0;
+        return ay >= az ? 1 : 2;
+    }
+};
+
+constexpr Vec3 operator*(float s, const Vec3 &v) { return v * s; }
+
+/** Dot product. */
+constexpr float
+dot(const Vec3 &a, const Vec3 &b)
+{
+    return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/** Cross product. */
+constexpr Vec3
+cross(const Vec3 &a, const Vec3 &b)
+{
+    return {a.y * b.z - a.z * b.y,
+            a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+/** Squared Euclidean length. */
+constexpr float lengthSq(const Vec3 &v) { return dot(v, v); }
+
+/** Euclidean length. */
+inline float length(const Vec3 &v) { return std::sqrt(lengthSq(v)); }
+
+/** Unit-length copy of @p v. Returns +x for a zero vector. */
+inline Vec3
+normalize(const Vec3 &v)
+{
+    float len = length(v);
+    if (len <= 0.0f)
+        return {1.0f, 0.0f, 0.0f};
+    return v / len;
+}
+
+/** Component-wise minimum. */
+inline Vec3
+min(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmin(a.x, b.x), std::fmin(a.y, b.y), std::fmin(a.z, b.z)};
+}
+
+/** Component-wise maximum. */
+inline Vec3
+max(const Vec3 &a, const Vec3 &b)
+{
+    return {std::fmax(a.x, b.x), std::fmax(a.y, b.y), std::fmax(a.z, b.z)};
+}
+
+/** Linear interpolation between @p a and @p b at parameter @p t. */
+constexpr Vec3
+lerp(const Vec3 &a, const Vec3 &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+/** Component-wise clamp. */
+inline Vec3
+clamp(const Vec3 &v, float lo, float hi)
+{
+    auto c = [lo, hi](float f) { return std::fmin(hi, std::fmax(lo, f)); };
+    return {c(v.x), c(v.y), c(v.z)};
+}
+
+/** Reflect @p v about unit normal @p n. */
+constexpr Vec3
+reflect(const Vec3 &v, const Vec3 &n)
+{
+    return v - n * (2.0f * dot(v, n));
+}
+
+/** Average of the three components (used for luminance-ish weights). */
+constexpr float avg(const Vec3 &v) { return (v.x + v.y + v.z) / 3.0f; }
+
+inline std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+/** Two-component vector (screen coordinates, sample points). */
+struct Vec2
+{
+    float x = 0.0f;
+    float y = 0.0f;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(float xx, float yy) : x(xx), y(yy) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const
+    { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const
+    { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(float s) const { return {x * s, y * s}; }
+};
+
+} // namespace trt
+
+#endif // TRT_GEOM_VEC_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Simulated GPU configuration. Defaults follow the paper's Table 1
+ * (Vulkan-Sim configuration) plus the workload parameters of section 5.1
+ * and the virtualized-treelet-queue parameters of sections 4 and 5.
+ */
+
+#ifndef TRT_GPU_CONFIG_HH
+#define TRT_GPU_CONFIG_HH
+
+#include <cstdint>
+
+#include "memsys/memsys.hh"
+
+namespace trt
+{
+
+/** Which RT-unit architecture to simulate. */
+enum class RtArch : uint8_t
+{
+    Baseline,        //!< Ray-stationary RT unit (treelet traversal order).
+    TreeletPrefetch, //!< Chou et al. MICRO'23 treelet prefetcher.
+    TreeletQueues,   //!< This paper: dynamic treelet queues.
+};
+
+const char *rtArchName(RtArch a);
+
+/** Full simulation configuration. */
+struct GpuConfig
+{
+    // ------ Table 1 -----------------------------------------------------
+    uint32_t numSms = 16;
+    uint32_t maxWarpsPerSm = 32;
+    uint32_t warpSize = 32;
+    uint32_t maxCtasPerSm = 16;
+    uint32_t regsPerSm = 32768;
+    MemConfig mem;                 //!< L1/L2/DRAM (Table 1 defaults).
+    uint32_t rtUnitsPerSm = 1;
+    uint32_t warpBufferSize = 1;   //!< RT-unit warp slots.
+
+    // ------ Shader model -------------------------------------------------
+    /** Threads per raygen CTA (an 8x8 pixel tile). */
+    uint32_t ctaSize = 64;
+    /** ALU instructions of the raygen shader before traceRayEXT(). */
+    uint32_t raygenAluInstrs = 32;
+    /** ALU instructions of shading per bounce after traversal returns. */
+    uint32_t shadeAluInstrs = 48;
+    /** Registers per thread (ptxas on the LumiBench raygen shader,
+     *  paper section 6.6). */
+    uint32_t regsPerThread = 10;
+    /** SIMT stack entries saved per warp on CTA suspension. */
+    uint32_t simtStackDepth = 4;
+
+    // ------ RT unit micro-parameters --------------------------------
+    /** BVH addresses the memory scheduler pushes per cycle. */
+    uint32_t rtMemIssuePerCycle = 1;
+    /** Box-test pipeline latency (one wide node, all children). */
+    uint32_t isectBoxLatency = 10;
+    /** Triangle-test pipeline latency (one leaf block). */
+    uint32_t isectTriLatency = 18;
+    /** Node visits entering the intersection pipeline per cycle. */
+    uint32_t isectIssuePerCycle = 1;
+
+    // ------ Workload (section 5.1) -----------------------------------
+    uint32_t imageWidth = 256;   //!< As the paper (section 5.1).
+    uint32_t imageHeight = 256;
+    uint32_t maxBounces = 3;     //!< Secondary bounces at 1 spp.
+    float contributionCutoff = 0.02f;
+
+    // ------ Architecture selection and VTQ parameters ------------------
+    RtArch arch = RtArch::Baseline;
+    /** Ray virtualization (section 3.1/4.1). */
+    bool rayVirtualization = false;
+    /** Fig. 16: make CTA save/restore free to isolate its overhead. */
+    bool virtualizationFree = false;
+    /** Max concurrent rays per SM under virtualization (section 5). */
+    uint32_t maxVirtualRaysPerSm = 4096;
+    /** Underpopulation threshold: min rays for a treelet queue to be
+     *  dispatched treelet-stationary (sections 4.4, 6.2). */
+    uint32_t queueThreshold = 128;
+    /** Group underpopulated queues into ray-stationary warps
+     *  (section 4.4). Off = the naive treelet implementation. */
+    bool groupUnderpopulated = true;
+    /** Warp repacking threshold: repack when fewer rays are active
+     *  (section 4.5). 0 disables repacking. */
+    uint32_t repackThreshold = 22;
+    /** Preload the next treelet + ray data (section 4.3). */
+    bool preloadEnabled = true;
+    /** Unique treelets within a warp before the initial ray-stationary
+     *  phase ends for that warp (section 3.2 step 1). 0 terminates the
+     *  warp at its first treelet-boundary divergence, which measures
+     *  best and matches the paper's short initial phase (Fig. 14). */
+    uint32_t initialDivergeThreshold = 0;
+    /** Skip the treelet-stationary phase entirely (section 6.4's
+     *  "treelet queue threshold of zero" experiment). */
+    bool skipTreeletPhase = false;
+
+    // ------ Treelet prefetching baseline (Chou et al.) ----------------
+    /** Min cycles between prefetch issues (keeps the prefetcher from
+     *  thrashing when the popular treelet flips every few cycles). */
+    uint32_t prefetchCooldown = 100;
+    /** Min rays on a treelet before it is worth prefetching. */
+    uint32_t prefetchMinRays = 2;
+
+    /** Convenience: the full proposed configuration. */
+    static GpuConfig
+    virtualizedTreeletQueues()
+    {
+        GpuConfig c;
+        c.arch = RtArch::TreeletQueues;
+        c.rayVirtualization = true;
+        c.mem.l2ReservedBytes = 64 * 1024;
+        return c;
+    }
+
+    /** Convenience: the treelet prefetching comparison point. */
+    static GpuConfig
+    treeletPrefetch()
+    {
+        GpuConfig c;
+        c.arch = RtArch::TreeletPrefetch;
+        return c;
+    }
+};
+
+} // namespace trt
+
+#endif // TRT_GPU_CONFIG_HH

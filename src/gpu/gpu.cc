@@ -1,0 +1,518 @@
+#include "gpu/gpu.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace trt
+{
+
+namespace
+{
+
+/** Base simulated address of the CTA state save area (section 4.1). */
+constexpr uint64_t kCtaStateBase = 0x300000000ull;
+/** Bytes reserved per CTA in the save area. */
+constexpr uint64_t kCtaStateStride = 8192;
+
+} // anonymous namespace
+
+Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
+         RtUnitFactory factory, const std::vector<Ray> *primary_rays)
+    : cfg_(cfg), scene_(scene), bvh_(bvh), mem_(cfg.mem),
+      tracer_(scene, bvh, cfg.maxBounces, cfg.contributionCutoff),
+      customRays_(primary_rays)
+{
+    if (cfg_.mem.numL1s != cfg_.numSms)
+        throw std::invalid_argument("mem.numL1s must equal numSms");
+
+    mem_.enableBvhSeries(2048);
+
+    sms_.resize(cfg_.numSms);
+    rtUnits_.reserve(cfg_.numSms);
+    for (uint32_t sm = 0; sm < cfg_.numSms; sm++) {
+        std::unique_ptr<RtUnitBase> unit;
+        if (factory) {
+            unit = factory(cfg_, mem_, bvh_, sm);
+        } else {
+            if (cfg_.arch != RtArch::Baseline)
+                throw std::invalid_argument(
+                    "non-baseline arch requires an RT unit factory "
+                    "(use core/arch.hh makeRtUnitFactory)");
+            unit = std::make_unique<BaselineRtUnit>(cfg_, mem_, bvh_, sm);
+        }
+        unit->setCompletion([this](uint64_t token,
+                                   std::vector<LaneHit> &&hits) {
+            onWarpTraceDone(lastNow_, token, std::move(hits));
+        });
+        rtUnits_.push_back(std::move(unit));
+    }
+    rtNextEvent_.assign(cfg_.numSms, kNoEvent);
+
+    buildCtas();
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::buildCtas()
+{
+    uint32_t pixels = customRays_ ? uint32_t(customRays_->size())
+                                  : cfg_.imageWidth * cfg_.imageHeight;
+    uint32_t per_cta = cfg_.ctaSize;
+    uint32_t n_ctas = (pixels + per_cta - 1) / per_cta;
+
+    ctas_.resize(n_ctas);
+    for (uint32_t c = 0; c < n_ctas; c++) {
+        CtaExec &cta = ctas_[c];
+        cta.token = c;
+        cta.firstPixel = c * per_cta;
+        cta.threadCount = std::min(per_cta, pixels - cta.firstPixel);
+        uint32_t n_warps =
+            (cta.threadCount + cfg_.warpSize - 1) / cfg_.warpSize;
+        cta.warps.resize(n_warps);
+        for (uint32_t w = 0; w < n_warps; w++) {
+            WarpExec &warp = cta.warps[w];
+            warp.index = w;
+            uint32_t first = cta.firstPixel + w * cfg_.warpSize;
+            uint32_t lanes = std::min(cfg_.warpSize,
+                                      cta.firstPixel + cta.threadCount -
+                                          first);
+            warp.lanes.resize(lanes);
+        }
+        pendingCtas_.push_back(c);
+    }
+    run_.framebuffer.assign(pixels, Vec3{0, 0, 0});
+    if (customRays_)
+        run_.primaryHits.assign(pixels, HitRecord{});
+}
+
+uint32_t
+Gpu::ctaStateBytesFor(const CtaExec &c) const
+{
+    // Registers (ptxas count, section 6.6) plus per-warp SIMT stack:
+    // 32-bit mask + PC + reconvergence PC per stack entry.
+    uint32_t reg_bytes = c.threadCount * cfg_.regsPerThread * 4;
+    uint32_t stack_bytes =
+        uint32_t(c.warps.size()) * cfg_.simtStackDepth * 12;
+    return reg_bytes + stack_bytes;
+}
+
+void
+Gpu::pushEvent(uint64_t cycle, Event::Type t, uint32_t cta, uint32_t warp)
+{
+    events_.push(Event{cycle, eventSeq_++, t, cta, warp});
+}
+
+void
+Gpu::scheduleAlu(uint64_t now, uint32_t cta, uint32_t warp, uint32_t instrs)
+{
+    CtaExec &c = ctas_[cta];
+    SmState &sm = sms_[c.smId];
+    uint64_t start = std::max(now, sm.aluBusyUntil);
+    uint64_t done = start + instrs;
+    sm.aluBusyUntil = done;
+    c.warps[warp].phase = WarpPhase::Alu;
+    run_.aluLaneInstrs +=
+        uint64_t(instrs) * std::max(1u, c.warps[warp].aliveLanes);
+    pushEvent(done, Event::AluDone, cta, warp);
+}
+
+void
+Gpu::tryLaunch(uint64_t now)
+{
+    while (!pendingCtas_.empty()) {
+        uint32_t ctaIdx = pendingCtas_.front();
+        CtaExec &c = ctas_[ctaIdx];
+        uint32_t warps = uint32_t(c.warps.size());
+        uint32_t regs = c.threadCount * cfg_.regsPerThread;
+
+        // Pick the SM with the most free CTA slots (ties: lowest id).
+        int best = -1;
+        uint32_t best_free = 0;
+        for (uint32_t s = 0; s < cfg_.numSms; s++) {
+            const SmState &sm = sms_[s];
+            if (sm.ctasResident >= cfg_.maxCtasPerSm ||
+                sm.warpsUsed + warps > cfg_.maxWarpsPerSm ||
+                sm.regsUsed + regs > cfg_.regsPerSm) {
+                continue;
+            }
+            uint32_t free = cfg_.maxCtasPerSm - sm.ctasResident;
+            if (int(free) > int(best_free) || best < 0) {
+                best = int(s);
+                best_free = free;
+            }
+        }
+        if (best < 0)
+            return;
+
+        pendingCtas_.pop_front();
+        c.smId = uint32_t(best);
+        c.state = CtaState::Resident;
+        SmState &sm = sms_[c.smId];
+        sm.ctasResident++;
+        sm.warpsUsed += warps;
+        sm.regsUsed += regs;
+        run_.ctasLaunched++;
+
+        // Initialize paths and start the raygen shader on every warp.
+        for (auto &warp : c.warps) {
+            warp.aliveLanes = 0;
+            for (uint32_t l = 0; l < warp.lanes.size(); l++) {
+                uint32_t pixel =
+                    c.firstPixel + warp.index * cfg_.warpSize + l;
+                if (customRays_) {
+                    // Tree-traversal workload: the "raygen shader"
+                    // issues a provided query ray instead.
+                    PathState st;
+                    st.pixel = pixel;
+                    st.alive = true;
+                    st.ray = (*customRays_)[pixel];
+                    warp.lanes[l].path = st;
+                } else {
+                    warp.lanes[l].path = tracer_.startPath(
+                        pixel, cfg_.imageWidth, cfg_.imageHeight);
+                }
+                warp.lanes[l].traced = false;
+                warp.aliveLanes++;
+            }
+            scheduleAlu(now, ctaIdx, warp.index, cfg_.raygenAluInstrs);
+        }
+    }
+}
+
+void
+Gpu::tryResume(uint64_t now)
+{
+    for (uint32_t s = 0; s < cfg_.numSms; s++) {
+        SmState &sm = sms_[s];
+        while (!sm.resumeQueue.empty()) {
+            uint32_t ctaIdx = sm.resumeQueue.front();
+            CtaExec &c = ctas_[ctaIdx];
+            uint32_t warps = uint32_t(c.warps.size());
+            uint32_t regs = c.threadCount * cfg_.regsPerThread;
+            if (sm.ctasResident >= cfg_.maxCtasPerSm ||
+                sm.warpsUsed + warps > cfg_.maxWarpsPerSm ||
+                sm.regsUsed + regs > cfg_.regsPerSm) {
+                break;
+            }
+            sm.resumeQueue.pop_front();
+            sm.ctasResident++;
+            sm.warpsUsed += warps;
+            sm.regsUsed += regs;
+            c.state = CtaState::Resident;
+            run_.ctaRestores++;
+
+            uint64_t ready = now;
+            uint32_t bytes = ctaStateBytesFor(c);
+            run_.ctaStateBytes += bytes;
+            if (!cfg_.virtualizationFree) {
+                ready = mem_.read(now, s,
+                                  kCtaStateBase +
+                                      c.token * kCtaStateStride,
+                                  bytes, MemClass::CtaState)
+                            .readyCycle;
+            }
+            pushEvent(ready, Event::CtaRestored, ctaIdx, 0);
+        }
+    }
+}
+
+void
+Gpu::issueTrace(uint64_t now, uint32_t cta, uint32_t warp)
+{
+    CtaExec &c = ctas_[cta];
+    WarpExec &w = c.warps[warp];
+
+    TraceRequest req;
+    req.token = nextToken_++;
+    req.ctaToken = cta;
+    for (uint32_t l = 0; l < w.lanes.size(); l++) {
+        LaneCtx &lane = w.lanes[l];
+        lane.traced = lane.path.alive;
+        if (lane.traced)
+            req.lanes.push_back({uint8_t(l), lane.path.ray});
+    }
+    assert(!req.lanes.empty());
+    run_.raysTraced += req.lanes.size();
+    w.token = req.token;
+    tokenMap_[req.token] = {cta, warp};
+    w.phase = WarpPhase::WaitAccept;
+
+    SmState &sm = sms_[c.smId];
+    if (sm.acceptQueue.empty() &&
+        rtUnits_[c.smId]->tryAccept(now, std::move(req))) {
+        refreshRtEvent(c.smId);
+        w.phase = WarpPhase::WaitTrace;
+        maybeSuspendCta(now, cta);
+    } else {
+        // Request will be rebuilt at retry time from lane state.
+        sm.acceptQueue.push_back({cta, warp});
+    }
+}
+
+void
+Gpu::retryAccepts(uint64_t now, uint32_t smId)
+{
+    SmState &sm = sms_[smId];
+    while (!sm.acceptQueue.empty()) {
+        auto [cta, warp] = sm.acceptQueue.front();
+        CtaExec &c = ctas_[cta];
+        WarpExec &w = c.warps[warp];
+
+        TraceRequest req;
+        req.token = w.token;
+        req.ctaToken = cta;
+        for (uint32_t l = 0; l < w.lanes.size(); l++)
+            if (w.lanes[l].traced)
+                req.lanes.push_back({uint8_t(l), w.lanes[l].path.ray});
+        if (!rtUnits_[smId]->tryAccept(now, std::move(req)))
+            return;
+        refreshRtEvent(smId);
+        sm.acceptQueue.pop_front();
+        w.phase = WarpPhase::WaitTrace;
+        maybeSuspendCta(now, cta);
+    }
+}
+
+void
+Gpu::maybeSuspendCta(uint64_t now, uint32_t cta)
+{
+    if (!cfg_.rayVirtualization)
+        return;
+    CtaExec &c = ctas_[cta];
+    if (c.state != CtaState::Resident)
+        return;
+
+    bool any_waiting = false;
+    for (const auto &w : c.warps) {
+        switch (w.phase) {
+          case WarpPhase::WaitTrace:
+          case WarpPhase::TraceDone:
+            any_waiting = true;
+            break;
+          case WarpPhase::Finished:
+            break;
+          default:
+            return; // some warp still executing / not yet accepted
+        }
+    }
+    if (!any_waiting)
+        return;
+
+    // Suspension only pays off when the freed slot can actually be
+    // used (a CTA pending launch or queued for resume); otherwise keep
+    // the CTA resident and skip the save/restore round trip. This is
+    // the "until all raygen shader CTAs are issued" clause of 4.1.
+    if (pendingCtas_.empty() && sms_[c.smId].resumeQueue.empty())
+        return;
+
+    // Terminate the raygen shader: spill CTA state and release the slot
+    // so the CTA scheduler can launch more raygen CTAs (section 4.1).
+    SmState &sm = sms_[c.smId];
+    sm.ctasResident--;
+    sm.warpsUsed -= uint32_t(c.warps.size());
+    sm.regsUsed -= c.threadCount * cfg_.regsPerThread;
+    c.state = CtaState::Suspended;
+    run_.ctaSaves++;
+    uint32_t bytes = ctaStateBytesFor(c);
+    run_.ctaStateBytes += bytes;
+    if (!cfg_.virtualizationFree) {
+        mem_.write(now, c.smId, kCtaStateBase + c.token * kCtaStateStride,
+                   bytes, MemClass::CtaState);
+    }
+    maybeResumeReady(now, cta);
+}
+
+void
+Gpu::maybeResumeReady(uint64_t now, uint32_t cta)
+{
+    (void)now;
+    CtaExec &c = ctas_[cta];
+    if (c.state != CtaState::Suspended)
+        return;
+    for (const auto &w : c.warps) {
+        if (w.phase != WarpPhase::TraceDone &&
+            w.phase != WarpPhase::Finished) {
+            return;
+        }
+    }
+    // Every traced warp has its results: inject into the CTA
+    // scheduler's (prioritized) resume queue via the RT unit's path.
+    c.state = CtaState::ResumeQueued;
+    sms_[c.smId].resumeQueue.push_back(cta);
+}
+
+void
+Gpu::onWarpTraceDone(uint64_t now, uint64_t token,
+                     std::vector<LaneHit> &&hits)
+{
+    auto it = tokenMap_.find(token);
+    assert(it != tokenMap_.end());
+    auto [cta, warp] = it->second;
+    tokenMap_.erase(it);
+
+    CtaExec &c = ctas_[cta];
+    WarpExec &w = c.warps[warp];
+    w.pendingHits = std::move(hits);
+
+    if (c.state == CtaState::Resident) {
+        shadeWarp(now, cta, warp);
+    } else {
+        w.phase = WarpPhase::TraceDone;
+        maybeResumeReady(now, cta);
+    }
+}
+
+void
+Gpu::shadeWarp(uint64_t now, uint32_t cta, uint32_t warp)
+{
+    CtaExec &c = ctas_[cta];
+    WarpExec &w = c.warps[warp];
+
+    // Functional shading: consume hits, sample next-bounce rays.
+    for (const auto &lh : w.pendingHits) {
+        LaneCtx &lane = w.lanes[lh.lane];
+        assert(lane.traced);
+        if (!run_.primaryHits.empty() && lane.path.bounce == 0)
+            run_.primaryHits[lane.path.pixel] = lh.hit;
+        tracer_.shade(lane.path, lh.hit);
+    }
+    w.pendingHits.clear();
+    w.aliveLanes = 0;
+    for (auto &lane : w.lanes)
+        w.aliveLanes += lane.path.alive ? 1 : 0;
+
+    scheduleAlu(now, cta, warp, cfg_.shadeAluInstrs);
+}
+
+void
+Gpu::onAluDone(uint64_t now, uint32_t cta, uint32_t warp)
+{
+    CtaExec &c = ctas_[cta];
+    WarpExec &w = c.warps[warp];
+    assert(w.phase == WarpPhase::Alu);
+
+    if (w.aliveLanes > 0) {
+        issueTrace(now, cta, warp);
+    } else {
+        finishWarp(cta, warp);
+        checkCtaFinished(now, cta);
+    }
+}
+
+void
+Gpu::finishWarp(uint32_t cta, uint32_t warp)
+{
+    CtaExec &c = ctas_[cta];
+    WarpExec &w = c.warps[warp];
+    w.phase = WarpPhase::Finished;
+    for (auto &lane : w.lanes)
+        run_.framebuffer[lane.path.pixel] = lane.path.radiance;
+}
+
+void
+Gpu::checkCtaFinished(uint64_t now, uint32_t cta)
+{
+    (void)now;
+    CtaExec &c = ctas_[cta];
+    for (const auto &w : c.warps)
+        if (w.phase != WarpPhase::Finished)
+            return;
+    assert(c.state == CtaState::Resident);
+    SmState &sm = sms_[c.smId];
+    sm.ctasResident--;
+    sm.warpsUsed -= uint32_t(c.warps.size());
+    sm.regsUsed -= c.threadCount * cfg_.regsPerThread;
+    c.state = CtaState::Finished;
+    ctasFinished_++;
+}
+
+void
+Gpu::servicePass(uint64_t now)
+{
+    for (uint32_t s = 0; s < cfg_.numSms; s++)
+        retryAccepts(now, s);
+    tryResume(now);
+    tryLaunch(now);
+}
+
+RunStats
+Gpu::run()
+{
+    if (ran_)
+        throw std::logic_error("Gpu::run() may only be called once");
+    ran_ = true;
+
+    uint64_t now = 0;
+    servicePass(now);
+
+    uint64_t same_cycle_iters = 0;
+    uint64_t last_now = ~0ull;
+
+    while (ctasFinished_ < ctas_.size()) {
+        uint64_t next = kNoEvent;
+        if (!events_.empty())
+            next = events_.top().cycle;
+        for (uint64_t ev : rtNextEvent_)
+            next = std::min(next, ev);
+        if (next == kNoEvent) {
+            throw std::logic_error(
+                "simulation deadlock: no pending events but " +
+                std::to_string(ctas_.size() - ctasFinished_) +
+                " CTAs unfinished");
+        }
+
+        now = std::max(now, next);
+        if (now == last_now) {
+            if (++same_cycle_iters > 100000)
+                throw std::logic_error("simulation livelock at cycle " +
+                                       std::to_string(now));
+        } else {
+            same_cycle_iters = 0;
+            last_now = now;
+        }
+        lastNow_ = now;
+
+        while (!events_.empty() && events_.top().cycle <= now) {
+            Event ev = events_.top();
+            events_.pop();
+            switch (ev.type) {
+              case Event::AluDone:
+                onAluDone(now, ev.cta, ev.warp);
+                break;
+              case Event::CtaRestored: {
+                CtaExec &c = ctas_[ev.cta];
+                for (auto &w : c.warps)
+                    if (w.phase == WarpPhase::TraceDone)
+                        shadeWarp(now, ev.cta, w.index);
+                break;
+              }
+            }
+        }
+
+        for (uint32_t s = 0; s < cfg_.numSms; s++) {
+            if (rtNextEvent_[s] <= now) {
+                rtUnits_[s]->tick(now);
+                refreshRtEvent(s);
+            }
+        }
+        servicePass(now);
+    }
+
+    // Final tick so trailing intervals are accounted.
+    for (uint32_t s = 0; s < cfg_.numSms; s++)
+        rtUnits_[s]->tick(now);
+
+    run_.cycles = now;
+    for (const auto &u : rtUnits_)
+        run_.rt.accumulate(u->stats());
+    for (size_t c = 0; c < run_.mem.size(); c++)
+        run_.mem[c] = mem_.classStats(MemClass(c));
+    run_.bvhL1MissRate = mem_.bvhL1MissRate();
+    if (mem_.bvhSeries())
+        run_.bvhMissSeries = mem_.bvhSeries()->resampled(64);
+    return run_;
+}
+
+} // namespace trt

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Top-level cycle-level GPU model: CTA scheduler, SMs executing the
+ * raygen/path-trace shader loop, per-SM RT units, and the shared memory
+ * hierarchy. Supports the paper's ray virtualization (section 3.1/4.1):
+ * CTAs are suspended after all their threads issue traceRayEXT(), their
+ * state is spilled to memory, and the RT unit injects ready-to-resume
+ * CTAs back into the CTA scheduler.
+ */
+
+#ifndef TRT_GPU_GPU_HH
+#define TRT_GPU_GPU_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "gpu/config.hh"
+#include "gpu/rt_unit.hh"
+#include "gpu/shader.hh"
+#include "memsys/memsys.hh"
+#include "scene/scene.hh"
+
+namespace trt
+{
+
+/** Everything a simulation run produces. */
+struct RunStats
+{
+    uint64_t cycles = 0;
+    std::vector<Vec3> framebuffer;
+
+    RtStats rt; //!< Aggregated over all RT units.
+    std::array<MemClassStats, size_t(MemClass::NumClasses)> mem{};
+    double bvhL1MissRate = 0.0;
+    /** Windowed BVH L1 miss-rate curve (Fig. 11), resampled. */
+    std::vector<double> bvhMissSeries;
+
+    uint64_t aluLaneInstrs = 0; //!< Lane-instructions executed on cores.
+    uint64_t raysTraced = 0;
+    uint64_t ctasLaunched = 0;
+    uint64_t ctaSaves = 0;
+    uint64_t ctaRestores = 0;
+    uint64_t ctaStateBytes = 0; //!< Saved + restored bytes.
+
+    /** First-trace hit per pixel; only filled for custom-ray runs
+     *  (general tree-traversal workloads, see workloads/rt_query.hh). */
+    std::vector<HitRecord> primaryHits;
+
+    double simtEfficiency() const { return rt.simtEfficiency(); }
+
+    const MemClassStats &memClass(MemClass c) const
+    { return mem[size_t(c)]; }
+};
+
+/**
+ * The simulated GPU. Construct with a scene + BVH, then run() exactly
+ * once; results (timing stats and the rendered frame) come back in
+ * RunStats.
+ */
+class Gpu
+{
+  public:
+    /** Creates the RT unit for each SM (lets src/core plug in the
+     *  proposed architectures without a dependency cycle). */
+    using RtUnitFactory = std::function<std::unique_ptr<RtUnitBase>(
+        const GpuConfig &, MemorySystem &, const Bvh &, uint32_t sm_id)>;
+
+    /**
+     * @param cfg Simulation configuration.
+     * @param scene Scene to render (must outlive the Gpu).
+     * @param bvh Built BVH (must outlive the Gpu).
+     * @param factory RT unit factory; defaults to BaselineRtUnit and
+     *        asserts if cfg.arch needs more.
+     * @param primary_rays Optional: replace camera-generated primary
+     *        rays with this list (one thread per ray; used to run
+     *        general tree-traversal workloads through the RT unit,
+     *        the paper's section 8 direction). Must outlive the Gpu.
+     */
+    Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
+        RtUnitFactory factory = {},
+        const std::vector<Ray> *primary_rays = nullptr);
+    ~Gpu();
+
+    /** Simulate the full frame. */
+    RunStats run();
+
+    MemorySystem &memorySystem() { return mem_; }
+
+  private:
+    // ---- shader-side structures -------------------------------------
+    struct LaneCtx
+    {
+        PathState path;
+        HitRecord hit;
+        bool traced = false;
+    };
+
+    enum class WarpPhase : uint8_t
+    {
+        Alu,        //!< Executing an ALU segment on the cores.
+        WaitAccept, //!< traceRayEXT() issued, RT unit has not taken it.
+        WaitTrace,  //!< Rays in the RT unit.
+        TraceDone,  //!< Results arrived while the CTA was suspended.
+        Finished,
+    };
+
+    struct WarpExec
+    {
+        uint32_t index = 0; //!< Warp index within the CTA.
+        std::vector<LaneCtx> lanes;
+        WarpPhase phase = WarpPhase::Alu;
+        uint64_t token = 0;
+        std::vector<LaneHit> pendingHits;
+        uint32_t aliveLanes = 0;
+    };
+
+    enum class CtaState : uint8_t
+    {
+        Pending,   //!< Not yet launched.
+        Resident,  //!< Occupying an SM slot.
+        Suspended, //!< Ray-virtualized: state spilled, slot released.
+        ResumeQueued,
+        Finished,
+    };
+
+    struct CtaExec
+    {
+        uint32_t token = 0;
+        uint32_t smId = 0;
+        CtaState state = CtaState::Pending;
+        std::vector<WarpExec> warps;
+        uint32_t firstPixel = 0;
+        uint32_t threadCount = 0;
+    };
+
+    struct SmState
+    {
+        uint32_t ctasResident = 0;
+        uint32_t warpsUsed = 0;
+        uint32_t regsUsed = 0;
+        uint64_t aluBusyUntil = 0;
+        std::deque<std::pair<uint32_t, uint32_t>> acceptQueue; // cta,warp
+        std::deque<uint32_t> resumeQueue;                      // cta
+    };
+
+    struct Event
+    {
+        uint64_t cycle;
+        uint64_t seq;
+        enum Type : uint8_t { AluDone, CtaRestored } type;
+        uint32_t cta;
+        uint32_t warp;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return cycle != o.cycle ? cycle > o.cycle : seq > o.seq;
+        }
+    };
+
+    // ---- helpers -----------------------------------------------------
+    void buildCtas();
+    void servicePass(uint64_t now);
+    void tryLaunch(uint64_t now);
+    void tryResume(uint64_t now);
+    void scheduleAlu(uint64_t now, uint32_t cta, uint32_t warp,
+                     uint32_t instrs);
+    void onAluDone(uint64_t now, uint32_t cta, uint32_t warp);
+    void issueTrace(uint64_t now, uint32_t cta, uint32_t warp);
+    void retryAccepts(uint64_t now, uint32_t sm);
+    void refreshRtEvent(uint32_t sm)
+    { rtNextEvent_[sm] = rtUnits_[sm]->nextEventCycle(); }
+    void onWarpTraceDone(uint64_t now, uint64_t token,
+                         std::vector<LaneHit> &&hits);
+    void shadeWarp(uint64_t now, uint32_t cta, uint32_t warp);
+    void maybeSuspendCta(uint64_t now, uint32_t cta);
+    void maybeResumeReady(uint64_t now, uint32_t cta);
+    void finishWarp(uint32_t cta, uint32_t warp);
+    void checkCtaFinished(uint64_t now, uint32_t cta);
+    uint32_t ctaStateBytesFor(const CtaExec &c) const;
+    void pushEvent(uint64_t cycle, Event::Type t, uint32_t cta,
+                   uint32_t warp);
+
+    GpuConfig cfg_;
+    const Scene &scene_;
+    const Bvh &bvh_;
+    MemorySystem mem_;
+    PathTracer tracer_;
+    const std::vector<Ray> *customRays_ = nullptr;
+
+    std::vector<std::unique_ptr<RtUnitBase>> rtUnits_;
+    /** Cached RtUnitBase::nextEventCycle() per unit; refreshed after
+     *  every call into the unit so the main loop can poll in O(1). */
+    std::vector<uint64_t> rtNextEvent_;
+    std::vector<SmState> sms_;
+    std::vector<CtaExec> ctas_;
+    std::deque<uint32_t> pendingCtas_;
+    uint32_t ctasFinished_ = 0;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    uint64_t eventSeq_ = 0;
+    /** warp token -> (cta, warp) for completion routing. */
+    std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>> tokenMap_;
+    uint64_t nextToken_ = 1;
+
+    RunStats run_;
+    bool ran_ = false;
+    uint64_t lastNow_ = 0;
+};
+
+} // namespace trt
+
+#endif // TRT_GPU_GPU_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-cycle issue-width limiter shared by the RT unit's memory scheduler
+ * and intersection pipeline front end.
+ */
+
+#ifndef TRT_GPU_RATE_LIMITER_HH
+#define TRT_GPU_RATE_LIMITER_HH
+
+#include <cstdint>
+
+namespace trt
+{
+
+/** Books at most @c width slots per cycle, spilling into later cycles. */
+class RateLimiter
+{
+  public:
+    explicit RateLimiter(uint32_t width = 1) : width_(width ? width : 1) {}
+
+    /** Reserve a slot at or after @p now; returns the booked cycle. */
+    uint64_t
+    book(uint64_t now)
+    {
+        if (cycle_ < now) {
+            cycle_ = now;
+            used_ = 0;
+        }
+        if (used_ >= width_) {
+            cycle_ += 1;
+            used_ = 0;
+        }
+        used_++;
+        return cycle_;
+    }
+
+    /** Earliest cycle >= @p now a slot could be booked (no booking). */
+    uint64_t
+    nextFree(uint64_t now) const
+    {
+        if (cycle_ < now)
+            return now;
+        return used_ < width_ ? cycle_ : cycle_ + 1;
+    }
+
+  private:
+    uint32_t width_;
+    uint64_t cycle_ = 0;
+    uint32_t used_ = 0;
+};
+
+} // namespace trt
+
+#endif // TRT_GPU_RATE_LIMITER_HH

@@ -1,0 +1,297 @@
+#include "gpu/rt_unit.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trt
+{
+
+const char *
+rtArchName(RtArch a)
+{
+    switch (a) {
+      case RtArch::Baseline:
+        return "baseline";
+      case RtArch::TreeletPrefetch:
+        return "treelet_prefetch";
+      case RtArch::TreeletQueues:
+        return "treelet_queues";
+      default:
+        return "unknown";
+    }
+}
+
+const char *
+traversalModeName(TraversalMode m)
+{
+    switch (m) {
+      case TraversalMode::Initial:
+        return "initial";
+      case TraversalMode::TreeletStationary:
+        return "treelet_stationary";
+      case TraversalMode::RayStationary:
+        return "ray_stationary";
+      default:
+        return "unknown";
+    }
+}
+
+void
+RtStats::accumulate(const RtStats &o)
+{
+    activeLaneCycles += o.activeLaneCycles;
+    slotLaneCycles += o.slotLaneCycles;
+    for (size_t i = 0; i < modeCycles.size(); i++) {
+        modeCycles[i] += o.modeCycles[i];
+        isectTests[i] += o.isectTests[i];
+    }
+    nodeVisits += o.nodeVisits;
+    leafVisits += o.leafVisits;
+    raysCompleted += o.raysCompleted;
+    boundaryCrossings += o.boundaryCrossings;
+    raysEnqueued += o.raysEnqueued;
+    treeletWarpsFormed += o.treeletWarpsFormed;
+    groupedWarpsFormed += o.groupedWarpsFormed;
+    repackEvents += o.repackEvents;
+    repackedRays += o.repackedRays;
+    countTableHighWater = std::max(countTableHighWater,
+                                   o.countTableHighWater);
+    countTableOverThresholdHW = std::max(countTableOverThresholdHW,
+                                         o.countTableOverThresholdHW);
+    queueTableEntriesHW = std::max(queueTableEntriesHW,
+                                   o.queueTableEntriesHW);
+    maxConcurrentRays = std::max(maxConcurrentRays, o.maxConcurrentRays);
+    prefetchLines += o.prefetchLines;
+    prefetchUsedLines += o.prefetchUsedLines;
+    prefetchIssues += o.prefetchIssues;
+}
+
+RtUnitBase::RtUnitBase(const GpuConfig &cfg, MemorySystem &mem,
+                       const Bvh &bvh, uint32_t sm_id)
+    : cfg_(cfg), mem_(mem), bvh_(bvh), smId_(sm_id),
+      memIssue_(cfg.rtMemIssuePerCycle), isect_(cfg.isectIssuePerCycle)
+{
+}
+
+bool
+RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
+                    bool stop_at_issue)
+{
+    bool changed = false;
+    for (;;) {
+        switch (e.stage) {
+          case Stage::WaitData:
+            if (e.ready > now)
+                return changed;
+            e.stage = Stage::NeedIssue;
+            changed = true;
+            break;
+
+          case Stage::NeedIssue: {
+            if (needsPolicy(e) || stop_at_issue)
+                return changed; // caller decides (done / boundary / park)
+            if (memIssue_.nextFree(now) > now)
+                return changed; // issue port exhausted this cycle
+            uint64_t issue_at = memIssue_.book(now);
+            RayTraverser::Access acc = e.trav.currentAccess();
+            // Let subclasses observe demand lines (prefetch tracking).
+            uint64_t first = acc.addr & ~uint64_t(mem_.lineBytes() - 1);
+            uint64_t last = (acc.addr + acc.bytes - 1) &
+                            ~uint64_t(mem_.lineBytes() - 1);
+            for (uint64_t a = first; a <= last; a += mem_.lineBytes())
+                onDemandLine(a);
+            MemClass cls =
+                acc.leaf ? MemClass::Triangle : MemClass::BvhNode;
+            auto res = mem_.read(issue_at, smId_, acc.addr, acc.bytes, cls);
+            e.ready = res.readyCycle;
+            e.fetchIsLeaf = acc.leaf;
+            e.stage = Stage::WaitMem;
+            changed = true;
+            break;
+          }
+
+          case Stage::WaitMem: {
+            if (e.ready > now)
+                return changed;
+            // Data returned to the response FIFO; enter the
+            // intersection pipeline (throughput limited).
+            uint64_t start = isect_.book(std::max(now, e.ready));
+            e.ready = start + (e.fetchIsLeaf ? cfg_.isectTriLatency
+                                             : cfg_.isectBoxLatency);
+            e.stage = Stage::WaitIsect;
+            changed = true;
+            break;
+          }
+
+          case Stage::WaitIsect: {
+            if (e.ready > now)
+                return changed;
+            uint32_t tests = e.trav.complete();
+            stats_.isectTests[size_t(mode)] += tests;
+            if (e.fetchIsLeaf)
+                stats_.leafVisits++;
+            else
+                stats_.nodeVisits++;
+            e.stage = Stage::NeedIssue;
+            changed = true;
+            break;
+          }
+
+          case Stage::Done:
+            return changed;
+        }
+    }
+}
+
+BaselineRtUnit::BaselineRtUnit(const GpuConfig &cfg, MemorySystem &mem,
+                               const Bvh &bvh, uint32_t sm_id)
+    : RtUnitBase(cfg, mem, bvh, sm_id)
+{
+    slots_.resize(cfg.warpBufferSize);
+}
+
+bool
+BaselineRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
+{
+    // The baseline warp stalls at traceRayEXT() either way; queueing
+    // here is timing-equivalent to stalling in the SM and keeps the SM
+    // model simple.
+    pending_.push_back(std::move(req));
+    fillSlotsFromQueue(now);
+    return true;
+}
+
+void
+BaselineRtUnit::fillSlotsFromQueue(uint64_t now)
+{
+    for (auto &slot : slots_) {
+        if (slot.active || pending_.empty())
+            continue;
+        TraceRequest req = std::move(pending_.front());
+        pending_.pop_front();
+        slot.active = true;
+        slot.token = req.token;
+        slot.hits.clear();
+        slot.rays.clear();
+        slot.rays.reserve(req.lanes.size());
+        slot.remaining = uint32_t(req.lanes.size());
+        for (auto &lr : req.lanes) {
+            RayEntry e;
+            e.valid = true;
+            e.lane = lr.lane;
+            e.warpToken = req.token;
+            e.ctaToken = req.ctaToken;
+            e.trav = RayTraverser(&bvh_, lr.ray);
+            // Fresh rays enter the root treelet immediately in the
+            // baseline (ray-stationary) policy.
+            e.trav.enterNextTreelet();
+            onTreeletEnter(now, e.trav.currentTreelet());
+            e.stage = Stage::NeedIssue;
+            e.ready = now;
+            slot.rays.push_back(std::move(e));
+        }
+    }
+}
+
+void
+BaselineRtUnit::accountInterval(uint64_t now)
+{
+    if (now <= lastAccounted_)
+        return;
+    uint64_t dt = now - lastAccounted_;
+    lastAccounted_ = now;
+    for (const auto &slot : slots_) {
+        if (!slot.active)
+            continue;
+        stats_.activeLaneCycles += uint64_t(slot.remaining) * dt;
+        stats_.slotLaneCycles += uint64_t(cfg_.warpSize) * dt;
+        stats_.modeCycles[size_t(TraversalMode::RayStationary)] += dt;
+    }
+}
+
+void
+BaselineRtUnit::tick(uint64_t now)
+{
+    accountInterval(now);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &slot : slots_) {
+            if (!slot.active)
+                continue;
+            for (auto &e : slot.rays) {
+                if (!e.valid || e.stage == Stage::Done)
+                    continue;
+                changed |= stepRay(now, e, TraversalMode::RayStationary);
+                while (needsPolicy(e)) {
+                    if (e.trav.done()) {
+                        slot.hits.push_back({e.lane, e.trav.hit()});
+                        e.stage = Stage::Done;
+                        slot.remaining--;
+                        stats_.raysCompleted++;
+                        changed = true;
+                        break;
+                    }
+                    // Boundary: the baseline just keeps going.
+                    e.trav.enterNextTreelet();
+                    stats_.boundaryCrossings++;
+                    onTreeletEnter(now, e.trav.currentTreelet());
+                    changed |= stepRay(now, e, TraversalMode::RayStationary);
+                }
+            }
+            if (slot.remaining == 0) {
+                if (completion_)
+                    completion_(slot.token, std::move(slot.hits));
+                slot.active = false;
+                slot.hits.clear();
+                slot.rays.clear();
+                changed = true;
+            }
+        }
+        if (changed)
+            fillSlotsFromQueue(now);
+    }
+}
+
+uint64_t
+BaselineRtUnit::nextEventCycle() const
+{
+    uint64_t next = kNoEvent;
+    for (const auto &slot : slots_) {
+        if (!slot.active)
+            continue;
+        for (const auto &e : slot.rays) {
+            if (!e.valid)
+                continue;
+            switch (e.stage) {
+              case Stage::WaitData:
+              case Stage::WaitMem:
+              case Stage::WaitIsect:
+                next = std::min(next, e.ready);
+                break;
+              case Stage::NeedIssue:
+                // Only reachable when the issue port was exhausted at
+                // the last tick; it frees next cycle.
+                next = std::min(next, memIssue_.nextFree(lastAccounted_));
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return next;
+}
+
+bool
+BaselineRtUnit::idle() const
+{
+    if (!pending_.empty())
+        return false;
+    for (const auto &slot : slots_)
+        if (slot.active)
+            return false;
+    return true;
+}
+
+} // namespace trt

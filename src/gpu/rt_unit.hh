@@ -1,0 +1,255 @@
+/**
+ * @file
+ * RT unit base: the per-SM ray tracing accelerator. Models the
+ * Vulkan-Sim RT unit of the paper's Figure 3: a warp buffer of ray
+ * entries, a memory scheduler that pushes one BVH address per cycle to
+ * the memory access queue, a response path and fixed-function
+ * intersection units. Traversal uses the dual-stack treelet order
+ * (bvh/traverser.hh) in every architecture variant.
+ *
+ * Concrete units: BaselineRtUnit (this file), TreeletPrefetchRtUnit and
+ * TreeletQueueRtUnit (src/core).
+ */
+
+#ifndef TRT_GPU_RT_UNIT_HH
+#define TRT_GPU_RT_UNIT_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "bvh/traverser.hh"
+#include "gpu/config.hh"
+#include "gpu/rate_limiter.hh"
+#include "memsys/memsys.hh"
+
+namespace trt
+{
+
+/** "No pending event" sentinel for nextEventCycle(). */
+constexpr uint64_t kNoEvent = ~0ull;
+
+/** Traversal mode attribution for Figures 14/15. */
+enum class TraversalMode : uint8_t
+{
+    Initial = 0,       //!< Initial ray-stationary phase.
+    TreeletStationary, //!< Treelet warps from treelet queues.
+    RayStationary,     //!< Final phase (grouped/underpopulated rays).
+    NumModes
+};
+
+const char *traversalModeName(TraversalMode m);
+
+/** One lane's ray handed to the RT unit by a warp. */
+struct LaneRay
+{
+    uint8_t lane;
+    Ray ray;
+};
+
+/** One lane's traversal result returned to the warp. */
+struct LaneHit
+{
+    uint8_t lane;
+    HitRecord hit;
+};
+
+/** A warp's traceRayEXT() issue. */
+struct TraceRequest
+{
+    uint64_t token = 0;    //!< Unique per warp trace.
+    uint32_t ctaToken = 0; //!< Owning CTA (virtualization bookkeeping).
+    std::vector<LaneRay> lanes;
+};
+
+/** RT unit statistics feeding the paper's figures. */
+struct RtStats
+{
+    // SIMT efficiency (Fig. 1b / 13b): active vs. total lanes
+    // integrated over cycles with at least one occupied warp slot.
+    uint64_t activeLaneCycles = 0;
+    uint64_t slotLaneCycles = 0;
+
+    // Per-mode cycle and work distribution (Figs. 14/15).
+    std::array<uint64_t, size_t(TraversalMode::NumModes)> modeCycles{};
+    std::array<uint64_t, size_t(TraversalMode::NumModes)> isectTests{};
+
+    uint64_t nodeVisits = 0;
+    uint64_t leafVisits = 0;
+    uint64_t raysCompleted = 0;
+    uint64_t boundaryCrossings = 0;
+
+    // Treelet queue machinery (section 6.5 area analysis).
+    uint64_t raysEnqueued = 0;
+    uint64_t treeletWarpsFormed = 0;
+    uint64_t groupedWarpsFormed = 0;
+    uint64_t repackEvents = 0;
+    uint64_t repackedRays = 0;
+    uint32_t countTableHighWater = 0;
+    uint32_t countTableOverThresholdHW = 0;
+    uint32_t queueTableEntriesHW = 0;
+    uint64_t maxConcurrentRays = 0;
+
+    // Prefetcher (Chou et al. comparison).
+    uint64_t prefetchLines = 0;
+    uint64_t prefetchUsedLines = 0;
+    uint64_t prefetchIssues = 0;
+
+    double
+    simtEfficiency() const
+    {
+        return slotLaneCycles
+                   ? double(activeLaneCycles) / double(slotLaneCycles)
+                   : 0.0;
+    }
+
+    void accumulate(const RtStats &o);
+};
+
+/**
+ * Base class: shared per-ray pipeline stepping (memory scheduler +
+ * intersection pipeline) and accounting. Subclasses drive policy:
+ * what happens at treelet boundaries and how warps are formed.
+ */
+class RtUnitBase
+{
+  public:
+    using CompletionFn =
+        std::function<void(uint64_t token, std::vector<LaneHit> &&)>;
+    /** Fired when the last outstanding ray of a CTA completes. */
+    using CtaDrainedFn = std::function<void(uint32_t cta_token)>;
+
+    RtUnitBase(const GpuConfig &cfg, MemorySystem &mem, const Bvh &bvh,
+               uint32_t sm_id);
+    virtual ~RtUnitBase() = default;
+
+    /** Try to take a warp's trace. False = caller must retry later. */
+    virtual bool tryAccept(uint64_t now, TraceRequest &&req) = 0;
+
+    /** Advance internal state to time @p now. */
+    virtual void tick(uint64_t now) = 0;
+
+    /** Earliest cycle at which tick() could make progress
+     *  (kNoEvent when idle). */
+    virtual uint64_t nextEventCycle() const = 0;
+
+    /** True when no rays are in flight or queued. */
+    virtual bool idle() const = 0;
+
+    void setCompletion(CompletionFn fn) { completion_ = std::move(fn); }
+    void setCtaDrained(CtaDrainedFn fn) { ctaDrained_ = std::move(fn); }
+
+    const RtStats &stats() const { return stats_; }
+    uint32_t smId() const { return smId_; }
+
+  protected:
+    /** Per-ray execution stage within the RT unit pipeline. */
+    enum class Stage : uint8_t
+    {
+        WaitData,  //!< Ray data load outstanding (treelet queues).
+        NeedIssue, //!< Needs its next BVH address issued.
+        WaitMem,   //!< Memory response outstanding.
+        WaitIsect, //!< In the intersection pipeline.
+        Done,
+    };
+
+    /** A ray entry of the warp buffer. */
+    struct RayEntry
+    {
+        bool valid = false;
+        uint8_t lane = 0;
+        uint64_t warpToken = 0;
+        uint32_t ctaToken = 0;
+        uint32_t rayId = 0; //!< Virtual ray id (treelet queues only).
+        RayTraverser trav;
+        Stage stage = Stage::Done;
+        uint64_t ready = 0;
+        bool fetchIsLeaf = false;
+    };
+
+    /**
+     * Run the WaitData/NeedIssue/WaitMem/WaitIsect stages for @p e at
+     * time @p now as far as shared-resource limits allow. Stops (and
+     * returns) whenever the traverser reaches a boundary or finishes —
+     * the caller's policy then decides. With @p stop_at_issue the ray
+     * additionally halts before issuing its next access (used to drain
+     * a warp that is being terminated into the treelet queues).
+     * @return true if state changed.
+     */
+    bool stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
+                 bool stop_at_issue = false);
+
+    /** Whether the traverser needs a policy decision. */
+    static bool
+    needsPolicy(const RayEntry &e)
+    {
+        return e.stage == Stage::NeedIssue &&
+               (e.trav.done() || e.trav.atBoundary());
+    }
+
+    /** Hook: called for each demand-fetched BVH line (the treelet
+     *  prefetcher tracks prefetch usefulness with this). */
+    virtual void onDemandLine(uint64_t line_addr) { (void)line_addr; }
+    /** Hook: called whenever a ray crosses into a new treelet. */
+    virtual void
+    onTreeletEnter(uint64_t now, uint32_t treelet)
+    {
+        (void)now;
+        (void)treelet;
+    }
+
+    const GpuConfig &cfg_;
+    MemorySystem &mem_;
+    const Bvh &bvh_;
+    uint32_t smId_;
+
+    /** Memory scheduler issue-width limiter. */
+    RateLimiter memIssue_;
+    /** Intersection pipeline front-end limiter. */
+    RateLimiter isect_;
+
+    RtStats stats_;
+    CompletionFn completion_;
+    CtaDrainedFn ctaDrained_;
+    uint64_t lastAccounted_ = 0;
+};
+
+/**
+ * Baseline ray-stationary RT unit: a small warp buffer (Table 1: one
+ * slot); each warp traverses to completion, crossing treelet boundaries
+ * freely. This is the paper's baseline GPU (with the treelet traversal
+ * order of Chou et al. already applied, as section 5 specifies).
+ */
+class BaselineRtUnit : public RtUnitBase
+{
+  public:
+    BaselineRtUnit(const GpuConfig &cfg, MemorySystem &mem, const Bvh &bvh,
+                   uint32_t sm_id);
+
+    bool tryAccept(uint64_t now, TraceRequest &&req) override;
+    void tick(uint64_t now) override;
+    uint64_t nextEventCycle() const override;
+    bool idle() const override;
+
+  protected:
+    struct WarpSlot
+    {
+        bool active = false;
+        uint64_t token = 0;
+        std::vector<RayEntry> rays;
+        std::vector<LaneHit> hits;
+        uint32_t remaining = 0;
+    };
+
+    void accountInterval(uint64_t now);
+    void fillSlotsFromQueue(uint64_t now);
+
+    std::vector<WarpSlot> slots_;
+    std::deque<TraceRequest> pending_;
+};
+
+} // namespace trt
+
+#endif // TRT_GPU_RT_UNIT_HH

@@ -1,0 +1,113 @@
+#include "gpu/shader.hh"
+
+#include "geom/onb.hh"
+#include "geom/rng.hh"
+
+namespace trt
+{
+
+PathTracer::PathTracer(const Scene &scene, const Bvh &bvh,
+                       uint32_t max_bounces, float cutoff)
+    : scene_(scene), bvh_(bvh), maxBounces_(max_bounces), cutoff_(cutoff)
+{
+}
+
+PathState
+PathTracer::startPath(uint32_t pixel, uint32_t width, uint32_t height) const
+{
+    PathState st;
+    st.pixel = pixel;
+    st.bounce = 0;
+    st.alive = true;
+    uint32_t px = pixel % width;
+    uint32_t py = pixel / width;
+    st.ray = scene_.camera.generateRay(px, py, width, height);
+    return st;
+}
+
+void
+PathTracer::shade(PathState &st, const HitRecord &hit) const
+{
+    if (!hit.hit()) {
+        // Escaped: pick up the environment and terminate.
+        st.radiance += st.throughput * scene_.background;
+        st.alive = false;
+        return;
+    }
+
+    const Triangle &tri = bvh_.triangles()[hit.triIndex];
+    const Material &mat = scene_.materials[tri.material];
+
+    if (mat.type == MaterialType::Emissive) {
+        st.radiance += st.throughput * mat.emission;
+        st.alive = false;
+        return;
+    }
+
+    if (st.bounce >= maxBounces_) {
+        st.alive = false;
+        return;
+    }
+
+    // Shading-point frame; double-sided shading (flip toward the ray).
+    Vec3 n = normalize(tri.geometricNormal());
+    if (dot(n, st.ray.dir) > 0.0f)
+        n = -n;
+    Vec3 p = st.ray.at(hit.t);
+
+    uint32_t b = st.bounce;
+    float u1 = sampleDim(st.pixel, b, 0);
+    float u2 = sampleDim(st.pixel, b, 1);
+
+    Vec3 dir;
+    switch (mat.type) {
+      case MaterialType::Mirror:
+        dir = normalize(reflect(st.ray.dir, n));
+        break;
+      case MaterialType::Glossy: {
+        Vec3 r = normalize(reflect(st.ray.dir, n));
+        Vec3 fuzz = sampleUniformSphere(u1, u2) * mat.roughness;
+        dir = normalize(r + fuzz);
+        if (dot(dir, n) <= 0.0f)
+            dir = r; // keep the lobe above the surface
+        break;
+      }
+      case MaterialType::Lambert:
+      default:
+        dir = sampleCosineHemisphere(n, u1, u2);
+        break;
+    }
+
+    // Cosine-weighted sampling cancels the cosine/pi for Lambert;
+    // specular lobes carry albedo directly.
+    st.throughput *= mat.albedo;
+    st.bounce++;
+
+    if (st.throughput.maxComponent() < cutoff_) {
+        // Contribution negligible (paper section 5.1's early exit).
+        st.alive = false;
+        return;
+    }
+
+    st.ray = Ray(p + n * 1e-4f, dir);
+    st.alive = true;
+}
+
+std::vector<Vec3>
+renderReference(const Scene &scene, const Bvh &bvh, uint32_t width,
+                uint32_t height, uint32_t max_bounces, float cutoff)
+{
+    PathTracer pt(scene, bvh, max_bounces, cutoff);
+    std::vector<Vec3> fb(size_t(width) * height);
+    for (uint32_t pixel = 0; pixel < fb.size(); pixel++) {
+        PathState st = pt.startPath(pixel, width, height);
+        while (st.alive) {
+            HitRecord hit = bvh.intersectClosest(st.ray);
+            pt.shade(st, hit);
+        }
+        fb[pixel] = st.radiance;
+    }
+    return fb;
+}
+
+} // namespace trt

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional path-tracing shader model. The timing simulator charges
+ * cycles for shader execution abstractly (instruction counts); the
+ * *values* — radiance, next-bounce rays — come from this class. All
+ * sampling is counter-based on (pixel, bounce, dimension), so results
+ * are identical regardless of execution order, which lets the test
+ * suite assert that every architecture renders the same image.
+ */
+
+#ifndef TRT_GPU_SHADER_HH
+#define TRT_GPU_SHADER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "geom/ray.hh"
+#include "scene/scene.hh"
+
+namespace trt
+{
+
+/** Per-thread path state (what the raygen shader keeps in registers). */
+struct PathState
+{
+    uint32_t pixel = 0;
+    Vec3 throughput{1.0f, 1.0f, 1.0f};
+    Vec3 radiance{0.0f, 0.0f, 0.0f};
+    uint8_t bounce = 0;   //!< Trace round: 0 = primary ray.
+    bool alive = false;   //!< Needs another trace.
+    Ray ray;              //!< Ray for the pending/next trace.
+};
+
+/** Functional path tracer: primary ray generation and shading. */
+class PathTracer
+{
+  public:
+    /**
+     * @param scene Scene (materials + camera + background).
+     * @param bvh Built BVH over the scene (hit indices refer to its
+     *        reordered triangle array).
+     * @param max_bounces Secondary bounces per path.
+     * @param cutoff Kill paths whose throughput falls below this.
+     */
+    PathTracer(const Scene &scene, const Bvh &bvh, uint32_t max_bounces,
+               float cutoff);
+
+    /** Initialize the path for @p pixel with its primary ray. */
+    PathState startPath(uint32_t pixel, uint32_t width,
+                        uint32_t height) const;
+
+    /**
+     * Consume the traversal result for the pending ray: accumulate
+     * radiance, sample the next direction and update @p state.
+     * On return, state.alive says whether another trace is needed
+     * (state.ray holds the next ray).
+     */
+    void shade(PathState &state, const HitRecord &hit) const;
+
+    const Scene &scene() const { return scene_; }
+    const Bvh &bvh() const { return bvh_; }
+
+  private:
+    const Scene &scene_;
+    const Bvh &bvh_;
+    uint32_t maxBounces_;
+    float cutoff_;
+};
+
+/**
+ * Render the whole frame functionally (no timing). Used by tests as the
+ * golden reference and by the preview example.
+ */
+std::vector<Vec3> renderReference(const Scene &scene, const Bvh &bvh,
+                                  uint32_t width, uint32_t height,
+                                  uint32_t max_bounces, float cutoff);
+
+} // namespace trt
+
+#endif // TRT_GPU_SHADER_HH

@@ -1,0 +1,315 @@
+#include "harness/harness.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "bvh/io.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+/** Bump when scene generators, BVH build or formats change. */
+constexpr uint32_t kBundleCacheVersion = 1;
+
+const char *
+envStr(const char *name)
+{
+    return std::getenv(name);
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = envStr(name);
+    return v ? std::atof(v) : fallback;
+}
+
+template <typename T>
+void
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    uint64_t n = v.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    if (n)
+        os.write(reinterpret_cast<const char *>(v.data()),
+                 std::streamsize(n * sizeof(T)));
+}
+
+template <typename T>
+bool
+readVec(std::istream &is, std::vector<T> &v)
+{
+    uint64_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!is || n > (1ull << 32))
+        return false;
+    v.resize(n);
+    if (n)
+        is.read(reinterpret_cast<char *>(v.data()),
+                std::streamsize(n * sizeof(T)));
+    return bool(is);
+}
+
+/** Directory of the bundle cache; empty string disables caching. */
+std::string
+cacheDir()
+{
+    const char *v = envStr("TRT_CACHE");
+    if (!v)
+        return ".trt_cache";
+    std::string s = v;
+    return s == "0" || s.empty() ? std::string() : s;
+}
+
+std::filesystem::path
+cachePath(const std::string &name, float scale)
+{
+    std::ostringstream ss;
+    ss << name << "_s" << scale << "_v" << kBundleCacheVersion << ".bin";
+    return std::filesystem::path(cacheDir()) / ss.str();
+}
+
+bool
+loadBundleFile(const std::filesystem::path &path, SceneBundle &b)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return false;
+    uint32_t magic = 0, ver = 0;
+    is.read(reinterpret_cast<char *>(&magic), 4);
+    is.read(reinterpret_cast<char *>(&ver), 4);
+    if (!is || magic != 0x54525442u || ver != kBundleCacheVersion)
+        return false;
+
+    uint64_t name_len = 0;
+    is.read(reinterpret_cast<char *>(&name_len), sizeof(name_len));
+    if (!is || name_len > 256)
+        return false;
+    b.scene.name.resize(name_len);
+    is.read(b.scene.name.data(), std::streamsize(name_len));
+    b.name = b.scene.name;
+
+    is.read(reinterpret_cast<char *>(&b.scene.background),
+            sizeof(b.scene.background));
+    Camera::State cam{};
+    is.read(reinterpret_cast<char *>(&cam), sizeof(cam));
+    b.scene.camera = Camera::fromState(cam);
+    if (!readVec(is, b.scene.materials) ||
+        !readVec(is, b.scene.triangles)) {
+        return false;
+    }
+    if (!BvhIo::load(is, b.bvh))
+        return false;
+    b.bvhStats = b.bvh.stats();
+    return true;
+}
+
+void
+saveBundleFile(const std::filesystem::path &path, const SceneBundle &b)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        return;
+    uint32_t magic = 0x54525442u, ver = kBundleCacheVersion;
+    os.write(reinterpret_cast<const char *>(&magic), 4);
+    os.write(reinterpret_cast<const char *>(&ver), 4);
+    uint64_t name_len = b.scene.name.size();
+    os.write(reinterpret_cast<const char *>(&name_len), sizeof(name_len));
+    os.write(b.scene.name.data(), std::streamsize(name_len));
+    os.write(reinterpret_cast<const char *>(&b.scene.background),
+             sizeof(b.scene.background));
+    Camera::State cam = b.scene.camera.state();
+    os.write(reinterpret_cast<const char *>(&cam), sizeof(cam));
+    writeVec(os, b.scene.materials);
+    writeVec(os, b.scene.triangles);
+    BvhIo::save(os, b.bvh);
+}
+
+} // anonymous namespace
+
+HarnessOptions
+HarnessOptions::fromEnv()
+{
+    HarnessOptions opt;
+    if (envStr("TRT_FAST") && std::atoi(envStr("TRT_FAST")) != 0) {
+        opt.resolution = 64;
+        opt.sceneScale = 0.15f;
+    }
+    opt.resolution = uint32_t(envDouble("TRT_RES", opt.resolution));
+    opt.sceneScale = float(envDouble("TRT_SCALE", opt.sceneScale));
+    opt.threads = uint32_t(envDouble("TRT_THREADS", 0));
+    if (const char *r = envStr("TRT_RESULTS"))
+        opt.resultsDir = r;
+
+    if (const char *s = envStr("TRT_SCENES")) {
+        std::stringstream ss(s);
+        std::string item;
+        while (std::getline(ss, item, ','))
+            if (!item.empty())
+                opt.scenes.push_back(item);
+    }
+    if (opt.scenes.empty())
+        opt.scenes = sceneNames();
+    return opt;
+}
+
+GpuConfig
+HarnessOptions::apply(GpuConfig cfg) const
+{
+    cfg.imageWidth = resolution;
+    cfg.imageHeight = resolution;
+    return cfg;
+}
+
+const SceneBundle &
+getSceneBundle(const std::string &name, float scale)
+{
+    struct Key
+    {
+        std::string name;
+        float scale;
+        bool
+        operator<(const Key &o) const
+        {
+            return name != o.name ? name < o.name : scale < o.scale;
+        }
+    };
+    static std::map<Key, std::unique_ptr<SceneBundle>> cache;
+    static std::mutex mtx;
+    // Per-bundle build mutexes so two scenes can build concurrently but
+    // the same scene is built once.
+    static std::map<Key, std::unique_ptr<std::mutex>> building;
+
+    Key key{name, scale};
+    std::mutex *bmtx;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        auto it = cache.find(key);
+        if (it != cache.end() && it->second)
+            return *it->second;
+        auto bit = building.find(key);
+        if (bit == building.end())
+            bit = building.emplace(key,
+                                   std::make_unique<std::mutex>()).first;
+        bmtx = bit->second.get();
+    }
+
+    std::lock_guard<std::mutex> build_lock(*bmtx);
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        auto it = cache.find(key);
+        if (it != cache.end() && it->second)
+            return *it->second;
+    }
+
+    auto bundle = std::make_unique<SceneBundle>();
+    bool cached = false;
+    if (!cacheDir().empty())
+        cached = loadBundleFile(cachePath(name, scale), *bundle);
+    if (!cached) {
+        bundle->name = name;
+        bundle->scene = buildScene(name, scale);
+        bundle->bvh = Bvh::build(bundle->scene.triangles);
+        bundle->bvhStats = bundle->bvh.stats();
+        if (!cacheDir().empty())
+            saveBundleFile(cachePath(name, scale), *bundle);
+    }
+
+    std::lock_guard<std::mutex> lk(mtx);
+    auto [it, inserted] = cache.emplace(key, std::move(bundle));
+    (void)inserted;
+    return *it->second;
+}
+
+RunStats
+runScene(const std::string &name, const GpuConfig &cfg,
+         const HarnessOptions &opt)
+{
+    const SceneBundle &b = getSceneBundle(name, opt.sceneScale);
+    return simulate(cfg, b.scene, b.bvh);
+}
+
+void
+parallelForScenes(const HarnessOptions &opt,
+                  const std::function<void(size_t, const std::string &)> &fn)
+{
+    uint32_t hw = std::thread::hardware_concurrency();
+    uint32_t n_threads = opt.threads ? opt.threads : (hw ? hw : 4);
+    n_threads = std::min<uint32_t>(n_threads,
+                                   uint32_t(opt.scenes.size()));
+    if (n_threads <= 1) {
+        for (size_t i = 0; i < opt.scenes.size(); i++)
+            fn(i, opt.scenes[i]);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    std::mutex err_mtx;
+    std::exception_ptr first_error;
+    for (uint32_t t = 0; t < n_threads; t++) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= opt.scenes.size())
+                    return;
+                try {
+                    fn(i, opt.scenes[i]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(err_mtx);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<RunStats>
+runAllScenes(const HarnessOptions &opt,
+             const std::function<GpuConfig(const std::string &)> &cfg_for)
+{
+    std::vector<RunStats> results(opt.scenes.size());
+    parallelForScenes(opt, [&](size_t i, const std::string &name) {
+        results[i] = runScene(name, cfg_for(name), opt);
+    });
+    return results;
+}
+
+void
+writeCsv(const HarnessOptions &opt, const Table &table,
+         const std::string &filename)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opt.resultsDir, ec);
+    std::ofstream out(std::filesystem::path(opt.resultsDir) / filename);
+    if (out)
+        table.printCsv(out);
+}
+
+void
+printBenchHeader(const std::string &title, const HarnessOptions &opt)
+{
+    std::cout << "==== " << title << " ====\n"
+              << "resolution=" << opt.resolution << "x" << opt.resolution
+              << " scene_scale=" << opt.sceneScale
+              << " scenes=" << opt.scenes.size() << "\n\n";
+}
+
+} // namespace trt

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries: environment
+ * knobs, process-wide scene/BVH caching, and parallel execution of
+ * scene x configuration sweeps.
+ *
+ * Environment variables:
+ *   TRT_RES      image resolution (square), default 256 (as the paper).
+ *   TRT_SCALE    scene triangle-budget multiplier, default 1.0.
+ *   TRT_SCENES   comma-separated subset of scene names.
+ *   TRT_FAST     =1: resolution 64, scale 0.15 (smoke runs).
+ *   TRT_THREADS  max parallel scene simulations (default: hw threads).
+ *   TRT_RESULTS  directory for CSV dumps, default "results".
+ */
+
+#ifndef TRT_HARNESS_HARNESS_HH
+#define TRT_HARNESS_HARNESS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "core/arch.hh"
+#include "gpu/gpu.hh"
+#include "scene/registry.hh"
+#include "stats/table.hh"
+
+namespace trt
+{
+
+/** Scene + BVH built once per (name, scale) and shared across runs. */
+struct SceneBundle
+{
+    std::string name;
+    Scene scene;
+    Bvh bvh;
+    BvhStats bvhStats;
+};
+
+/** Harness-level options (mostly from the environment). */
+struct HarnessOptions
+{
+    uint32_t resolution = 256;
+    float sceneScale = 1.0f;
+    std::vector<std::string> scenes; //!< Defaults to all of Table 2.
+    uint32_t threads = 0;            //!< 0 = hardware concurrency.
+    std::string resultsDir = "results";
+
+    /** Read TRT_* environment variables. */
+    static HarnessOptions fromEnv();
+
+    /** Apply resolution to a GpuConfig. */
+    GpuConfig apply(GpuConfig cfg) const;
+};
+
+/**
+ * Get (building and caching on first use) the bundle for @p name at
+ * @p scale. Thread-safe; the returned reference lives for the process.
+ */
+const SceneBundle &getSceneBundle(const std::string &name, float scale);
+
+/** Simulate one scene under @p cfg (resolution from cfg). */
+RunStats runScene(const std::string &name, const GpuConfig &cfg,
+                  const HarnessOptions &opt);
+
+/**
+ * Run @p fn for every scene in @p opt.scenes, up to opt.threads at a
+ * time. Results are returned in scene order. Exceptions propagate.
+ */
+std::vector<RunStats> runAllScenes(
+    const HarnessOptions &opt,
+    const std::function<GpuConfig(const std::string &)> &cfg_for);
+
+/** Per-scene runner variant returning arbitrary results. */
+void parallelForScenes(const HarnessOptions &opt,
+                       const std::function<void(size_t idx,
+                                                const std::string &)> &fn);
+
+/** Write @p table as CSV into opt.resultsDir / @p filename. */
+void writeCsv(const HarnessOptions &opt, const Table &table,
+              const std::string &filename);
+
+/** Print a standard bench header with the effective options. */
+void printBenchHeader(const std::string &title, const HarnessOptions &opt);
+
+} // namespace trt
+
+#endif // TRT_HARNESS_HARNESS_HH

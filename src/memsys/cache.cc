@@ -1,0 +1,193 @@
+#include "memsys/cache.hh"
+
+#include <cassert>
+
+namespace trt
+{
+
+namespace
+{
+
+[[maybe_unused]] bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // anonymous namespace
+
+Cache::Cache(uint64_t size_bytes, uint32_t ways, uint32_t line_bytes)
+    : lineBytes_(line_bytes), mask_(line_bytes - 1),
+      lines_(size_bytes / line_bytes), ways_(ways)
+{
+    assert(isPow2(line_bytes));
+    assert(lines_ > 0);
+
+    if (ways_ == 0) {
+        faSlots_.resize(lines_);
+        faFree_.reserve(lines_);
+        for (uint32_t i = 0; i < lines_; i++)
+            faFree_.push_back(uint32_t(lines_ - 1 - i));
+        faMap_.reserve(lines_ * 2);
+    } else {
+        sets_ = lines_ / ways_;
+        assert(sets_ > 0 && isPow2(sets_));
+        saWays_.resize(lines_);
+    }
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    uint64_t tag = addr / lineBytes_;
+    return ways_ == 0 ? faAccess(tag, false) : saAccess(tag, false);
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t tag = addr / lineBytes_;
+    if (ways_ == 0)
+        return faMap_.count(tag) != 0;
+    uint64_t set = tag & (sets_ - 1);
+    const SaWay *base = &saWays_[set * ways_];
+    for (uint32_t w = 0; w < ways_; w++)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+Cache::install(uint64_t addr)
+{
+    uint64_t tag = addr / lineBytes_;
+    if (ways_ == 0)
+        faAccess(tag, true);
+    else
+        saAccess(tag, true);
+}
+
+void
+Cache::invalidateAll()
+{
+    if (ways_ == 0) {
+        faMap_.clear();
+        faFree_.clear();
+        for (uint32_t i = 0; i < lines_; i++) {
+            faSlots_[i] = FaSlot{};
+            faFree_.push_back(uint32_t(lines_ - 1 - i));
+        }
+        faHead_ = faTail_ = ~0u;
+    } else {
+        for (auto &w : saWays_)
+            w = SaWay{};
+    }
+}
+
+uint64_t
+Cache::residentLines() const
+{
+    if (ways_ == 0)
+        return faMap_.size();
+    uint64_t n = 0;
+    for (const auto &w : saWays_)
+        n += w.valid ? 1 : 0;
+    return n;
+}
+
+void
+Cache::faDetach(uint32_t slot)
+{
+    FaSlot &s = faSlots_[slot];
+    if (s.prev != ~0u)
+        faSlots_[s.prev].next = s.next;
+    else
+        faHead_ = s.next;
+    if (s.next != ~0u)
+        faSlots_[s.next].prev = s.prev;
+    else
+        faTail_ = s.prev;
+    s.prev = s.next = ~0u;
+}
+
+void
+Cache::faAttachFront(uint32_t slot)
+{
+    FaSlot &s = faSlots_[slot];
+    s.prev = ~0u;
+    s.next = faHead_;
+    if (faHead_ != ~0u)
+        faSlots_[faHead_].prev = slot;
+    faHead_ = slot;
+    if (faTail_ == ~0u)
+        faTail_ = slot;
+}
+
+void
+Cache::faTouch(uint32_t slot)
+{
+    if (faHead_ == slot)
+        return;
+    faDetach(slot);
+    faAttachFront(slot);
+}
+
+bool
+Cache::faAccess(uint64_t tag, bool install_only)
+{
+    auto it = faMap_.find(tag);
+    if (it != faMap_.end()) {
+        if (!install_only)
+            faTouch(it->second);
+        return true;
+    }
+
+    uint32_t slot;
+    if (!faFree_.empty()) {
+        slot = faFree_.back();
+        faFree_.pop_back();
+    } else {
+        slot = faTail_;
+        faDetach(slot);
+        faMap_.erase(faSlots_[slot].tag);
+    }
+    faSlots_[slot].tag = tag;
+    faSlots_[slot].valid = true;
+    faAttachFront(slot);
+    faMap_[tag] = slot;
+    return false;
+}
+
+bool
+Cache::saAccess(uint64_t tag, bool install_only)
+{
+    uint64_t set = tag & (sets_ - 1);
+    SaWay *base = &saWays_[set * ways_];
+    stampCounter_++;
+    for (uint32_t w = 0; w < ways_; w++) {
+        if (base[w].valid && base[w].tag == tag) {
+            if (!install_only)
+                base[w].stamp = stampCounter_;
+            return true;
+        }
+    }
+    // Miss: evict LRU (or fill an invalid way).
+    uint32_t victim = 0;
+    uint64_t best = ~0ull;
+    for (uint32_t w = 0; w < ways_; w++) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].stamp < best) {
+            best = base[w].stamp;
+            victim = w;
+        }
+    }
+    base[victim].valid = true;
+    base[victim].tag = tag;
+    base[victim].stamp = stampCounter_;
+    return false;
+}
+
+} // namespace trt

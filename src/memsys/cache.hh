@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A single cache level: LRU replacement, set-associative or fully
+ * associative (the paper's Table 1 L1 is 16KB fully associative LRU, the
+ * L2 is 128KB 16-way). Tracks line presence only; latency and bandwidth
+ * are modeled by MemorySystem.
+ */
+
+#ifndef TRT_MEMSYS_CACHE_HH
+#define TRT_MEMSYS_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace trt
+{
+
+/** One cache structure (tag store only). */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity.
+     * @param ways Associativity; 0 means fully associative.
+     * @param line_bytes Line size.
+     */
+    Cache(uint64_t size_bytes, uint32_t ways, uint32_t line_bytes);
+
+    uint32_t lineBytes() const { return lineBytes_; }
+    uint64_t lines() const { return lines_; }
+
+    /** Line-aligned address of @p addr. */
+    uint64_t lineAddr(uint64_t addr) const { return addr & ~mask_; }
+
+    /**
+     * Access @p addr (any byte address): on hit, update LRU and return
+     * true; on miss, install the line (allocate-on-miss, evicting LRU)
+     * and return false.
+     */
+    bool access(uint64_t addr);
+
+    /** True when the line holding @p addr is present (no LRU update). */
+    bool probe(uint64_t addr) const;
+
+    /** Install the line holding @p addr without counting as an access
+     *  (prefetch fill). */
+    void install(uint64_t addr);
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    /** Lines currently resident (diagnostics). */
+    uint64_t residentLines() const;
+
+  private:
+    // --- fully associative implementation: hash map + intrusive LRU ---
+    struct FaSlot
+    {
+        uint64_t tag = ~0ull;
+        uint32_t prev = ~0u;
+        uint32_t next = ~0u;
+        bool valid = false;
+    };
+
+    bool faAccess(uint64_t tag, bool install_only);
+    void faTouch(uint32_t slot);
+    void faDetach(uint32_t slot);
+    void faAttachFront(uint32_t slot);
+
+    // --- set associative implementation: per-set arrays + stamps ------
+    struct SaWay
+    {
+        uint64_t tag = ~0ull;
+        uint64_t stamp = 0;
+        bool valid = false;
+    };
+
+    bool saAccess(uint64_t tag, bool install_only);
+
+    uint32_t lineBytes_;
+    uint64_t mask_;
+    uint64_t lines_;
+    uint32_t ways_;      //!< 0 = fully associative.
+    uint64_t sets_ = 1;
+
+    // Fully associative state.
+    std::unordered_map<uint64_t, uint32_t> faMap_;
+    std::vector<FaSlot> faSlots_;
+    std::vector<uint32_t> faFree_;
+    uint32_t faHead_ = ~0u; //!< MRU.
+    uint32_t faTail_ = ~0u; //!< LRU.
+
+    // Set associative state.
+    std::vector<SaWay> saWays_;
+    uint64_t stampCounter_ = 0;
+};
+
+} // namespace trt
+
+#endif // TRT_MEMSYS_CACHE_HH

@@ -1,0 +1,250 @@
+#include "memsys/memsys.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace trt
+{
+
+const char *
+memClassName(MemClass c)
+{
+    switch (c) {
+      case MemClass::BvhNode:
+        return "bvh_node";
+      case MemClass::Triangle:
+        return "triangle";
+      case MemClass::RayData:
+        return "ray_data";
+      case MemClass::CtaState:
+        return "cta_state";
+      case MemClass::Shader:
+        return "shader";
+      case MemClass::QueueTable:
+        return "queue_table";
+      default:
+        return "unknown";
+    }
+}
+
+MemorySystem::MemorySystem(const MemConfig &cfg)
+    : cfg_(cfg),
+      l2_(std::max<uint64_t>(cfg.lineBytes * cfg.l2Ways,
+                             cfg.l2Bytes - cfg.l2ReservedBytes),
+          cfg.l2Ways, cfg.lineBytes),
+      dramCyclesPerByte_(1.0 / cfg.dramBytesPerCycle)
+{
+    l1s_.reserve(cfg.numL1s);
+    for (uint32_t i = 0; i < cfg.numL1s; i++)
+        l1s_.emplace_back(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes);
+    if (cfg.l2ReservedBytes > 0) {
+        // Reserved partition is fully associative: it holds a known
+        // working set (ray data) and should not suffer conflict misses.
+        l2Reserved_ = std::make_unique<Cache>(cfg.l2ReservedBytes, 0,
+                                              cfg.lineBytes);
+    }
+}
+
+uint64_t
+MemorySystem::dramService(uint64_t now, uint32_t bytes, MemClass cls,
+                          bool is_write)
+{
+    auto &st = stats_[size_t(cls)];
+    st.dramAccesses++;
+    if (is_write)
+        st.dramWriteBytes += bytes;
+    else
+        st.dramReadBytes += bytes;
+
+    uint64_t service =
+        std::max<uint64_t>(1, uint64_t(double(bytes) * dramCyclesPerByte_));
+    uint64_t start = std::max(now, dramBusyUntil_);
+    dramBusyUntil_ = start + service;
+    // Completion = queueing delay + array latency + service.
+    return start + cfg_.dramLatency + service;
+}
+
+void
+MemorySystem::notePending(std::unordered_map<uint64_t, LineFill> &map,
+                          uint64_t key, uint64_t ready)
+{
+    map[key] = LineFill{ready};
+    if (++pendingSweep_ >= 65536) {
+        pendingSweep_ = 0;
+        cleanPending(pendingL1_, ready);
+        cleanPending(pendingL2_, ready);
+    }
+}
+
+uint64_t
+MemorySystem::pendingReady(const std::unordered_map<uint64_t, LineFill> &map,
+                           uint64_t key, uint64_t now) const
+{
+    auto it = map.find(key);
+    if (it == map.end() || it->second.readyCycle <= now)
+        return 0;
+    return it->second.readyCycle;
+}
+
+void
+MemorySystem::cleanPending(std::unordered_map<uint64_t, LineFill> &map,
+                           uint64_t now)
+{
+    for (auto it = map.begin(); it != map.end();) {
+        if (it->second.readyCycle <= now)
+            it = map.erase(it);
+        else
+            ++it;
+    }
+}
+
+uint64_t
+MemorySystem::readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
+                       MemClass cls, bool bypass_l1, bool install_only)
+{
+    auto &st = stats_[size_t(cls)];
+    bool bvh = cls == MemClass::BvhNode || cls == MemClass::Triangle;
+    uint64_t l1_key = (uint64_t(sm) << 48) | (line_addr & 0xffffffffffffull);
+
+    if (!bypass_l1) {
+        st.l1Accesses++;
+        bool hit = install_only ? l1s_[sm].probe(line_addr)
+                                : l1s_[sm].access(line_addr);
+        if (hit) {
+            // If the line's fill is still in flight, wait for it.
+            uint64_t pend = pendingReady(pendingL1_, l1_key, now);
+            uint64_t ready = std::max(now + cfg_.l1HitLatency, pend);
+            if (bvh && bvhSeries_)
+                bvhSeries_->record(now, 0, 1);
+            return ready;
+        }
+        st.l1Misses++;
+        if (bvh && bvhSeries_)
+            bvhSeries_->record(now, 1, 1);
+        if (install_only)
+            l1s_[sm].install(line_addr);
+    }
+
+    // L2 lookup. Ray data goes to the reserved partition when present.
+    Cache *l2 = &l2_;
+    if (cls == MemClass::RayData && l2Reserved_)
+        l2 = l2Reserved_.get();
+    st.l2Accesses++;
+    bool l2_hit = l2->access(line_addr);
+    uint64_t ready;
+    if (l2_hit) {
+        uint64_t pend = pendingReady(pendingL2_, line_addr, now);
+        ready = std::max(now + cfg_.l2HitLatency, pend);
+    } else {
+        st.l2Misses++;
+        ready = dramService(now + cfg_.l2HitLatency, cfg_.lineBytes, cls,
+                            false);
+        notePending(pendingL2_, line_addr, ready);
+    }
+    if (!bypass_l1)
+        notePending(pendingL1_, l1_key, ready);
+    return ready;
+}
+
+MemorySystem::Access
+MemorySystem::read(uint64_t now, uint32_t sm, uint64_t addr, uint32_t bytes,
+                   MemClass cls, bool bypass_l1)
+{
+    assert(sm < l1s_.size());
+    Access acc;
+    uint64_t first = l1s_[sm].lineAddr(addr);
+    uint64_t last = l1s_[sm].lineAddr(addr + (bytes ? bytes - 1 : 0));
+
+    // Multi-line requests issue back to back; completion is the max.
+    uint64_t ready = now;
+    uint32_t line = 0;
+    for (uint64_t a = first; a <= last; a += cfg_.lineBytes, line++) {
+        uint64_t r = readLine(now + line, sm, a, cls, bypass_l1, false);
+        ready = std::max(ready, r);
+        if (line == 0) {
+            // Report hit levels of the first line (diagnostics only).
+            acc.l1Hit = r <= now + cfg_.l1HitLatency;
+            acc.l2Hit = r <= now + cfg_.l2HitLatency;
+        }
+    }
+    acc.readyCycle = ready;
+    return acc;
+}
+
+void
+MemorySystem::write(uint64_t now, uint32_t sm, uint64_t addr, uint32_t bytes,
+                    MemClass cls)
+{
+    (void)sm;
+    (void)addr;
+    auto &st = stats_[size_t(cls)];
+    st.writes++;
+    // Write-through, no-allocate: consume DRAM bandwidth only. The
+    // requester does not wait (stores retire through a write queue).
+    dramService(now, bytes, cls, true);
+}
+
+uint64_t
+MemorySystem::prefetchL1(uint64_t now, uint32_t sm, uint64_t addr,
+                         uint32_t bytes, MemClass cls)
+{
+    assert(sm < l1s_.size());
+    uint64_t first = l1s_[sm].lineAddr(addr);
+    uint64_t last = l1s_[sm].lineAddr(addr + (bytes ? bytes - 1 : 0));
+
+    uint64_t ready = now;
+    uint32_t line = 0;
+    for (uint64_t a = first; a <= last; a += cfg_.lineBytes, line++) {
+        uint64_t l1_key = (uint64_t(sm) << 48) | (a & 0xffffffffffffull);
+        if (l1s_[sm].probe(a)) {
+            // Already resident; maybe still in flight from earlier.
+            ready = std::max(ready, pendingReady(pendingL1_, l1_key, now));
+            continue;
+        }
+        uint64_t r = readLine(now + line, sm, a, cls, false, true);
+        notePending(pendingL1_, l1_key, r);
+        ready = std::max(ready, r);
+    }
+    return ready;
+}
+
+bool
+MemorySystem::l1Probe(uint32_t sm, uint64_t addr) const
+{
+    return l1s_[sm].probe(addr);
+}
+
+MemClassStats
+MemorySystem::totalStats() const
+{
+    MemClassStats t;
+    for (const auto &s : stats_) {
+        t.l1Accesses += s.l1Accesses;
+        t.l1Misses += s.l1Misses;
+        t.l2Accesses += s.l2Accesses;
+        t.l2Misses += s.l2Misses;
+        t.dramAccesses += s.dramAccesses;
+        t.dramReadBytes += s.dramReadBytes;
+        t.dramWriteBytes += s.dramWriteBytes;
+        t.writes += s.writes;
+    }
+    return t;
+}
+
+double
+MemorySystem::bvhL1MissRate() const
+{
+    const auto &n = stats_[size_t(MemClass::BvhNode)];
+    const auto &t = stats_[size_t(MemClass::Triangle)];
+    uint64_t acc = n.l1Accesses + t.l1Accesses;
+    uint64_t miss = n.l1Misses + t.l1Misses;
+    return acc ? double(miss) / double(acc) : 0.0;
+}
+
+void
+MemorySystem::enableBvhSeries(uint64_t window_cycles)
+{
+    bvhSeries_ = std::make_unique<WindowedSeries>(window_cycles);
+}
+
+} // namespace trt

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The simulated memory hierarchy: per-SM L1 caches, a shared L2 (with an
+ * optional reserved partition for treelet-queue ray data, paper section
+ * 4.2), and DRAM with a latency + bandwidth model. Requests are tagged
+ * with a class so the figures can report BVH-only miss rates (Fig. 1a,
+ * Fig. 11) and price ray-virtualization traffic separately (Fig. 16/17).
+ *
+ * Timing style: latencies are resolved at issue ("ready cycle" returned
+ * to the requester) with an MSHR-like pending-line table so concurrent
+ * misses to the same line merge instead of each paying DRAM latency —
+ * and so a ray touching a line whose fill is still in flight waits for
+ * the fill, not an L1 hit.
+ */
+
+#ifndef TRT_MEMSYS_MEMSYS_HH
+#define TRT_MEMSYS_MEMSYS_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "memsys/cache.hh"
+#include "stats/stats.hh"
+
+namespace trt
+{
+
+/** Request classes for accounting. */
+enum class MemClass : uint8_t
+{
+    BvhNode = 0, //!< Internal BVH node fetch from the RT unit.
+    Triangle,    //!< Leaf triangle block fetch from the RT unit.
+    RayData,     //!< Treelet-queue ray data (L2 reserved region).
+    CtaState,    //!< Ray virtualization CTA save/restore traffic.
+    Shader,      //!< Generic shader-core memory traffic.
+    QueueTable,  //!< Treelet queue table held in the L1.
+    NumClasses
+};
+
+/** Printable name of @p c. */
+const char *memClassName(MemClass c);
+
+/** Memory hierarchy parameters (defaults = paper Table 1). */
+struct MemConfig
+{
+    /** 128B lines as in Accel-Sim's RTX 3080 model (two BVH nodes per
+     *  line; siblings are adjacent, giving mild spatial locality). */
+    uint32_t lineBytes = 128;
+    uint32_t numL1s = 16;           //!< One per SM.
+    uint64_t l1Bytes = 16 * 1024;   //!< 16KB fully assoc LRU.
+    uint32_t l1Ways = 0;            //!< 0 = fully associative.
+    uint32_t l1HitLatency = 39;
+    uint64_t l2Bytes = 128 * 1024;  //!< 128KB 16-way LRU.
+    uint32_t l2Ways = 16;
+    uint32_t l2HitLatency = 187;    //!< Round-trip from the core.
+    /** L2 bytes reserved for treelet-queue ray data (0 in baseline). */
+    uint64_t l2ReservedBytes = 0;
+    uint32_t dramLatency = 300;     //!< Added beyond the L2 round trip.
+    /** DRAM service bandwidth in bytes per core cycle. */
+    double dramBytesPerCycle = 128.0;
+};
+
+/** Per-class, per-level counters. */
+struct MemClassStats
+{
+    uint64_t l1Accesses = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t dramAccesses = 0;
+    uint64_t dramReadBytes = 0;
+    uint64_t dramWriteBytes = 0;
+    uint64_t writes = 0;
+};
+
+/** The full hierarchy. One instance per simulated GPU. */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemConfig &cfg);
+
+    const MemConfig &config() const { return cfg_; }
+
+    /** Result of a read. */
+    struct Access
+    {
+        uint64_t readyCycle = 0;
+        bool l1Hit = false;
+        bool l2Hit = false;
+    };
+
+    /**
+     * Read @p bytes at @p addr from SM @p sm at time @p now. Multi-line
+     * requests issue all lines back to back; the returned ready cycle is
+     * when the last line arrives.
+     *
+     * @param bypass_l1 Route around the L1 (ray-data loads do this so
+     *        they cannot evict treelet data, paper section 4.2).
+     */
+    Access read(uint64_t now, uint32_t sm, uint64_t addr, uint32_t bytes,
+                MemClass cls, bool bypass_l1 = false);
+
+    /**
+     * Write @p bytes (write-through, no-allocate). Consumes DRAM
+     * bandwidth and counts traffic; the caller does not wait for it.
+     */
+    void write(uint64_t now, uint32_t sm, uint64_t addr, uint32_t bytes,
+               MemClass cls);
+
+    /**
+     * Prefetch [addr, addr+bytes) into SM @p sm's L1 (treelet loads and
+     * the treelet prefetcher use this). Lines are installed immediately
+     * and marked in flight; a demand access before the fill completes
+     * waits for it. @return cycle the last line arrives.
+     */
+    uint64_t prefetchL1(uint64_t now, uint32_t sm, uint64_t addr,
+                        uint32_t bytes, MemClass cls);
+
+    /** True when the line holding @p addr resides in SM @p sm's L1. */
+    bool l1Probe(uint32_t sm, uint64_t addr) const;
+
+    const MemClassStats &classStats(MemClass c) const
+    { return stats_[size_t(c)]; }
+
+    /** Sum over all classes. */
+    MemClassStats totalStats() const;
+
+    /** Whole-run BVH (node + triangle) L1 miss ratio — Fig. 1a. */
+    double bvhL1MissRate() const;
+
+    /**
+     * Windowed BVH L1 miss series for Fig. 11. Enabled by the GPU model
+     * before simulation starts.
+     */
+    void enableBvhSeries(uint64_t window_cycles);
+    const WindowedSeries *bvhSeries() const { return bvhSeries_.get(); }
+
+    uint32_t lineBytes() const { return cfg_.lineBytes; }
+
+  private:
+    struct LineFill
+    {
+        uint64_t readyCycle = 0;
+    };
+
+    /** Latency for one line read; updates caches and counters. */
+    uint64_t readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
+                      MemClass cls, bool bypass_l1, bool install_only);
+
+    /** DRAM queueing + service; returns completion cycle. */
+    uint64_t dramService(uint64_t now, uint32_t bytes, MemClass cls,
+                         bool is_write);
+
+    void notePending(std::unordered_map<uint64_t, LineFill> &map,
+                     uint64_t key, uint64_t ready);
+    uint64_t pendingReady(
+        const std::unordered_map<uint64_t, LineFill> &map, uint64_t key,
+        uint64_t now) const;
+    void cleanPending(std::unordered_map<uint64_t, LineFill> &map,
+                      uint64_t now);
+
+    MemConfig cfg_;
+    std::vector<Cache> l1s_;
+    Cache l2_;
+    std::unique_ptr<Cache> l2Reserved_;
+
+    /** In-flight fills keyed by (sm << 48) | line for L1, line for L2. */
+    std::unordered_map<uint64_t, LineFill> pendingL1_;
+    std::unordered_map<uint64_t, LineFill> pendingL2_;
+    uint64_t pendingSweep_ = 0;
+
+    uint64_t dramBusyUntil_ = 0;
+    double dramCyclesPerByte_;
+
+    std::array<MemClassStats, size_t(MemClass::NumClasses)> stats_{};
+    std::unique_ptr<WindowedSeries> bvhSeries_;
+};
+
+} // namespace trt
+
+#endif // TRT_MEMSYS_MEMSYS_HH

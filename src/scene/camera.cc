@@ -1,0 +1,39 @@
+#include "scene/camera.hh"
+
+#include <cmath>
+
+#include "geom/rng.hh"
+
+namespace trt
+{
+
+Camera::Camera(const Vec3 &pos, const Vec3 &look_at, const Vec3 &up,
+               float fov_y_deg)
+    : pos_(pos)
+{
+    constexpr float kPi = 3.14159265358979323846f;
+    fwd_ = normalize(look_at - pos);
+    right_ = normalize(cross(fwd_, up));
+    up_ = cross(right_, fwd_);
+    tanHalfFov_ = std::tan(fov_y_deg * kPi / 360.0f);
+}
+
+Ray
+Camera::generateRay(uint32_t px, uint32_t py, uint32_t width,
+                    uint32_t height) const
+{
+    uint32_t pixel = py * width + px;
+    float jx = sampleDim(pixel, 0, 100);
+    float jy = sampleDim(pixel, 0, 101);
+
+    float aspect = float(width) / float(height);
+    // NDC in [-1, 1] with y up.
+    float sx = (2.0f * (float(px) + jx) / float(width) - 1.0f) * aspect;
+    float sy = 1.0f - 2.0f * (float(py) + jy) / float(height);
+
+    Vec3 dir = normalize(fwd_ + right_ * (sx * tanHalfFov_) +
+                         up_ * (sy * tanHalfFov_));
+    return Ray(pos_, dir);
+}
+
+} // namespace trt

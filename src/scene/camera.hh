@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Pinhole camera generating primary rays, one per pixel (1 spp with a
+ * deterministic in-pixel jitter, matching the paper's workload setup).
+ */
+
+#ifndef TRT_SCENE_CAMERA_HH
+#define TRT_SCENE_CAMERA_HH
+
+#include <cstdint>
+
+#include "geom/ray.hh"
+#include "geom/vec.hh"
+
+namespace trt
+{
+
+/** Pinhole camera. */
+class Camera
+{
+  public:
+    Camera() : Camera({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 45.0f) {}
+
+    /**
+     * @param pos Eye position.
+     * @param look_at Target point.
+     * @param up Up hint.
+     * @param fov_y_deg Vertical field of view in degrees.
+     */
+    Camera(const Vec3 &pos, const Vec3 &look_at, const Vec3 &up,
+           float fov_y_deg);
+
+    /**
+     * Primary ray through pixel (px, py) on a width x height image.
+     * The in-pixel offset is a deterministic hash of the pixel index so
+     * runs are bit-reproducible.
+     */
+    Ray generateRay(uint32_t px, uint32_t py, uint32_t width,
+                    uint32_t height) const;
+
+    const Vec3 &position() const { return pos_; }
+    const Vec3 &forward() const { return fwd_; }
+
+    /** Serializable snapshot of the derived camera frame. */
+    struct State
+    {
+        Vec3 pos, fwd, right, up;
+        float tanHalfFov;
+    };
+
+    State
+    state() const
+    {
+        return {pos_, fwd_, right_, up_, tanHalfFov_};
+    }
+
+    static Camera
+    fromState(const State &s)
+    {
+        Camera c;
+        c.pos_ = s.pos;
+        c.fwd_ = s.fwd;
+        c.right_ = s.right;
+        c.up_ = s.up;
+        c.tanHalfFov_ = s.tanHalfFov;
+        return c;
+    }
+
+  private:
+    Vec3 pos_;
+    Vec3 fwd_, right_, up_;
+    float tanHalfFov_;
+};
+
+} // namespace trt
+
+#endif // TRT_SCENE_CAMERA_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Procedural mesh-building primitives used to synthesize the LumiBench
+ * stand-in scenes (see scene/registry.cc and DESIGN.md section 2). Every
+ * builder is deterministic given its RNG seed.
+ */
+
+#ifndef TRT_SCENE_PROCEDURAL_HH
+#define TRT_SCENE_PROCEDURAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geom/intersect.hh"
+#include "geom/rng.hh"
+#include "geom/vec.hh"
+
+namespace trt
+{
+
+/** Minimal affine transform (rotation/scale 3x3 plus translation). */
+struct Transform
+{
+    // Row-major linear part.
+    float m[3][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}};
+    Vec3 t;
+
+    Vec3
+    apply(const Vec3 &p) const
+    {
+        return {m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + t.x,
+                m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + t.y,
+                m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + t.z};
+    }
+
+    static Transform translate(const Vec3 &d);
+    static Transform scale(float s);
+    static Transform scale(const Vec3 &s);
+    static Transform rotateY(float radians);
+    /** this ∘ other (apply @p other first). */
+    Transform compose(const Transform &other) const;
+};
+
+/**
+ * Accumulates triangles into a mesh. Primitives append triangles bound to
+ * a material index managed by the caller.
+ */
+class MeshBuilder
+{
+  public:
+    std::vector<Triangle> &triangles() { return tris_; }
+    const std::vector<Triangle> &triangles() const { return tris_; }
+    size_t triangleCount() const { return tris_.size(); }
+
+    void addTriangle(const Vec3 &a, const Vec3 &b, const Vec3 &c,
+                     uint32_t mat);
+    /** Quad (two triangles) with corners in winding order. */
+    void addQuad(const Vec3 &a, const Vec3 &b, const Vec3 &c, const Vec3 &d,
+                 uint32_t mat);
+    /** Axis-aligned box (12 triangles). */
+    void addBox(const Vec3 &lo, const Vec3 &hi, uint32_t mat);
+    /**
+     * Icosphere with @p subdivisions levels (20 * 4^n triangles),
+     * optionally displaced along the normal by @p displace(unit_point).
+     */
+    void addSphere(const Vec3 &center, float radius, int subdivisions,
+                   uint32_t mat,
+                   const std::function<float(const Vec3 &)> &displace = {});
+    /** Open cylinder between @p p0 and @p p1. */
+    void addCylinder(const Vec3 &p0, const Vec3 &p1, float radius,
+                     int segments, uint32_t mat);
+    /** Cone from base center @p base (radius @p radius) to @p apex. */
+    void addCone(const Vec3 &base, const Vec3 &apex, float radius,
+                 int segments, uint32_t mat);
+    /**
+     * Heightfield over [x0,x1]x[z0,z1] sampled on an (nx+1)x(nz+1) grid;
+     * 2*nx*nz triangles.
+     */
+    void addHeightfield(float x0, float z0, float x1, float z1, int nx,
+                        int nz, uint32_t mat,
+                        const std::function<float(float, float)> &height);
+    /** Thin vertical blade (2 triangles), e.g. a grass strand. */
+    void addBlade(const Vec3 &root, float height, float width, float lean_x,
+                  float lean_z, uint32_t mat);
+    /** Append all triangles of @p other transformed by @p xf. */
+    void append(const MeshBuilder &other, const Transform &xf);
+    /** Append all triangles of @p other as-is. */
+    void append(const MeshBuilder &other);
+
+  private:
+    std::vector<Triangle> tris_;
+};
+
+/** Deterministic value noise in [0, 1] on an integer lattice. */
+float valueNoise2(float x, float y, uint32_t seed);
+
+/** Fractal Brownian motion over valueNoise2; @p octaves >= 1. */
+float fbm2(float x, float y, int octaves, uint32_t seed);
+
+} // namespace trt
+
+#endif // TRT_SCENE_PROCEDURAL_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A renderable scene: triangle soup, materials, camera and environment.
+ */
+
+#ifndef TRT_SCENE_SCENE_HH
+#define TRT_SCENE_SCENE_HH
+
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hh"
+#include "geom/intersect.hh"
+#include "scene/camera.hh"
+#include "scene/material.hh"
+
+namespace trt
+{
+
+/** A complete scene ready for BVH construction and rendering. */
+struct Scene
+{
+    std::string name;
+    std::vector<Triangle> triangles;
+    std::vector<Material> materials;
+    Camera camera;
+    /** Environment radiance returned by rays that escape the scene. */
+    Vec3 background{0.6f, 0.7f, 0.9f};
+
+    /** Bounds over all triangles. */
+    Aabb
+    bounds() const
+    {
+        Aabb b;
+        for (const auto &t : triangles)
+            b.grow(t.bounds());
+        return b;
+    }
+
+    /** The material bound to triangle @p tri_index. */
+    const Material &
+    materialOf(uint32_t tri_index) const
+    {
+        return materials[triangles[tri_index].material];
+    }
+};
+
+} // namespace trt
+
+#endif // TRT_SCENE_SCENE_HH

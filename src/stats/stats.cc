@@ -1,0 +1,30 @@
+#include "stats/stats.hh"
+
+#include <cmath>
+
+namespace trt
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += std::log(v);
+    return std::exp(acc / double(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / double(values.size());
+}
+
+} // namespace trt

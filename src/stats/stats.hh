@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by every simulator component.
+ * Components embed these directly (no global registry lookup on the fast
+ * path); the harness walks component stat structs when printing reports.
+ */
+
+#ifndef TRT_STATS_STATS_HH
+#define TRT_STATS_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace trt
+{
+
+/**
+ * Running scalar distribution: count, sum, min, max, mean. Constant
+ * memory; suitable for per-cycle updates.
+ */
+class Distribution
+{
+  public:
+    void
+    sample(double v)
+    {
+        count_++;
+        sum_ += v;
+        minv_ = std::min(minv_, v);
+        maxv_ = std::max(maxv_, v);
+    }
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        minv_ = std::numeric_limits<double>::max();
+        maxv_ = std::numeric_limits<double>::lowest();
+    }
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double minValue() const { return count_ ? minv_ : 0.0; }
+    double maxValue() const { return count_ ? maxv_ : 0.0; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double minv_ = std::numeric_limits<double>::max();
+    double maxv_ = std::numeric_limits<double>::lowest();
+};
+
+/** Ratio of two event counters (e.g. misses / accesses). */
+struct Ratio
+{
+    uint64_t num = 0;
+    uint64_t den = 0;
+
+    void add(bool in_num) { den++; num += in_num ? 1 : 0; }
+    double value() const { return den ? double(num) / double(den) : 0.0; }
+};
+
+/**
+ * Windowed time series: aggregates (numerator, denominator) event pairs
+ * into fixed-width cycle windows. Used to produce the
+ * miss-rate-over-time curves of Figure 11.
+ */
+class WindowedSeries
+{
+  public:
+    explicit WindowedSeries(uint64_t window_cycles = 10000)
+        : window_(window_cycles ? window_cycles : 1)
+    {}
+
+    /** Record an event pair at @p cycle. */
+    void
+    record(uint64_t cycle, uint64_t num, uint64_t den)
+    {
+        size_t idx = cycle / window_;
+        if (idx >= numAcc_.size()) {
+            numAcc_.resize(idx + 1, 0);
+            denAcc_.resize(idx + 1, 0);
+        }
+        numAcc_[idx] += num;
+        denAcc_[idx] += den;
+    }
+
+    uint64_t windowCycles() const { return window_; }
+    size_t windows() const { return numAcc_.size(); }
+
+    /** Ratio in window @p idx; 0 when the window had no events. */
+    double
+    ratioAt(size_t idx) const
+    {
+        if (idx >= numAcc_.size() || denAcc_[idx] == 0)
+            return 0.0;
+        return double(numAcc_[idx]) / double(denAcc_[idx]);
+    }
+
+    uint64_t numAt(size_t idx) const
+    { return idx < numAcc_.size() ? numAcc_[idx] : 0; }
+    uint64_t denAt(size_t idx) const
+    { return idx < denAcc_.size() ? denAcc_[idx] : 0; }
+
+    /**
+     * Resample the series to exactly @p buckets points by merging
+     * neighbouring windows, so figures have a fixed number of rows
+     * regardless of run length.
+     */
+    std::vector<double>
+    resampled(size_t buckets) const
+    {
+        std::vector<double> out;
+        if (buckets == 0 || numAcc_.empty())
+            return out;
+        out.reserve(buckets);
+        double per = double(numAcc_.size()) / double(buckets);
+        for (size_t b = 0; b < buckets; b++) {
+            size_t s = static_cast<size_t>(b * per);
+            size_t e = std::max(s + 1, static_cast<size_t>((b + 1) * per));
+            e = std::min(e, numAcc_.size());
+            uint64_t n = 0, d = 0;
+            for (size_t i = s; i < e; i++) {
+                n += numAcc_[i];
+                d += denAcc_[i];
+            }
+            out.push_back(d ? double(n) / double(d) : 0.0);
+        }
+        return out;
+    }
+
+  private:
+    uint64_t window_;
+    std::vector<uint64_t> numAcc_;
+    std::vector<uint64_t> denAcc_;
+};
+
+/** Geometric mean of a vector of strictly positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+} // namespace trt
+
+#endif // TRT_STATS_STATS_HH

@@ -1,0 +1,114 @@
+#include "stats/table.hh"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace trt
+{
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::row()
+{
+    cells_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    assert(!cells_.empty() && "call row() before cell()");
+    cells_.back().push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(const char *s)
+{
+    return cell(std::string(s));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(formatDouble(v, precision));
+}
+
+Table &
+Table::cell(uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+const std::string &
+Table::at(size_t row, size_t col) const
+{
+    return cells_.at(row).at(col);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &r : cells_)
+        for (size_t c = 0; c < r.size() && c < widths.size(); c++)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &r) {
+        os << "| ";
+        for (size_t c = 0; c < headers_.size(); c++) {
+            std::string v = c < r.size() ? r[c] : "";
+            os << std::left << std::setw(int(widths[c])) << v;
+            os << (c + 1 < headers_.size() ? " | " : " |");
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    os << "|";
+    for (size_t c = 0; c < headers_.size(); c++) {
+        os << std::string(widths[c] + 2, '-');
+        os << (c + 1 < headers_.size() ? "|" : "|");
+    }
+    os << "\n";
+    for (const auto &r : cells_)
+        print_row(r);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); c++) {
+            os << r[c];
+            if (c + 1 < r.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &r : cells_)
+        emit(r);
+}
+
+} // namespace trt

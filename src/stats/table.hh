@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Console table and CSV writers used by the benchmark harness to print
+ * the rows/series of each paper figure.
+ */
+
+#ifndef TRT_STATS_TABLE_HH
+#define TRT_STATS_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace trt
+{
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric helpers
+ * format with fixed precision. The table can also be emitted as CSV.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. Subsequent cell() calls fill it left to right. */
+    Table &row();
+
+    Table &cell(const std::string &s);
+    Table &cell(const char *s);
+    Table &cell(double v, int precision = 3);
+    Table &cell(uint64_t v);
+    Table &cell(int v);
+
+    size_t rows() const { return cells_.size(); }
+    size_t columns() const { return headers_.size(); }
+
+    /** The string content of a cell (for tests). */
+    const std::string &at(size_t row, size_t col) const;
+
+    /** Print with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Emit as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> cells_;
+};
+
+/** Format a double with @p precision fractional digits. */
+std::string formatDouble(double v, int precision = 3);
+
+} // namespace trt
+
+#endif // TRT_STATS_TABLE_HH

@@ -1,0 +1,200 @@
+#include "workloads/rt_query.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/onb.hh"
+#include "geom/rng.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+/** L1 (Manhattan) distance — the octahedron splat's natural metric. */
+float
+l1Distance(const Vec3 &a, const Vec3 &b)
+{
+    return std::fabs(a.x - b.x) + std::fabs(a.y - b.y) +
+           std::fabs(a.z - b.z);
+}
+
+/** Append the 8 faces of an L1 ball (octahedron) of radius r at c. */
+void
+addSplat(std::vector<Triangle> &tris, const Vec3 &c, float r)
+{
+    Vec3 px{c.x + r, c.y, c.z}, nx{c.x - r, c.y, c.z};
+    Vec3 py{c.x, c.y + r, c.z}, ny{c.x, c.y - r, c.z};
+    Vec3 pz{c.x, c.y, c.z + r}, nz{c.x, c.y, c.z - r};
+    auto add = [&](const Vec3 &a, const Vec3 &b, const Vec3 &d) {
+        tris.push_back(Triangle{a, b, d, 0});
+    };
+    add(px, py, pz);
+    add(py, nx, pz);
+    add(nx, ny, pz);
+    add(ny, px, pz);
+    add(py, px, nz);
+    add(nx, py, nz);
+    add(ny, nx, nz);
+    add(px, ny, nz);
+}
+
+std::vector<Vec3>
+generatePoints(const RtQueryConfig &cfg)
+{
+    Pcg32 rng(cfg.seed, 77);
+    std::vector<Vec3> pts;
+    pts.reserve(cfg.numPoints);
+
+    switch (cfg.distribution) {
+      case PointDistribution::Uniform:
+        for (uint32_t i = 0; i < cfg.numPoints; i++) {
+            pts.push_back({rng.nextFloat(), rng.nextFloat(),
+                           rng.nextFloat()});
+        }
+        break;
+
+      case PointDistribution::Clustered: {
+        std::vector<Vec3> centers;
+        for (uint32_t c = 0; c < std::max(1u, cfg.clusters); c++) {
+            centers.push_back({rng.nextRange(0.1f, 0.9f),
+                               rng.nextRange(0.1f, 0.9f),
+                               rng.nextRange(0.1f, 0.9f)});
+        }
+        for (uint32_t i = 0; i < cfg.numPoints; i++) {
+            const Vec3 &c = centers[rng.nextBounded(
+                uint32_t(centers.size()))];
+            // Box-Muller-free gaussian-ish: sum of uniforms.
+            auto g = [&]() {
+                return (rng.nextFloat() + rng.nextFloat() +
+                        rng.nextFloat() - 1.5f) *
+                       0.06f;
+            };
+            pts.push_back(clamp(c + Vec3{g(), g(), g()}, 0.0f, 1.0f));
+        }
+        break;
+      }
+
+      case PointDistribution::Shell:
+      default:
+        for (uint32_t i = 0; i < cfg.numPoints; i++) {
+            Vec3 d = sampleUniformSphere(rng.nextFloat(),
+                                         rng.nextFloat());
+            float rad = 0.4f + 0.01f * rng.nextFloat();
+            pts.push_back(Vec3{0.5f, 0.5f, 0.5f} + d * rad);
+        }
+        break;
+    }
+    return pts;
+}
+
+} // anonymous namespace
+
+RtQueryWorkload
+buildRtQueryWorkload(const RtQueryConfig &cfg)
+{
+    RtQueryWorkload wl;
+    wl.points = generatePoints(cfg);
+
+    // Splat radius = query radius so a query segment through q crosses
+    // the boundary of every splat whose L1 ball contains q (RTNN's
+    // geometry inflation), with a little slack for the splat's own
+    // footprint.
+    float r = std::max(cfg.splatRadius, cfg.queryRadius);
+    wl.queryRadius = r;
+    wl.scene.name = "RTQUERY";
+    wl.scene.materials = {Material::lambert({0.5f, 0.5f, 0.5f})};
+    wl.scene.triangles.reserve(size_t(wl.points.size()) * 8);
+    for (const Vec3 &p : wl.points)
+        addSplat(wl.scene.triangles, p, r);
+    wl.trisPerSplat = 8;
+
+    // Queries: points drawn from the same distribution, each lowered
+    // to a segment of length 2r (the L1 ball's diameter) so the
+    // segment always exits any containing ball.
+    RtQueryConfig qcfg = cfg;
+    qcfg.numPoints = cfg.numQueries;
+    qcfg.seed = cfg.seed ^ 0x9e3779b97f4a7c15ull;
+    std::vector<Vec3> qpts = generatePoints(qcfg);
+    Pcg32 rng(cfg.seed, 123);
+    wl.queries.reserve(qpts.size());
+    for (const Vec3 &q : qpts) {
+        Vec3 d = sampleUniformSphere(rng.nextFloat(), rng.nextFloat());
+        wl.queries.emplace_back(q, d, 0.0f, 2.0f * r);
+    }
+    return wl;
+}
+
+QueryResult
+bruteForceNearest(const std::vector<Vec3> &points, const Vec3 &q,
+                  float radius)
+{
+    QueryResult r;
+    for (uint32_t i = 0; i < points.size(); i++) {
+        float d = l1Distance(points[i], q);
+        if (d <= radius && (!(r.distance >= 0.0f) || d < r.distance)) {
+            r.distance = d;
+            r.nearest = i;
+        }
+    }
+    return r;
+}
+
+std::vector<QueryResult>
+answerQueries(const RtQueryWorkload &wl, const Bvh &bvh)
+{
+    // Anyhit-style traversal: enumerate every splat whose boundary the
+    // query segment crosses (a superset of the balls containing q),
+    // then rank candidates by exact L1 distance with the in-range
+    // filter. This mirrors what an RTNN-style anyhit shader computes.
+    float radius = wl.queryRadius;
+    std::vector<QueryResult> out;
+    out.reserve(wl.queries.size());
+
+    std::vector<uint32_t> stack;
+    for (const Ray &ray : wl.queries) {
+        RayInv inv(ray);
+        Vec3 q = ray.orig;
+        QueryResult best;
+
+        stack.clear();
+        stack.push_back(bvh.rootNode());
+        while (!stack.empty()) {
+            uint32_t ni = stack.back();
+            stack.pop_back();
+            const WideNode &n = bvh.nodes()[ni];
+            for (const auto &c : n.child) {
+                if (c.kind == WideChild::Invalid)
+                    continue;
+                float t;
+                if (!intersectAabb(ray, inv, c.bounds, t))
+                    continue;
+                if (c.kind == WideChild::Internal) {
+                    stack.push_back(c.index);
+                    continue;
+                }
+                for (uint32_t k = 0; k < c.count; k++) {
+                    float tt, u, v;
+                    const Triangle &tri =
+                        bvh.triangles()[c.index + k];
+                    if (!intersectTriangle(ray, tri, tt, u, v))
+                        continue;
+                    uint32_t pt = wl.pointOf(
+                        bvh.originalTriIndex(c.index + k));
+                    float d = l1Distance(wl.points[pt], q);
+                    if (d <= radius &&
+                        (!(best.distance >= 0.0f) ||
+                         d < best.distance)) {
+                        best.distance = d;
+                        best.nearest = pt;
+                    }
+                }
+            }
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+} // namespace trt

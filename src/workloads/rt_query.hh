@@ -1,0 +1,99 @@
+/**
+ * @file
+ * General tree-traversal workloads on the RT unit — the paper's
+ * future-work direction (section 8): RT-DBSCAN, RTIndeX and RTNN map
+ * database/neighbor queries onto ray tracing hardware by encoding data
+ * points as geometry in a BVH and queries as rays. This module builds
+ * that mapping on our substrate so the treelet-queue architecture can
+ * be evaluated on a non-rendering workload.
+ *
+ * Encoding (after RTNN, Zhu PPoPP'22): each data point becomes a small
+ * axis-aligned octahedron (a "splat") of radius r; a fixed-radius
+ * neighbor query for point q becomes a short ray segment through q.
+ * Every splat whose geometry the ray segment hits lies within ~r of q,
+ * so closest-hit traversal finds the nearest neighbor and the
+ * traversal's leaf visits enumerate candidates. Query rays are
+ * extremely incoherent (random access pattern), which is exactly the
+ * regime treelet queues target.
+ */
+
+#ifndef TRT_WORKLOADS_RT_QUERY_HH
+#define TRT_WORKLOADS_RT_QUERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hh"
+#include "geom/vec.hh"
+#include "scene/scene.hh"
+
+namespace trt
+{
+
+/** Distribution of the synthetic point set. */
+enum class PointDistribution : uint8_t
+{
+    Uniform,    //!< Uniform in the unit cube (DBSCAN-hard).
+    Clustered,  //!< Gaussian clusters (typical embedding index).
+    Shell,      //!< Points on a sphere shell (kNN-on-manifold).
+};
+
+/** Parameters of a point-query workload. */
+struct RtQueryConfig
+{
+    uint32_t numPoints = 100000;
+    uint32_t numQueries = 65536;
+    PointDistribution distribution = PointDistribution::Clustered;
+    uint32_t clusters = 64;      //!< For Clustered.
+    float splatRadius = 0.004f;  //!< Point splat half-extent.
+    float queryRadius = 0.02f;   //!< Fixed-radius query range.
+    uint64_t seed = 1;
+};
+
+/**
+ * A point-query workload lowered to the ray tracing substrate: a Scene
+ * whose triangles are point splats, plus the query rays. Feed the
+ * scene to Bvh::build and the rays to a query kernel or to the GPU
+ * model via the QueryShader adapter below.
+ */
+struct RtQueryWorkload
+{
+    Scene scene;                 //!< Splat geometry (one material).
+    std::vector<Vec3> points;    //!< Original points.
+    std::vector<Ray> queries;    //!< One segment ray per query.
+    float queryRadius = 0.0f;    //!< Effective L1 query radius.
+    /** Splat index = triangle's original index / trisPerSplat. */
+    uint32_t trisPerSplat = 8;
+
+    /** Point index a hit triangle belongs to. */
+    uint32_t
+    pointOf(uint32_t original_tri_index) const
+    {
+        return original_tri_index / trisPerSplat;
+    }
+};
+
+/** Build the synthetic workload (deterministic in cfg.seed). */
+RtQueryWorkload buildRtQueryWorkload(const RtQueryConfig &cfg);
+
+/** Result of one query. */
+struct QueryResult
+{
+    uint32_t nearest = ~0u; //!< Nearest point index, ~0u if none in range.
+    float distance = -1.0f;
+};
+
+/**
+ * Functional reference: answer every query by BVH traversal (closest
+ * hit). Used by tests against brute force and by the example.
+ */
+std::vector<QueryResult> answerQueries(const RtQueryWorkload &wl,
+                                       const Bvh &bvh);
+
+/** Brute-force reference for validation. */
+QueryResult bruteForceNearest(const std::vector<Vec3> &points,
+                              const Vec3 &q, float radius);
+
+} // namespace trt
+
+#endif // TRT_WORKLOADS_RT_QUERY_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the section 2.4 analytical model: trace recording sanity
+ * and the model's defining properties — monotone speedup in concurrent
+ * rays, batch-size-1 degeneracy, and exact hand-computed cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analytic/analytic.hh"
+#include "scene/registry.hh"
+
+namespace trt
+{
+namespace
+{
+
+TEST(RecordTraces, ProducesPerRayFootprints)
+{
+    Scene s = buildScene("BUNNY", 0.05f);
+    BvhConfig bc;
+    bc.treeletMaxBytes = 1024;
+    Bvh bvh = Bvh::build(s.triangles, bc);
+    auto traces = recordTraces(s, bvh, 16, 16, 2, 0.02f);
+    EXPECT_GE(traces.size(), 256u); // at least the primary rays
+    for (const auto &t : traces) {
+        EXPECT_GE(t.treelets.size(), 1u);
+        EXPECT_GE(t.nodesVisited, 1u);
+        // Unique treelets only.
+        std::set<uint32_t> uniq(t.treelets.begin(), t.treelets.end());
+        EXPECT_EQ(uniq.size(), t.treelets.size());
+    }
+}
+
+TEST(RecordTraces, MaxRaysCap)
+{
+    Scene s = buildScene("BUNNY", 0.05f);
+    Bvh bvh = Bvh::build(s.triangles);
+    auto traces = recordTraces(s, bvh, 16, 16, 2, 0.02f, 100);
+    EXPECT_EQ(traces.size(), 100u);
+}
+
+TEST(AnalyticModel, HandComputedCosts)
+{
+    // Two rays, each visiting 10 nodes; ray 0 visits treelets {0,1},
+    // ray 1 visits {1,2}. Treelet fetch = 4 nodes.
+    std::vector<RayTrace> traces(2);
+    traces[0].nodesVisited = 10;
+    traces[0].treelets = {0, 1};
+    traces[1].nodesVisited = 10;
+    traces[1].treelets = {1, 2};
+    AnalyticModel m(traces, 4.0);
+
+    EXPECT_DOUBLE_EQ(m.baselineCost(), 20.0);
+    // Batch of 1: each ray fetches its own treelets: (2 + 2) * 4.
+    EXPECT_DOUBLE_EQ(m.treeletCost(1), 16.0);
+    // Batch of 2: union {0,1,2} fetched once: 3 * 4.
+    EXPECT_DOUBLE_EQ(m.treeletCost(2), 12.0);
+    EXPECT_DOUBLE_EQ(m.speedup(2), 20.0 / 12.0);
+}
+
+TEST(AnalyticModel, SpeedupMonotoneInBatchSize)
+{
+    Scene s = buildScene("CRNVL", 0.05f);
+    BvhConfig bc;
+    bc.treeletMaxBytes = 1024;
+    Bvh bvh = Bvh::build(s.triangles, bc);
+    auto traces = recordTraces(s, bvh, 32, 32, 3, 0.02f, 3000);
+    AnalyticModel m(std::move(traces), bvh.stats().avgTreeletNodes);
+
+    double prev = 0.0;
+    for (uint32_t b : {1u, 8u, 64u, 512u, 4096u}) {
+        double sp = m.speedup(b);
+        EXPECT_GE(sp, prev * 0.999) << "batch " << b;
+        prev = sp;
+    }
+    // Large batches must show a real benefit.
+    EXPECT_GT(m.speedup(4096), 1.0);
+}
+
+TEST(AnalyticModel, PerTreeletCostsUsed)
+{
+    // Same footprint as HandComputedCosts but per-treelet sizes
+    // {4, 8, 2} instead of the constant 4.
+    std::vector<RayTrace> traces(2);
+    traces[0].nodesVisited = 10;
+    traces[0].treelets = {0, 1};
+    traces[1].nodesVisited = 10;
+    traces[1].treelets = {1, 2};
+    AnalyticModel m(traces, std::vector<uint32_t>{4, 8, 2});
+    // Batch of 1: (4+8) + (8+2) = 22. Batch of 2: 4+8+2 = 14.
+    EXPECT_DOUBLE_EQ(m.treeletCost(1), 22.0);
+    EXPECT_DOUBLE_EQ(m.treeletCost(2), 14.0);
+    EXPECT_DOUBLE_EQ(m.speedup(2), 20.0 / 14.0);
+}
+
+TEST(AnalyticModel, ZeroBatchFallsBack)
+{
+    std::vector<RayTrace> traces(1);
+    traces[0].nodesVisited = 5;
+    traces[0].treelets = {0};
+    AnalyticModel m(traces, 2.0);
+    EXPECT_DOUBLE_EQ(m.treeletCost(0), m.baselineCost());
+}
+
+TEST(AnalyticModel, EmptyTraces)
+{
+    AnalyticModel m({}, 4.0);
+    EXPECT_DOUBLE_EQ(m.baselineCost(), 0.0);
+    EXPECT_DOUBLE_EQ(m.speedup(32), 0.0);
+}
+
+TEST(AnalyticModel, RayCount)
+{
+    std::vector<RayTrace> traces(7);
+    for (auto &t : traces) {
+        t.nodesVisited = 1;
+        t.treelets = {0};
+    }
+    AnalyticModel m(traces, 1.0);
+    EXPECT_EQ(m.rayCount(), 7u);
+    // All rays share one treelet: huge batches approach 7x.
+    EXPECT_DOUBLE_EQ(m.speedup(7), 7.0);
+}
+
+} // anonymous namespace
+} // namespace trt

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the per-event energy model: accounting identities,
+ * monotonicity in event counts, and the separability of the
+ * ray-virtualization (CTA state) share used by Figure 17.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+namespace trt
+{
+namespace
+{
+
+RunStats
+emptyRun()
+{
+    RunStats rs;
+    rs.framebuffer.clear();
+    return rs;
+}
+
+TEST(Energy, ZeroRunZeroEnergy)
+{
+    EnergyReport r = computeEnergy(emptyRun(), 16);
+    EXPECT_DOUBLE_EQ(r.total(), 0.0);
+    EXPECT_DOUBLE_EQ(r.virtualizationShare(), 0.0);
+}
+
+TEST(Energy, StaticScalesWithCyclesAndSms)
+{
+    RunStats rs = emptyRun();
+    rs.cycles = 1000;
+    EnergyParams p;
+    EnergyReport a = computeEnergy(rs, 16, p);
+    EnergyReport b = computeEnergy(rs, 8, p);
+    EXPECT_DOUBLE_EQ(a.staticE, 2.0 * b.staticE);
+    EXPECT_DOUBLE_EQ(a.staticE, 1000.0 * 16.0 * p.staticPerSmCycle);
+}
+
+TEST(Energy, DramEnergyFromBytes)
+{
+    RunStats rs = emptyRun();
+    auto &m = rs.mem[size_t(MemClass::BvhNode)];
+    m.dramReadBytes = 1000;
+    m.dramWriteBytes = 500;
+    EnergyParams p;
+    EnergyReport r = computeEnergy(rs, 1, p);
+    EXPECT_DOUBLE_EQ(r.dram, 1500.0 * p.dramPerByte);
+}
+
+TEST(Energy, CtaStateSeparatedFromMemory)
+{
+    RunStats rs = emptyRun();
+    auto &cta = rs.mem[size_t(MemClass::CtaState)];
+    cta.dramReadBytes = 2000;
+    cta.l2Accesses = 10;
+    auto &bvh = rs.mem[size_t(MemClass::BvhNode)];
+    bvh.dramReadBytes = 2000;
+    bvh.l2Accesses = 10;
+
+    EnergyParams p;
+    EnergyReport r = computeEnergy(rs, 1, p);
+    double expected = 2000.0 * p.dramPerByte + 10.0 * p.l2PerAccess;
+    EXPECT_DOUBLE_EQ(r.ctaState, expected);
+    EXPECT_DOUBLE_EQ(r.dram + r.l2, expected);
+    EXPECT_NEAR(r.virtualizationShare(), 0.5, 1e-12);
+}
+
+TEST(Energy, CoreScalesWithLaneInstrs)
+{
+    RunStats rs = emptyRun();
+    rs.aluLaneInstrs = 1000000;
+    EnergyParams p;
+    EnergyReport r = computeEnergy(rs, 1, p);
+    EXPECT_DOUBLE_EQ(r.core, 1e6 * p.aluPerLaneInstr);
+}
+
+TEST(Energy, RtUnitSplitsBoxAndTriTests)
+{
+    RunStats rs = emptyRun();
+    rs.rt.nodeVisits = 75;
+    rs.rt.leafVisits = 25;
+    rs.rt.isectTests[size_t(TraversalMode::RayStationary)] = 100;
+    EnergyParams p;
+    EnergyReport r = computeEnergy(rs, 1, p);
+    // 75% box, 25% tri by visit apportioning.
+    EXPECT_DOUBLE_EQ(r.rtUnit, 75.0 * p.boxTest + 25.0 * p.triTest);
+}
+
+TEST(Energy, QueueOpsCharged)
+{
+    RunStats rs = emptyRun();
+    rs.rt.raysEnqueued = 100;
+    rs.rt.repackedRays = 50;
+    EnergyParams p;
+    EnergyReport r = computeEnergy(rs, 1, p);
+    EXPECT_DOUBLE_EQ(r.rtUnit, 150.0 * p.queueTableOp);
+}
+
+TEST(Energy, TotalIsSumOfParts)
+{
+    RunStats rs = emptyRun();
+    rs.cycles = 123;
+    rs.aluLaneInstrs = 456;
+    rs.mem[size_t(MemClass::BvhNode)].l1Accesses = 7;
+    rs.mem[size_t(MemClass::CtaState)].writes = 1;
+    rs.mem[size_t(MemClass::CtaState)].dramWriteBytes = 64;
+    rs.rt.nodeVisits = 3;
+    rs.rt.isectTests[0] = 9;
+    EnergyReport r = computeEnergy(rs, 4);
+    EXPECT_DOUBLE_EQ(r.total(), r.dram + r.l2 + r.l1 + r.core + r.rtUnit +
+                                    r.ctaState + r.staticE);
+    EXPECT_GT(r.total(), 0.0);
+}
+
+TEST(Energy, MonotoneInEveryCounter)
+{
+    RunStats base = emptyRun();
+    base.cycles = 100;
+    base.aluLaneInstrs = 100;
+    base.mem[size_t(MemClass::BvhNode)].l1Accesses = 100;
+    base.mem[size_t(MemClass::BvhNode)].l2Accesses = 50;
+    base.mem[size_t(MemClass::BvhNode)].dramReadBytes = 6400;
+    double t0 = computeEnergy(base, 16).total();
+
+    RunStats more = base;
+    more.cycles *= 2;
+    EXPECT_GT(computeEnergy(more, 16).total(), t0);
+
+    more = base;
+    more.mem[size_t(MemClass::BvhNode)].dramReadBytes *= 2;
+    EXPECT_GT(computeEnergy(more, 16).total(), t0);
+
+    more = base;
+    more.aluLaneInstrs *= 2;
+    EXPECT_GT(computeEnergy(more, 16).total(), t0);
+}
+
+} // anonymous namespace
+} // namespace trt

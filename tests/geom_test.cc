@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Unit tests for the geometry primitives: vectors, AABBs, intersection
+ * kernels, RNG determinism and sampling invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "geom/aabb.hh"
+#include "geom/intersect.hh"
+#include "geom/onb.hh"
+#include "geom/ray.hh"
+#include "geom/rng.hh"
+#include "geom/vec.hh"
+
+namespace trt
+{
+namespace
+{
+
+TEST(Vec3, BasicArithmetic)
+{
+    Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+    EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+    EXPECT_EQ(a * 2.0f, (Vec3{2, 4, 6}));
+    EXPECT_EQ(2.0f * a, (Vec3{2, 4, 6}));
+    EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+    EXPECT_EQ(a * b, (Vec3{4, 10, 18}));
+}
+
+TEST(Vec3, DotAndCross)
+{
+    Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+    EXPECT_FLOAT_EQ(dot(x, y), 0.0f);
+    EXPECT_EQ(cross(x, y), z);
+    EXPECT_EQ(cross(y, z), x);
+    EXPECT_EQ(cross(z, x), y);
+    EXPECT_FLOAT_EQ(dot(Vec3{1, 2, 3}, Vec3{4, 5, 6}), 32.0f);
+}
+
+TEST(Vec3, NormalizeAndLength)
+{
+    Vec3 v{3, 4, 0};
+    EXPECT_FLOAT_EQ(length(v), 5.0f);
+    Vec3 n = normalize(v);
+    EXPECT_NEAR(length(n), 1.0f, 1e-6f);
+    // Degenerate input falls back to +x.
+    EXPECT_EQ(normalize(Vec3{0, 0, 0}), (Vec3{1, 0, 0}));
+}
+
+TEST(Vec3, MinMaxClampLerp)
+{
+    Vec3 a{1, 5, -2}, b{3, 2, 0};
+    EXPECT_EQ(min(a, b), (Vec3{1, 2, -2}));
+    EXPECT_EQ(max(a, b), (Vec3{3, 5, 0}));
+    EXPECT_EQ(clamp(a, 0.0f, 2.0f), (Vec3{1, 2, 0}));
+    EXPECT_EQ(lerp(Vec3{0, 0, 0}, Vec3{2, 4, 8}, 0.5f), (Vec3{1, 2, 4}));
+}
+
+TEST(Vec3, MaxDimAndComponents)
+{
+    EXPECT_EQ((Vec3{3, -7, 2}).maxDim(), 1);
+    EXPECT_EQ((Vec3{9, -7, 2}).maxDim(), 0);
+    EXPECT_EQ((Vec3{1, -7, 8}).maxDim(), 2);
+    EXPECT_FLOAT_EQ((Vec3{3, -7, 2}).maxComponent(), 3.0f);
+    EXPECT_FLOAT_EQ((Vec3{3, -7, 2}).minComponent(), -7.0f);
+}
+
+TEST(Vec3, Reflect)
+{
+    Vec3 v = normalize(Vec3{1, -1, 0});
+    Vec3 r = reflect(v, {0, 1, 0});
+    EXPECT_NEAR(r.x, v.x, 1e-6f);
+    EXPECT_NEAR(r.y, -v.y, 1e-6f);
+}
+
+TEST(Aabb, EmptyAndGrow)
+{
+    Aabb b;
+    EXPECT_TRUE(b.empty());
+    EXPECT_FLOAT_EQ(b.surfaceArea(), 0.0f);
+    b.grow(Vec3{1, 2, 3});
+    EXPECT_FALSE(b.empty());
+    EXPECT_EQ(b.lo, (Vec3{1, 2, 3}));
+    EXPECT_EQ(b.hi, (Vec3{1, 2, 3}));
+    b.grow(Vec3{-1, 5, 0});
+    EXPECT_EQ(b.lo, (Vec3{-1, 2, 0}));
+    EXPECT_EQ(b.hi, (Vec3{1, 5, 3}));
+}
+
+TEST(Aabb, SurfaceAreaAndCenter)
+{
+    Aabb b{{0, 0, 0}, {2, 3, 4}};
+    EXPECT_FLOAT_EQ(b.surfaceArea(), 2.0f * (6 + 12 + 8));
+    EXPECT_EQ(b.center(), (Vec3{1, 1.5f, 2}));
+    EXPECT_EQ(b.extent(), (Vec3{2, 3, 4}));
+}
+
+TEST(Aabb, ContainsAndOverlaps)
+{
+    Aabb b{{0, 0, 0}, {1, 1, 1}};
+    EXPECT_TRUE(b.contains(Vec3{0.5f, 0.5f, 0.5f}));
+    EXPECT_TRUE(b.contains(Vec3{0, 0, 0}));
+    EXPECT_FALSE(b.contains(Vec3{1.1f, 0.5f, 0.5f}));
+    EXPECT_TRUE(b.contains(Aabb{{0.2f, 0.2f, 0.2f}, {0.8f, 0.8f, 0.8f}}));
+    EXPECT_FALSE(b.contains(Aabb{{0.5f, 0.5f, 0.5f}, {1.5f, 0.8f, 0.8f}}));
+    EXPECT_TRUE(b.overlaps(Aabb{{0.9f, 0.9f, 0.9f}, {2, 2, 2}}));
+    EXPECT_FALSE(b.overlaps(Aabb{{1.1f, 1.1f, 1.1f}, {2, 2, 2}}));
+}
+
+TEST(Aabb, MergeIsUnion)
+{
+    Aabb a{{0, 0, 0}, {1, 1, 1}};
+    Aabb b{{2, -1, 0}, {3, 0.5f, 2}};
+    Aabb m = Aabb::merge(a, b);
+    EXPECT_TRUE(m.contains(a));
+    EXPECT_TRUE(m.contains(b));
+    EXPECT_EQ(m.lo, (Vec3{0, -1, 0}));
+    EXPECT_EQ(m.hi, (Vec3{3, 1, 2}));
+}
+
+TEST(IntersectAabb, HitAndMiss)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    Ray hit_ray({0, 0, -5}, {0, 0, 1});
+    RayInv inv(hit_ray);
+    float t;
+    ASSERT_TRUE(intersectAabb(hit_ray, inv, box, t));
+    EXPECT_NEAR(t, 4.0f, 1e-4f);
+
+    Ray miss_ray({0, 3, -5}, {0, 0, 1});
+    RayInv inv2(miss_ray);
+    EXPECT_FALSE(intersectAabb(miss_ray, inv2, box, t));
+}
+
+TEST(IntersectAabb, RespectsInterval)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    Ray r({0, 0, -5}, {0, 0, 1});
+    r.tmax = 3.0f; // box entry at t=4 is beyond tmax
+    RayInv inv(r);
+    float t;
+    EXPECT_FALSE(intersectAabb(r, inv, box, t));
+
+    Ray r2({0, 0, -5}, {0, 0, 1});
+    r2.tmin = 7.0f; // box exit at t=6 is before tmin
+    RayInv inv2(r2);
+    EXPECT_FALSE(intersectAabb(r2, inv2, box, t));
+}
+
+TEST(IntersectAabb, OriginInsideBox)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    Ray r({0, 0, 0}, {0, 0, 1});
+    RayInv inv(r);
+    float t;
+    ASSERT_TRUE(intersectAabb(r, inv, box, t));
+    EXPECT_NEAR(t, r.tmin, 1e-5f);
+}
+
+TEST(IntersectAabb, AxisParallelRays)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    // A ray exactly parallel to a slab, inside it.
+    Ray inside({0.5f, 0.5f, -5}, {0, 0, 1});
+    RayInv inv(inside);
+    float t;
+    EXPECT_TRUE(intersectAabb(inside, inv, box, t));
+    // Outside the slab, parallel.
+    Ray outside({0.5f, 2.0f, -5}, {0, 0, 1});
+    RayInv inv2(outside);
+    EXPECT_FALSE(intersectAabb(outside, inv2, box, t));
+}
+
+TEST(IntersectTriangle, FrontAndBackFace)
+{
+    Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 0};
+    Ray r({0, 0, -2}, {0, 0, 1});
+    float t, u, v;
+    ASSERT_TRUE(intersectTriangle(r, tri, t, u, v));
+    EXPECT_NEAR(t, 2.0f, 1e-5f);
+
+    // Double-sided: the reversed ray from behind also hits.
+    Ray back({0, 0, 2}, {0, 0, -1});
+    ASSERT_TRUE(intersectTriangle(back, tri, t, u, v));
+    EXPECT_NEAR(t, 2.0f, 1e-5f);
+}
+
+TEST(IntersectTriangle, MissOutsideEdges)
+{
+    Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 0};
+    float t, u, v;
+    Ray r1({2.0f, 0, -2}, {0, 0, 1});
+    EXPECT_FALSE(intersectTriangle(r1, tri, t, u, v));
+    Ray r2({0, -2.0f, -2}, {0, 0, 1});
+    EXPECT_FALSE(intersectTriangle(r2, tri, t, u, v));
+}
+
+TEST(IntersectTriangle, BarycentricsAtVertices)
+{
+    Triangle tri{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 0};
+    float t, u, v;
+    // Near v1 -> u ~ 1; near v2 -> v ~ 1.
+    Ray r1({0.99f, 0.005f, -1}, {0, 0, 1});
+    ASSERT_TRUE(intersectTriangle(r1, tri, t, u, v));
+    EXPECT_GT(u, 0.95f);
+    Ray r2({0.005f, 0.99f, -1}, {0, 0, 1});
+    ASSERT_TRUE(intersectTriangle(r2, tri, t, u, v));
+    EXPECT_GT(v, 0.95f);
+}
+
+TEST(IntersectTriangle, ParallelRayMisses)
+{
+    Triangle tri{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 0};
+    Ray r({0, 0, -1}, {1, 0, 0}); // parallel to the triangle plane
+    float t, u, v;
+    EXPECT_FALSE(intersectTriangle(r, tri, t, u, v));
+}
+
+TEST(Triangle, BoundsAndAreaAndNormal)
+{
+    Triangle tri{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}, 0};
+    Aabb b = tri.bounds();
+    EXPECT_EQ(b.lo, (Vec3{0, 0, 0}));
+    EXPECT_EQ(b.hi, (Vec3{2, 2, 0}));
+    EXPECT_FLOAT_EQ(tri.area(), 2.0f);
+    Vec3 n = normalize(tri.geometricNormal());
+    EXPECT_NEAR(std::fabs(n.z), 1.0f, 1e-6f);
+    EXPECT_EQ(tri.centroid(), (Vec3{2.0f / 3, 2.0f / 3, 0}));
+}
+
+TEST(Pcg32, DeterministicStreams)
+{
+    Pcg32 a(42, 7), b(42, 7), c(43, 7);
+    for (int i = 0; i < 100; i++) {
+        uint32_t va = a.nextU32();
+        EXPECT_EQ(va, b.nextU32());
+    }
+    // Different seed should diverge immediately with high probability.
+    Pcg32 a2(42, 7);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += a2.nextU32() == c.nextU32() ? 1 : 0;
+    EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, FloatRangeAndBound)
+{
+    Pcg32 rng(1);
+    for (int i = 0; i < 1000; i++) {
+        float f = rng.nextFloat();
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LT(f, 1.0f);
+        uint32_t b = rng.nextBounded(17);
+        EXPECT_LT(b, 17u);
+        float r = rng.nextRange(-2.0f, 3.0f);
+        EXPECT_GE(r, -2.0f);
+        EXPECT_LT(r, 3.0f);
+    }
+}
+
+TEST(SampleDim, CounterBasedAndUniform)
+{
+    // Same key -> same value, independent of call order.
+    EXPECT_EQ(sampleDim(7, 2, 1), sampleDim(7, 2, 1));
+    EXPECT_NE(sampleDim(7, 2, 1), sampleDim(7, 2, 2));
+    EXPECT_NE(sampleDim(7, 2, 1), sampleDim(8, 2, 1));
+
+    // Coarse uniformity over pixels.
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++)
+        sum += sampleDim(uint32_t(i), 0, 0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Onb, Orthonormal)
+{
+    Pcg32 rng(5);
+    for (int i = 0; i < 200; i++) {
+        Vec3 n = sampleUniformSphere(rng.nextFloat(), rng.nextFloat());
+        Onb onb(n);
+        EXPECT_NEAR(length(onb.t), 1.0f, 1e-5f);
+        EXPECT_NEAR(length(onb.b), 1.0f, 1e-5f);
+        EXPECT_NEAR(dot(onb.t, onb.b), 0.0f, 1e-5f);
+        EXPECT_NEAR(dot(onb.t, onb.n), 0.0f, 1e-5f);
+        EXPECT_NEAR(dot(onb.b, onb.n), 0.0f, 1e-5f);
+        EXPECT_EQ(onb.toWorld(Vec3{0, 0, 1}), n);
+    }
+}
+
+TEST(Sampling, CosineHemisphereAboveSurface)
+{
+    Pcg32 rng(11);
+    Vec3 n = normalize(Vec3{1, 2, -1});
+    double mean_cos = 0.0;
+    const int N = 5000;
+    for (int i = 0; i < N; i++) {
+        Vec3 d = sampleCosineHemisphere(n, rng.nextFloat(),
+                                        rng.nextFloat());
+        EXPECT_NEAR(length(d), 1.0f, 1e-4f);
+        EXPECT_GE(dot(d, n), -1e-4f);
+        mean_cos += dot(d, n);
+    }
+    // E[cos theta] = 2/3 for cosine-weighted sampling.
+    EXPECT_NEAR(mean_cos / N, 2.0 / 3.0, 0.02);
+}
+
+TEST(Sampling, UniformSphereIsCentered)
+{
+    Pcg32 rng(13);
+    Vec3 acc{0, 0, 0};
+    const int N = 20000;
+    for (int i = 0; i < N; i++) {
+        Vec3 d = sampleUniformSphere(rng.nextFloat(), rng.nextFloat());
+        EXPECT_NEAR(length(d), 1.0f, 1e-4f);
+        acc += d;
+    }
+    EXPECT_NEAR(length(acc) / N, 0.0f, 0.02f);
+}
+
+TEST(RayInv, HandlesZeroComponents)
+{
+    Ray r({0, 0, 0}, {0, 1, 0});
+    RayInv inv(r);
+    EXPECT_TRUE(std::isfinite(inv.invDir.x));
+    EXPECT_TRUE(std::isfinite(inv.invDir.z));
+    EXPECT_FALSE(inv.neg[1]);
+}
+
+TEST(HitRecord, DefaultIsMiss)
+{
+    HitRecord h;
+    EXPECT_FALSE(h.hit());
+    h.t = 1.0f;
+    EXPECT_TRUE(h.hit());
+}
+
+} // anonymous namespace
+} // namespace trt

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the experiment harness: environment parsing, scene-bundle
+ * caching, parallel execution and CSV output.
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/harness.hh"
+
+namespace trt
+{
+namespace
+{
+
+/** RAII environment variable setter. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old)
+            old_ = old;
+        had_ = old != nullptr;
+        setenv(name, value, 1);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_, old_;
+    bool had_;
+};
+
+TEST(HarnessOptions, Defaults)
+{
+    unsetenv("TRT_RES");
+    unsetenv("TRT_SCALE");
+    unsetenv("TRT_SCENES");
+    unsetenv("TRT_FAST");
+    HarnessOptions opt = HarnessOptions::fromEnv();
+    EXPECT_EQ(opt.resolution, 256u);
+    EXPECT_FLOAT_EQ(opt.sceneScale, 1.0f);
+    EXPECT_EQ(opt.scenes.size(), 14u);
+}
+
+TEST(HarnessOptions, EnvOverrides)
+{
+    EnvGuard r("TRT_RES", "64");
+    EnvGuard s("TRT_SCALE", "0.5");
+    EnvGuard sc("TRT_SCENES", "BUNNY,CRNVL");
+    EnvGuard th("TRT_THREADS", "3");
+    HarnessOptions opt = HarnessOptions::fromEnv();
+    EXPECT_EQ(opt.resolution, 64u);
+    EXPECT_FLOAT_EQ(opt.sceneScale, 0.5f);
+    ASSERT_EQ(opt.scenes.size(), 2u);
+    EXPECT_EQ(opt.scenes[0], "BUNNY");
+    EXPECT_EQ(opt.scenes[1], "CRNVL");
+    EXPECT_EQ(opt.threads, 3u);
+}
+
+TEST(HarnessOptions, FastMode)
+{
+    EnvGuard f("TRT_FAST", "1");
+    EnvGuard r("TRT_RES", ""); // empty -> atof 0 -> keeps fast default?
+    unsetenv("TRT_RES");
+    unsetenv("TRT_SCALE");
+    HarnessOptions opt = HarnessOptions::fromEnv();
+    EXPECT_EQ(opt.resolution, 64u);
+    EXPECT_LT(opt.sceneScale, 0.5f);
+}
+
+TEST(HarnessOptions, ApplySetsResolution)
+{
+    HarnessOptions opt;
+    opt.resolution = 48;
+    GpuConfig cfg = opt.apply(GpuConfig{});
+    EXPECT_EQ(cfg.imageWidth, 48u);
+    EXPECT_EQ(cfg.imageHeight, 48u);
+}
+
+TEST(SceneBundle, CachedByNameAndScale)
+{
+    const SceneBundle &a = getSceneBundle("BUNNY", 0.03f);
+    const SceneBundle &b = getSceneBundle("BUNNY", 0.03f);
+    EXPECT_EQ(&a, &b); // same object
+    const SceneBundle &c = getSceneBundle("BUNNY", 0.06f);
+    EXPECT_NE(&a, &c);
+    EXPECT_GT(c.scene.triangles.size(), a.scene.triangles.size());
+    EXPECT_EQ(a.bvhStats.triCount, a.scene.triangles.size());
+}
+
+TEST(RunScene, ProducesStats)
+{
+    HarnessOptions opt;
+    opt.resolution = 16;
+    opt.sceneScale = 0.03f;
+    GpuConfig cfg = opt.apply(GpuConfig{});
+    cfg.numSms = 2;
+    cfg.mem.numL1s = 2;
+    RunStats rs = runScene("BUNNY", cfg, opt);
+    EXPECT_GT(rs.cycles, 0u);
+    EXPECT_EQ(rs.framebuffer.size(), 256u);
+}
+
+TEST(ParallelForScenes, VisitsAllInOrderedSlots)
+{
+    HarnessOptions opt;
+    opt.scenes = {"A", "B", "C", "D"};
+    opt.threads = 2;
+    std::vector<std::string> got(4);
+    parallelForScenes(opt, [&](size_t i, const std::string &n) {
+        got[i] = n;
+    });
+    EXPECT_EQ(got, opt.scenes);
+}
+
+TEST(ParallelForScenes, PropagatesExceptions)
+{
+    HarnessOptions opt;
+    opt.scenes = {"A", "B"};
+    opt.threads = 2;
+    EXPECT_THROW(
+        parallelForScenes(opt,
+                          [&](size_t, const std::string &n) {
+                              if (n == "B")
+                                  throw std::runtime_error("boom");
+                          }),
+        std::runtime_error);
+}
+
+TEST(WriteCsv, CreatesFile)
+{
+    HarnessOptions opt;
+    opt.resultsDir =
+        (std::filesystem::temp_directory_path() / "trt_test_results")
+            .string();
+    Table t({"a"});
+    t.row().cell("1");
+    writeCsv(opt, t, "unit.csv");
+    std::ifstream in(std::filesystem::path(opt.resultsDir) / "unit.csv");
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "a");
+    std::filesystem::remove_all(opt.resultsDir);
+}
+
+} // anonymous namespace
+} // namespace trt

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the memory hierarchy: cache tag-store behaviour (LRU,
+ * associativity, fully-associative O(1) path), and the MemorySystem's
+ * latency model, MSHR-style merging, prefetch path, bandwidth, bypass
+ * and per-class accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsys/cache.hh"
+#include "memsys/memsys.hh"
+
+namespace trt
+{
+namespace
+{
+
+TEST(Cache, HitAfterMiss)
+{
+    Cache c(1024, 0, 64);
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13f)); // same 64B line
+    EXPECT_FALSE(c.access(0x140)); // next line
+}
+
+TEST(Cache, LineAddr)
+{
+    Cache c(1024, 0, 64);
+    EXPECT_EQ(c.lineAddr(0x100), 0x100u);
+    EXPECT_EQ(c.lineAddr(0x13f), 0x100u);
+    EXPECT_EQ(c.lineAddr(0x140), 0x140u);
+}
+
+TEST(Cache, FullyAssocLruEviction)
+{
+    // 4 lines capacity.
+    Cache c(4 * 64, 0, 64);
+    for (uint64_t i = 0; i < 4; i++)
+        EXPECT_FALSE(c.access(i * 64));
+    // Touch line 0 so line 1 is LRU.
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(4 * 64)); // evicts line 1
+    EXPECT_TRUE(c.access(0));
+    EXPECT_FALSE(c.access(1 * 64)); // line 1 was evicted
+}
+
+TEST(Cache, SetAssocLruWithinSet)
+{
+    // 2 sets x 2 ways, 64B lines. Lines map to sets by tag parity.
+    Cache c(4 * 64, 2, 64);
+    // Set 0 gets tags 0, 2, 4 (all even).
+    EXPECT_FALSE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(2 * 64));
+    EXPECT_TRUE(c.access(0 * 64));  // touch: tag 2 becomes LRU
+    EXPECT_FALSE(c.access(4 * 64)); // evicts tag 2
+    EXPECT_TRUE(c.access(0 * 64));
+    EXPECT_FALSE(c.access(2 * 64));
+    // Set 1 (odd tags) unaffected throughout.
+    EXPECT_FALSE(c.access(1 * 64));
+    EXPECT_TRUE(c.access(1 * 64));
+}
+
+TEST(Cache, ProbeDoesNotTouchLru)
+{
+    Cache c(2 * 64, 0, 64);
+    c.access(0);
+    c.access(64); // LRU order: 0 older
+    EXPECT_TRUE(c.probe(0));
+    // Probe must not have promoted line 0: inserting a third line
+    // still evicts line 0.
+    c.access(128);
+    EXPECT_FALSE(c.probe(0));
+    EXPECT_TRUE(c.probe(64));
+}
+
+TEST(Cache, InstallWithoutAccess)
+{
+    Cache c(4 * 64, 0, 64);
+    c.install(0x200);
+    EXPECT_TRUE(c.probe(0x200));
+    EXPECT_TRUE(c.access(0x200));
+}
+
+TEST(Cache, InvalidateAll)
+{
+    Cache c(4 * 64, 0, 64);
+    c.access(0);
+    c.access(64);
+    c.invalidateAll();
+    EXPECT_EQ(c.residentLines(), 0u);
+    EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, ResidentLinesCapped)
+{
+    Cache fa(8 * 64, 0, 64);
+    Cache sa(8 * 64, 4, 64);
+    for (uint64_t i = 0; i < 100; i++) {
+        fa.access(i * 64);
+        sa.access(i * 64);
+    }
+    EXPECT_EQ(fa.residentLines(), 8u);
+    EXPECT_LE(sa.residentLines(), 8u);
+}
+
+MemConfig
+smallConfig()
+{
+    MemConfig mc;
+    mc.numL1s = 2;
+    mc.lineBytes = 64;
+    mc.l1Bytes = 1024;
+    mc.l2Bytes = 8192;
+    mc.l2Ways = 4;
+    return mc;
+}
+
+TEST(MemorySystem, LatencyLevels)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+
+    // Cold: full DRAM path.
+    auto a = mem.read(1000, 0, 0x1000, 64, MemClass::BvhNode);
+    EXPECT_FALSE(a.l1Hit);
+    EXPECT_GT(a.readyCycle,
+              1000 + mc.l2HitLatency + mc.dramLatency - 1);
+
+    // Warm L1 (after the fill has completed).
+    uint64_t later = a.readyCycle + 10;
+    auto b = mem.read(later, 0, 0x1000, 64, MemClass::BvhNode);
+    EXPECT_TRUE(b.l1Hit);
+    EXPECT_EQ(b.readyCycle, later + mc.l1HitLatency);
+
+    // Other SM: L1 miss, L2 hit.
+    auto c = mem.read(later, 1, 0x1000, 64, MemClass::BvhNode);
+    EXPECT_FALSE(c.l1Hit);
+    EXPECT_EQ(c.readyCycle, later + mc.l2HitLatency);
+}
+
+TEST(MemorySystem, MshrMergeWhileInFlight)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    auto a = mem.read(0, 0, 0x2000, 64, MemClass::BvhNode);
+    // Second access to the same line while the fill is in flight must
+    // wait for the fill, not report an instant L1 hit.
+    auto b = mem.read(5, 0, 0x2000, 64, MemClass::BvhNode);
+    EXPECT_EQ(b.readyCycle, a.readyCycle);
+    // And not issue a second DRAM access.
+    EXPECT_EQ(mem.classStats(MemClass::BvhNode).dramAccesses, 1u);
+}
+
+TEST(MemorySystem, MultiLineRequest)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    // 200 bytes spanning 4 lines.
+    mem.read(0, 0, 0x3000, 200, MemClass::Triangle);
+    EXPECT_EQ(mem.classStats(MemClass::Triangle).l1Accesses, 4u);
+}
+
+TEST(MemorySystem, DramBandwidthQueues)
+{
+    MemConfig mc = smallConfig();
+    mc.dramBytesPerCycle = 1.0; // 64 cycles per line
+    MemorySystem mem(mc);
+    auto a = mem.read(0, 0, 0x10000, 64, MemClass::BvhNode);
+    auto b = mem.read(0, 0, 0x20000, 64, MemClass::BvhNode);
+    // Second distinct line must queue behind the first.
+    EXPECT_GE(b.readyCycle, a.readyCycle + 63);
+}
+
+TEST(MemorySystem, PrefetchInstallsAndDemandWaits)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    // Single line: the returned ready cycle is that line's fill time.
+    uint64_t ready = mem.prefetchL1(0, 0, 0x4000, 64, MemClass::BvhNode);
+    EXPECT_GT(ready, 0u);
+    EXPECT_TRUE(mem.l1Probe(0, 0x4000));
+    // Demand access before the fill completes waits for it...
+    auto a = mem.read(10, 0, 0x4000, 64, MemClass::BvhNode);
+    EXPECT_GE(a.readyCycle, ready);
+    // ...and after completion it is a plain L1 hit.
+    auto b = mem.read(ready + 5, 0, 0x4000, 64, MemClass::BvhNode);
+    EXPECT_EQ(b.readyCycle, ready + 5 + mc.l1HitLatency);
+}
+
+TEST(MemorySystem, PrefetchSkipsResidentLines)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    mem.read(0, 0, 0x5000, 64, MemClass::BvhNode);
+    uint64_t dram_before =
+        mem.classStats(MemClass::BvhNode).dramAccesses;
+    mem.prefetchL1(10000, 0, 0x5000, 64, MemClass::BvhNode);
+    EXPECT_EQ(mem.classStats(MemClass::BvhNode).dramAccesses,
+              dram_before);
+}
+
+TEST(MemorySystem, BypassL1DoesNotTouchL1)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    mem.read(0, 0, 0x6000, 64, MemClass::RayData, true);
+    EXPECT_EQ(mem.classStats(MemClass::RayData).l1Accesses, 0u);
+    EXPECT_EQ(mem.classStats(MemClass::RayData).l2Accesses, 1u);
+    EXPECT_FALSE(mem.l1Probe(0, 0x6000));
+}
+
+TEST(MemorySystem, ReservedL2Partition)
+{
+    MemConfig mc = smallConfig();
+    mc.l2ReservedBytes = 4096;
+    MemorySystem mem(mc);
+    // Ray data repeatedly accessed stays resident in the reserved
+    // partition even while BVH traffic would have evicted it.
+    mem.read(0, 0, 0x7000, 64, MemClass::RayData, true);
+    for (uint64_t i = 0; i < 200; i++)
+        mem.read(100 + i, 0, 0x100000 + i * 64, 64, MemClass::BvhNode);
+    uint64_t misses_before =
+        mem.classStats(MemClass::RayData).l2Misses;
+    mem.read(100000, 0, 0x7000, 64, MemClass::RayData, true);
+    EXPECT_EQ(mem.classStats(MemClass::RayData).l2Misses, misses_before);
+}
+
+TEST(MemorySystem, WritesConsumeBandwidthOnly)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    mem.write(0, 0, 0x8000, 128, MemClass::CtaState);
+    const auto &st = mem.classStats(MemClass::CtaState);
+    EXPECT_EQ(st.writes, 1u);
+    EXPECT_EQ(st.dramWriteBytes, 128u);
+    EXPECT_EQ(st.l1Accesses, 0u);
+}
+
+TEST(MemorySystem, ClassAccountingIsSeparate)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    mem.read(0, 0, 0x9000, 64, MemClass::BvhNode);
+    mem.read(0, 1, 0xa000, 64, MemClass::Triangle);
+    mem.read(0, 0, 0xb000, 64, MemClass::Shader);
+    EXPECT_EQ(mem.classStats(MemClass::BvhNode).l1Accesses, 1u);
+    EXPECT_EQ(mem.classStats(MemClass::Triangle).l1Accesses, 1u);
+    EXPECT_EQ(mem.classStats(MemClass::Shader).l1Accesses, 1u);
+    EXPECT_EQ(mem.totalStats().l1Accesses, 3u);
+}
+
+TEST(MemorySystem, BvhMissRateAndSeries)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem mem(mc);
+    mem.enableBvhSeries(100);
+    mem.read(0, 0, 0xc000, 64, MemClass::BvhNode); // miss
+    uint64_t warm = 5000;
+    mem.read(warm, 0, 0xc000, 64, MemClass::BvhNode); // hit
+    EXPECT_DOUBLE_EQ(mem.bvhL1MissRate(), 0.5);
+    ASSERT_NE(mem.bvhSeries(), nullptr);
+    EXPECT_DOUBLE_EQ(mem.bvhSeries()->ratioAt(0), 1.0);
+    EXPECT_DOUBLE_EQ(mem.bvhSeries()->ratioAt(warm / 100), 0.0);
+}
+
+TEST(MemorySystem, MemClassNames)
+{
+    EXPECT_STREQ(memClassName(MemClass::BvhNode), "bvh_node");
+    EXPECT_STREQ(memClassName(MemClass::RayData), "ray_data");
+    EXPECT_STREQ(memClassName(MemClass::CtaState), "cta_state");
+    EXPECT_STREQ(memClassName(MemClass::QueueTable), "queue_table");
+}
+
+} // anonymous namespace
+} // namespace trt

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the procedural scene layer: mesh builders, noise, the scene
+ * registry, and per-scene sanity (triangle budgets, bounds, cameras,
+ * materials), parameterized over all 14 LumiBench stand-ins.
+ */
+
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "bvh/bvh.hh"
+#include "geom/rng.hh"
+#include "gpu/shader.hh"
+#include "scene/procedural.hh"
+#include "scene/registry.hh"
+
+namespace trt
+{
+namespace
+{
+
+TEST(MeshBuilder, QuadIsTwoTriangles)
+{
+    MeshBuilder mb;
+    mb.addQuad({0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}, 3);
+    ASSERT_EQ(mb.triangleCount(), 2u);
+    EXPECT_EQ(mb.triangles()[0].material, 3u);
+    // Total area equals the quad's area.
+    float area = mb.triangles()[0].area() + mb.triangles()[1].area();
+    EXPECT_NEAR(area, 1.0f, 1e-5f);
+}
+
+TEST(MeshBuilder, BoxHasTwelveTrianglesAndCorrectBounds)
+{
+    MeshBuilder mb;
+    mb.addBox({-1, -2, -3}, {1, 2, 3}, 0);
+    ASSERT_EQ(mb.triangleCount(), 12u);
+    Aabb b;
+    for (const auto &t : mb.triangles())
+        b.grow(t.bounds());
+    EXPECT_EQ(b.lo, (Vec3{-1, -2, -3}));
+    EXPECT_EQ(b.hi, (Vec3{1, 2, 3}));
+}
+
+TEST(MeshBuilder, SphereSubdivisionCounts)
+{
+    for (int sub = 0; sub <= 3; sub++) {
+        MeshBuilder mb;
+        mb.addSphere({0, 0, 0}, 1.0f, sub, 0);
+        EXPECT_EQ(mb.triangleCount(), 20u << (2 * sub)) << "sub=" << sub;
+    }
+}
+
+TEST(MeshBuilder, SphereVerticesOnRadius)
+{
+    MeshBuilder mb;
+    mb.addSphere({1, 2, 3}, 2.0f, 2, 0);
+    for (const auto &t : mb.triangles()) {
+        for (const Vec3 &v : {t.v0, t.v1, t.v2})
+            EXPECT_NEAR(length(v - Vec3{1, 2, 3}), 2.0f, 1e-4f);
+    }
+}
+
+TEST(MeshBuilder, DisplacedSphereIsCrackFree)
+{
+    // Shared vertices mean displaced spheres stay watertight: every
+    // vertex position that appears must appear in >= 2 triangles.
+    MeshBuilder mb;
+    mb.addSphere({0, 0, 0}, 1.0f, 2, 0, [](const Vec3 &p) {
+        return 0.3f * p.x * p.y;
+    });
+    std::map<std::tuple<float, float, float>, int> uses;
+    for (const auto &t : mb.triangles())
+        for (const Vec3 &v : {t.v0, t.v1, t.v2})
+            uses[{v.x, v.y, v.z}]++;
+    for (const auto &[v, n] : uses)
+        EXPECT_GE(n, 2);
+}
+
+TEST(MeshBuilder, CylinderAndConeCounts)
+{
+    MeshBuilder mb;
+    mb.addCylinder({0, 0, 0}, {0, 2, 0}, 0.5f, 8, 0);
+    EXPECT_EQ(mb.triangleCount(), 16u); // 8 quads
+    MeshBuilder mc;
+    mc.addCone({0, 0, 0}, {0, 2, 0}, 0.5f, 8, 0);
+    EXPECT_EQ(mc.triangleCount(), 8u);
+}
+
+TEST(MeshBuilder, HeightfieldGridCount)
+{
+    MeshBuilder mb;
+    mb.addHeightfield(-1, -1, 1, 1, 4, 5, 0,
+                      [](float x, float z) { return x + z; });
+    EXPECT_EQ(mb.triangleCount(), 2u * 4u * 5u);
+    // Vertices follow the height function.
+    for (const auto &t : mb.triangles())
+        for (const Vec3 &v : {t.v0, t.v1, t.v2})
+            EXPECT_NEAR(v.y, v.x + v.z, 1e-5f);
+}
+
+TEST(MeshBuilder, AppendWithTransform)
+{
+    MeshBuilder src;
+    src.addTriangle({0, 0, 0}, {1, 0, 0}, {0, 1, 0}, 2);
+    MeshBuilder dst;
+    dst.append(src, Transform::translate({10, 0, 0}));
+    ASSERT_EQ(dst.triangleCount(), 1u);
+    EXPECT_EQ(dst.triangles()[0].v0, (Vec3{10, 0, 0}));
+    EXPECT_EQ(dst.triangles()[0].material, 2u);
+
+    dst.append(src);
+    EXPECT_EQ(dst.triangleCount(), 2u);
+    EXPECT_EQ(dst.triangles()[1].v0, (Vec3{0, 0, 0}));
+}
+
+TEST(Transform, ComposeAndRotate)
+{
+    Transform t = Transform::translate({1, 0, 0})
+                      .compose(Transform::scale(2.0f));
+    EXPECT_EQ(t.apply({1, 1, 1}), (Vec3{3, 2, 2}));
+
+    Transform r = Transform::rotateY(3.14159265f / 2.0f);
+    Vec3 v = r.apply({1, 0, 0});
+    EXPECT_NEAR(v.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(v.z, -1.0f, 1e-5f);
+
+    Transform rs = Transform::scale({1, 2, 3});
+    EXPECT_EQ(rs.apply({1, 1, 1}), (Vec3{1, 2, 3}));
+}
+
+TEST(Noise, DeterministicAndBounded)
+{
+    for (int i = 0; i < 100; i++) {
+        float x = float(i) * 0.37f, y = float(i) * 0.91f;
+        float v1 = valueNoise2(x, y, 7);
+        float v2 = valueNoise2(x, y, 7);
+        EXPECT_EQ(v1, v2);
+        EXPECT_GE(v1, 0.0f);
+        EXPECT_LE(v1, 1.0f);
+        float f = fbm2(x, y, 4, 7);
+        EXPECT_GE(f, 0.0f);
+        EXPECT_LE(f, 1.0f);
+    }
+    // Different seeds give different fields.
+    EXPECT_NE(valueNoise2(1.5f, 2.5f, 1), valueNoise2(1.5f, 2.5f, 2));
+}
+
+TEST(Noise, SmoothInterpolation)
+{
+    // Noise at lattice points equals the lattice value; nearby points
+    // are close (continuity).
+    float a = valueNoise2(3.0f, 4.0f, 11);
+    float b = valueNoise2(3.001f, 4.0f, 11);
+    EXPECT_NEAR(a, b, 0.01f);
+}
+
+TEST(Registry, FourteenScenesInTable2Order)
+{
+    auto names = sceneNames();
+    ASSERT_EQ(names.size(), 14u);
+    EXPECT_EQ(names.front(), "BUNNY");
+    EXPECT_EQ(names.back(), "ROBOT");
+    // Paper BVH sizes ascend in spec order.
+    const auto &specs = lumiBenchSpecs();
+    for (size_t i = 1; i < specs.size(); i++)
+        EXPECT_GT(specs[i].paperBvhMb, specs[i - 1].paperBvhMb);
+}
+
+TEST(Registry, UnknownSceneThrows)
+{
+    EXPECT_THROW(sceneSpec("NOPE"), std::out_of_range);
+    EXPECT_THROW(buildScene("NOPE"), std::out_of_range);
+}
+
+TEST(Registry, BuildIsDeterministic)
+{
+    Scene a = buildScene("CRNVL", 0.05f);
+    Scene b = buildScene("CRNVL", 0.05f);
+    ASSERT_EQ(a.triangles.size(), b.triangles.size());
+    for (size_t i = 0; i < a.triangles.size(); i += 97)
+        EXPECT_EQ(a.triangles[i].v0, b.triangles[i].v0);
+}
+
+class SceneParam : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SceneParam, BudgetBoundsMaterialsCamera)
+{
+    const std::string name = GetParam();
+    const float scale = 0.05f;
+    Scene s = buildScene(name, scale);
+    const SceneSpec &spec = sceneSpec(name);
+
+    // Triangle count within +-40% of the scaled budget.
+    double budget = double(spec.targetTris) * scale;
+    EXPECT_GT(double(s.triangles.size()), budget * 0.6);
+    EXPECT_LT(double(s.triangles.size()), budget * 1.4);
+
+    // All triangles have finite vertices and valid material indices.
+    Aabb b = s.bounds();
+    EXPECT_FALSE(b.empty());
+    for (const auto &t : s.triangles) {
+        ASSERT_LT(t.material, s.materials.size());
+        for (const Vec3 &v : {t.v0, t.v1, t.v2}) {
+            ASSERT_TRUE(std::isfinite(v.x));
+            ASSERT_TRUE(std::isfinite(v.y));
+            ASSERT_TRUE(std::isfinite(v.z));
+        }
+    }
+
+    // Exactly one emissive material class must exist (the light panel).
+    bool has_emissive = false;
+    for (const auto &m : s.materials)
+        has_emissive |= m.type == MaterialType::Emissive;
+    EXPECT_TRUE(has_emissive);
+
+    // The camera actually sees the scene: a healthy fraction of
+    // primary rays hit geometry.
+    Bvh bvh = Bvh::build(s.triangles);
+    uint32_t hits = 0;
+    const uint32_t n = 256;
+    PathTracer pt(s, bvh, 1, 0.02f);
+    for (uint32_t i = 0; i < n; i++) {
+        PathState st = pt.startPath(i * 16, 64, 64);
+        hits += bvh.intersectClosest(st.ray).hit() ? 1 : 0;
+    }
+    EXPECT_GT(hits, n / 5) << name << ": camera sees too little";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SceneParam,
+                         ::testing::ValuesIn(sceneNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(Camera, RaysAreNormalizedAndDeterministic)
+{
+    Camera cam({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 45.0f);
+    Ray a = cam.generateRay(3, 4, 64, 64);
+    Ray b = cam.generateRay(3, 4, 64, 64);
+    EXPECT_EQ(a.orig, b.orig);
+    EXPECT_EQ(a.dir, b.dir);
+    EXPECT_NEAR(length(a.dir), 1.0f, 1e-5f);
+    // Center pixel looks roughly along -z (towards the target).
+    Ray c = cam.generateRay(32, 32, 64, 64);
+    EXPECT_LT(c.dir.z, -0.9f);
+}
+
+TEST(Camera, FovChangesSpread)
+{
+    Camera narrow({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 20.0f);
+    Camera wide({0, 0, 5}, {0, 0, 0}, {0, 1, 0}, 90.0f);
+    Ray n = narrow.generateRay(0, 32, 64, 64);
+    Ray w = wide.generateRay(0, 32, 64, 64);
+    // The wide camera's corner ray diverges more from the axis.
+    EXPECT_GT(std::fabs(w.dir.x), std::fabs(n.dir.x));
+}
+
+TEST(Material, Constructors)
+{
+    Material l = Material::lambert({0.5f, 0.6f, 0.7f});
+    EXPECT_EQ(l.type, MaterialType::Lambert);
+    Material m = Material::mirror();
+    EXPECT_EQ(m.type, MaterialType::Mirror);
+    Material g = Material::glossy({1, 1, 1}, 0.3f);
+    EXPECT_EQ(g.type, MaterialType::Glossy);
+    EXPECT_FLOAT_EQ(g.roughness, 0.3f);
+    Material e = Material::emissive({5, 5, 5});
+    EXPECT_EQ(e.type, MaterialType::Emissive);
+    EXPECT_EQ(e.albedo, (Vec3{0, 0, 0}));
+}
+
+} // anonymous namespace
+} // namespace trt

@@ -7,11 +7,15 @@
  * simulator's building blocks.
  */
 
+#include <cstdlib>
+#include <filesystem>
+
 #include <benchmark/benchmark.h>
 
 #include "bvh/bvh.hh"
 #include "bvh/traverser.hh"
 #include "geom/rng.hh"
+#include "harness/run_cache.hh"
 #include "memsys/cache.hh"
 #include "memsys/memsys.hh"
 #include "scene/registry.hh"
@@ -72,18 +76,33 @@ BM_AabbIntersect(benchmark::State &state)
 }
 BENCHMARK(BM_AabbIntersect);
 
+/**
+ * Builder throughput, serial vs parallel, two scene sizes.
+ * Args: (0 = BUNNY small / 1 = PARTY large, build threads).
+ */
 void
 BM_BvhBuild(benchmark::State &state)
 {
-    const Scene &s = benchScene();
+    static Scene small = buildScene("BUNNY", 0.25f);
+    static Scene large = buildScene("PARTY", 0.25f);
+    const Scene &s = state.range(0) ? large : small;
+    BvhConfig cfg;
+    cfg.buildThreads = uint32_t(state.range(1));
     for (auto _ : state) {
-        Bvh b = Bvh::build(s.triangles);
+        Bvh b = Bvh::build(s.triangles, cfg);
         benchmark::DoNotOptimize(b.totalBytes());
     }
     state.SetItemsProcessed(int64_t(state.iterations()) *
                             int64_t(s.triangles.size()));
+    state.SetLabel(s.name + (state.range(1) == 1 ? " serial"
+                                                 : " parallel"));
 }
-BENCHMARK(BM_BvhBuild)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BvhBuild)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({0, 1})
+    ->Args({0, 8})
+    ->Args({1, 1})
+    ->Args({1, 8});
 
 void
 BM_ClosestHit(benchmark::State &state)
@@ -117,6 +136,76 @@ BM_TreeletOrderTraversal(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TreeletOrderTraversal);
+
+/**
+ * Run-cache hit and miss cost: what a memoized bench pays to load a
+ * cached RunStats (hit) or to discover one is absent (miss), versus
+ * re-simulating. Uses a private cache root under the temp directory.
+ */
+class RunCacheBench
+{
+  public:
+    RunCacheBench()
+    {
+        dir_ = (std::filesystem::temp_directory_path() /
+                "trt_micro_run_cache")
+                   .string();
+        setenv("TRT_CACHE", dir_.c_str(), 1);
+        setenv("TRT_RUN_CACHE", "1", 1);
+        stats_.cycles = 1;
+        // Representative payload: a 256x256 frame plus a miss series.
+        stats_.framebuffer.resize(256 * 256, Vec3{0.5f, 0.5f, 0.5f});
+        stats_.bvhMissSeries.resize(512, 0.25);
+        fp_ = runFingerprint(GpuConfig{}, "MICRO", 1.0f);
+        storeCachedRun(fp_, "MICRO", stats_);
+    }
+
+    ~RunCacheBench()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+        unsetenv("TRT_CACHE");
+        unsetenv("TRT_RUN_CACHE");
+    }
+
+    uint64_t fp_ = 0;
+    RunStats stats_;
+    std::string dir_;
+};
+
+void
+BM_RunCacheHit(benchmark::State &state)
+{
+    RunCacheBench rc;
+    RunStats out;
+    for (auto _ : state) {
+        bool ok = loadCachedRun(rc.fp_, "MICRO", out);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_RunCacheHit)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RunCacheMiss(benchmark::State &state)
+{
+    RunCacheBench rc;
+    RunStats out;
+    for (auto _ : state) {
+        bool ok = loadCachedRun(rc.fp_ ^ 1, "MICRO", out);
+        benchmark::DoNotOptimize(ok);
+    }
+}
+BENCHMARK(BM_RunCacheMiss)->Unit(benchmark::kMicrosecond);
+
+void
+BM_RunCacheStore(benchmark::State &state)
+{
+    RunCacheBench rc;
+    for (auto _ : state) {
+        storeCachedRun(rc.fp_, "MICRO", rc.stats_);
+    }
+}
+BENCHMARK(BM_RunCacheStore)->Unit(benchmark::kMicrosecond);
 
 void
 BM_CacheFullyAssoc(benchmark::State &state)

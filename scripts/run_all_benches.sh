@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Run every benchmark binary, teeing output into results/.
-# Environment knobs (TRT_RES, TRT_SCALE, TRT_SCENES, TRT_FAST) apply.
+# Environment knobs (TRT_RES, TRT_SCALE, TRT_SCENES, TRT_FAST,
+# TRT_BUILD_THREADS, TRT_RUN_CACHE) apply. With a warm .trt_cache/runs/
+# previously-simulated (scene, config) pairs are loaded, not re-run;
+# each bench's [harness] summary line reports the hit counts.
 set -u
 cd "$(dirname "$0")/.."
 mkdir -p results

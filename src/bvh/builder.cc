@@ -2,20 +2,53 @@
  * @file
  * BVH construction: binned-SAH binary build, collapse to a 4-wide BVH,
  * treelet partitioning and byte-level memory layout.
+ *
+ * The build is task-parallel (BvhConfig::buildThreads / the
+ * TRT_BUILD_THREADS knob) and **bit-identical** to the serial build at
+ * any thread count:
+ *  - Per-thread bin accumulation splits ranges into fixed chunks and
+ *    merges partials in chunk order; AABB growth is min/max and counts
+ *    are integer sums, both exactly associative.
+ *  - The top of the binary tree is expanded on one thread (with
+ *    parallel binning); subtrees below a cutoff become tasks that
+ *    recurse serially over disjoint primitive ranges, so the primitive
+ *    permutation matches the serial build exactly.
+ *  - The 4-wide collapse runs as parallel waves over a scratch tree and
+ *    then assigns the exact node numbering the serial recursion would
+ *    (a parent's children are allocated consecutively, then each child
+ *    subtree in slot order), computed from per-subtree node counts.
+ *  - Treelet partitioning processes the FIFO frontier of treelet roots
+ *    in parallel waves; wave order equals the serial queue order, so
+ *    treelet ids and layout match.
  */
 
 #include "bvh/bvh.hh"
 
 #include <algorithm>
 #include <cassert>
-#include <deque>
+#include <cstdlib>
 #include <queue>
+#include <thread>
+
+#include "bvh/parallel.hh"
+#include "geom/hash.hh"
 
 namespace trt
 {
 
 namespace
 {
+
+/** Below this many primitives the whole build runs serially. */
+constexpr uint32_t kParallelMinPrims = 4096;
+/** Subtrees at or below this size become serial tasks. */
+constexpr uint32_t kMinTaskGrain = 1024;
+/** Ranges larger than this use chunk-parallel bin accumulation. */
+constexpr uint32_t kParallelBinMin = 16384;
+/** Chunk size for parallel reductions over primitive ranges. */
+constexpr uint32_t kReduceGrain = 8192;
+/** Below this many binary nodes the collapse runs serially. */
+constexpr size_t kParallelCollapseMin = 4096;
 
 /** Binary build node (temporary). */
 struct BinNode
@@ -39,17 +72,20 @@ struct PrimRef
 class BinaryBuilder
 {
   public:
-    BinaryBuilder(const std::vector<Triangle> &tris, const BvhConfig &cfg)
-        : cfg_(cfg)
+    BinaryBuilder(const std::vector<Triangle> &tris, const BvhConfig &cfg,
+                  uint32_t threads)
+        : cfg_(cfg), threads_(threads)
     {
-        prims_.reserve(tris.size());
-        for (uint32_t i = 0; i < tris.size(); i++) {
-            PrimRef p;
-            p.bounds = tris[i].bounds();
-            p.centroid = p.bounds.center();
-            p.tri = i;
-            prims_.push_back(p);
-        }
+        prims_.resize(tris.size());
+        parallelChunks(tris.size(), kReduceGrain, threads_,
+                       [&](size_t begin, size_t end, uint32_t) {
+                           for (size_t i = begin; i < end; i++) {
+                               PrimRef &p = prims_[i];
+                               p.bounds = tris[i].bounds();
+                               p.centroid = p.bounds.center();
+                               p.tri = uint32_t(i);
+                           }
+                       });
     }
 
     /** Build; returns root index (kInvalidNode for an empty scene). */
@@ -58,45 +94,134 @@ class BinaryBuilder
     {
         if (prims_.empty())
             return kInvalidNode;
-        return buildRange(0, uint32_t(prims_.size()));
+        uint32_t n = uint32_t(prims_.size());
+        if (threads_ <= 1 || n < kParallelMinPrims)
+            return buildRange(nodes_, 0, n);
+        return buildParallel();
     }
 
     const std::vector<BinNode> &nodes() const { return nodes_; }
     const std::vector<PrimRef> &prims() const { return prims_; }
 
   private:
+    struct Bin
+    {
+        Aabb bounds;
+        uint32_t count = 0;
+    };
+
+    /** Deferred subtree build: fills one child slot of a top node. */
+    struct SubtreeTask
+    {
+        uint32_t begin;
+        uint32_t end;
+        uint32_t parent; //!< Node whose left/right slot this fills.
+        bool right;
+    };
+
+    /**
+     * Grow @p bounds / @p cbounds over [begin, end). Chunk boundaries
+     * are size-derived and partials merge in chunk order, so the result
+     * is bit-identical to the serial loop at any thread count.
+     */
+    void
+    rangeBounds(uint32_t begin, uint32_t end, uint32_t threads,
+                Aabb &bounds, Aabb &cbounds) const
+    {
+        uint32_t count = end - begin;
+        if (threads <= 1 || count < kParallelBinMin) {
+            for (uint32_t i = begin; i < end; i++) {
+                bounds.grow(prims_[i].bounds);
+                cbounds.grow(prims_[i].centroid);
+            }
+            return;
+        }
+        uint32_t chunks = chunkCount(count, kReduceGrain);
+        std::vector<std::pair<Aabb, Aabb>> partial(chunks);
+        parallelChunks(count, kReduceGrain, threads,
+                       [&](size_t b, size_t e, uint32_t c) {
+                           Aabb pb, pc;
+                           for (size_t i = begin + b; i < begin + e; i++) {
+                               pb.grow(prims_[i].bounds);
+                               pc.grow(prims_[i].centroid);
+                           }
+                           partial[c] = {pb, pc};
+                       });
+        for (const auto &[pb, pc] : partial) {
+            bounds.grow(pb);
+            cbounds.grow(pc);
+        }
+    }
+
+    /** Per-thread bin accumulation with in-order reduction. */
+    void
+    accumulateBins(uint32_t begin, uint32_t end, int axis, float lo,
+                   float scale, uint32_t threads,
+                   std::vector<Bin> &bins) const
+    {
+        const int nbins = int(bins.size());
+        auto bin_of = [&](const PrimRef &p) {
+            int b = int((p.centroid[axis] - lo) * scale);
+            return std::clamp(b, 0, nbins - 1);
+        };
+        uint32_t count = end - begin;
+        if (threads <= 1 || count < kParallelBinMin) {
+            for (uint32_t i = begin; i < end; i++) {
+                Bin &b = bins[size_t(bin_of(prims_[i]))];
+                b.bounds.grow(prims_[i].bounds);
+                b.count++;
+            }
+            return;
+        }
+        uint32_t chunks = chunkCount(count, kReduceGrain);
+        std::vector<std::vector<Bin>> partial(chunks);
+        parallelChunks(count, kReduceGrain, threads,
+                       [&](size_t b, size_t e, uint32_t c) {
+                           auto &pb = partial[c];
+                           pb.resize(size_t(nbins));
+                           for (size_t i = begin + b; i < begin + e; i++) {
+                               Bin &bin = pb[size_t(bin_of(prims_[i]))];
+                               bin.bounds.grow(prims_[i].bounds);
+                               bin.count++;
+                           }
+                       });
+        for (const auto &pb : partial) {
+            for (int b = 0; b < nbins; b++) {
+                bins[size_t(b)].bounds.grow(pb[size_t(b)].bounds);
+                bins[size_t(b)].count += pb[size_t(b)].count;
+            }
+        }
+    }
+
     uint32_t
-    buildRange(uint32_t begin, uint32_t end)
+    buildRange(std::vector<BinNode> &nodes, uint32_t begin, uint32_t end)
     {
         Aabb bounds, cbounds;
-        for (uint32_t i = begin; i < end; i++) {
-            bounds.grow(prims_[i].bounds);
-            cbounds.grow(prims_[i].centroid);
-        }
+        rangeBounds(begin, end, 1, bounds, cbounds);
 
         uint32_t count = end - begin;
-        uint32_t idx = uint32_t(nodes_.size());
-        nodes_.emplace_back();
-        nodes_[idx].bounds = bounds;
+        uint32_t idx = uint32_t(nodes.size());
+        nodes.emplace_back();
+        nodes[idx].bounds = bounds;
 
         if (count <= uint32_t(cfg_.maxLeafTris)) {
-            nodes_[idx].firstTri = begin;
-            nodes_[idx].triCount = count;
+            nodes[idx].firstTri = begin;
+            nodes[idx].triCount = count;
             return idx;
         }
 
-        uint32_t mid = findSplit(begin, end, bounds, cbounds);
-        uint32_t l = buildRange(begin, mid);
-        uint32_t r = buildRange(mid, end);
-        nodes_[idx].left = l;
-        nodes_[idx].right = r;
+        uint32_t mid = findSplit(begin, end, bounds, cbounds, 1);
+        uint32_t l = buildRange(nodes, begin, mid);
+        uint32_t r = buildRange(nodes, mid, end);
+        nodes[idx].left = l;
+        nodes[idx].right = r;
         return idx;
     }
 
     /** Binned SAH split; falls back to a median split when degenerate. */
     uint32_t
     findSplit(uint32_t begin, uint32_t end, const Aabb &bounds,
-              const Aabb &cbounds)
+              const Aabb &cbounds, uint32_t threads)
     {
         const int nbins = cfg_.sahBins;
         Vec3 cext = cbounds.extent();
@@ -121,28 +246,19 @@ class BinaryBuilder
             return std::clamp(b, 0, nbins - 1);
         };
 
-        struct Bin
-        {
-            Aabb bounds;
-            uint32_t count = 0;
-        };
-        std::vector<Bin> bins(nbins);
-        for (uint32_t i = begin; i < end; i++) {
-            Bin &b = bins[bin_of(prims_[i])];
-            b.bounds.grow(prims_[i].bounds);
-            b.count++;
-        }
+        std::vector<Bin> bins(static_cast<size_t>(nbins));
+        accumulateBins(begin, end, axis, lo, scale, threads, bins);
 
         // Sweep to evaluate SAH for each of the nbins-1 split planes.
-        std::vector<float> rightArea(nbins, 0.0f);
-        std::vector<uint32_t> rightCount(nbins, 0);
+        std::vector<float> rightArea(size_t(nbins), 0.0f);
+        std::vector<uint32_t> rightCount(size_t(nbins), 0);
         Aabb acc;
         uint32_t cacc = 0;
         for (int b = nbins - 1; b > 0; b--) {
-            acc.grow(bins[b].bounds);
-            cacc += bins[b].count;
-            rightArea[b] = acc.surfaceArea();
-            rightCount[b] = cacc;
+            acc.grow(bins[size_t(b)].bounds);
+            cacc += bins[size_t(b)].count;
+            rightArea[size_t(b)] = acc.surfaceArea();
+            rightCount[size_t(b)] = cacc;
         }
 
         float best_cost = std::numeric_limits<float>::max();
@@ -151,14 +267,16 @@ class BinaryBuilder
         cacc = 0;
         float inv_root = 1.0f / std::max(bounds.surfaceArea(), 1e-20f);
         for (int b = 0; b < nbins - 1; b++) {
-            acc.grow(bins[b].bounds);
-            cacc += bins[b].count;
-            if (cacc == 0 || rightCount[b + 1] == 0)
+            acc.grow(bins[size_t(b)].bounds);
+            cacc += bins[size_t(b)].count;
+            if (cacc == 0 || rightCount[size_t(b) + 1] == 0)
                 continue;
-            float cost = cfg_.traversalCost +
-                         cfg_.intersectCost * inv_root *
-                             (acc.surfaceArea() * float(cacc) +
-                              rightArea[b + 1] * float(rightCount[b + 1]));
+            float cost =
+                cfg_.traversalCost +
+                cfg_.intersectCost * inv_root *
+                    (acc.surfaceArea() * float(cacc) +
+                     rightArea[size_t(b) + 1] *
+                         float(rightCount[size_t(b) + 1]));
             if (cost < best_cost) {
                 best_cost = cost;
                 best_split = b;
@@ -184,7 +302,104 @@ class BinaryBuilder
         return mid;
     }
 
+    /**
+     * Expand the top of the tree on the calling thread (parallel
+     * binning inside findSplit), deferring small subtrees as tasks.
+     */
+    uint32_t
+    expandTop(uint32_t begin, uint32_t end, uint32_t cutoff,
+              std::vector<SubtreeTask> &tasks)
+    {
+        Aabb bounds, cbounds;
+        rangeBounds(begin, end, threads_, bounds, cbounds);
+
+        uint32_t count = end - begin;
+        uint32_t idx = uint32_t(nodes_.size());
+        nodes_.emplace_back();
+        nodes_[idx].bounds = bounds;
+
+        if (count <= uint32_t(cfg_.maxLeafTris)) {
+            nodes_[idx].firstTri = begin;
+            nodes_[idx].triCount = count;
+            return idx;
+        }
+
+        uint32_t mid = findSplit(begin, end, bounds, cbounds, threads_);
+        if (mid - begin <= cutoff)
+            tasks.push_back({begin, mid, idx, false});
+        else
+            nodes_[idx].left = expandTop(begin, mid, cutoff, tasks);
+        if (end - mid <= cutoff)
+            tasks.push_back({mid, end, idx, true});
+        else
+            nodes_[idx].right = expandTop(mid, end, cutoff, tasks);
+        return idx;
+    }
+
+    uint32_t
+    buildParallel()
+    {
+        uint32_t n = uint32_t(prims_.size());
+        uint32_t cutoff =
+            std::max(kMinTaskGrain, n / (threads_ * 8));
+        if (n <= cutoff)
+            return buildRange(nodes_, 0, n);
+
+        std::vector<SubtreeTask> tasks;
+        uint32_t root = expandTop(0, n, cutoff, tasks);
+
+        // Build deferred subtrees into task-local node arrays over
+        // their disjoint primitive ranges. Tasks are claimed biggest
+        // first for load balance; output placement is by task index,
+        // so execution order can't affect the result.
+        std::vector<std::vector<BinNode>> local(tasks.size());
+        std::vector<uint32_t> order(tasks.size());
+        for (uint32_t i = 0; i < tasks.size(); i++)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](uint32_t a, uint32_t b) {
+                             return tasks[a].end - tasks[a].begin >
+                                    tasks[b].end - tasks[b].begin;
+                         });
+        parallelTasks(order.size(), threads_, [&](size_t k) {
+            uint32_t i = order[k];
+            local[i].reserve(2 * size_t(tasks[i].end - tasks[i].begin));
+            buildRange(local[i], tasks[i].begin, tasks[i].end);
+        });
+
+        // Stitch: concatenate local arrays in task order, rebasing
+        // child links. Binary node numbering differs from the serial
+        // build here, but only the topology and the primitive
+        // permutation feed the collapse, and both are identical.
+        std::vector<size_t> base(tasks.size());
+        size_t total = nodes_.size();
+        for (size_t i = 0; i < tasks.size(); i++) {
+            base[i] = total;
+            total += local[i].size();
+        }
+        nodes_.resize(total);
+        parallelTasks(tasks.size(), threads_, [&](size_t i) {
+            uint32_t off = uint32_t(base[i]);
+            const SubtreeTask &t = tasks[i];
+            BinNode *dst = nodes_.data() + off;
+            for (size_t k = 0; k < local[i].size(); k++) {
+                BinNode nd = local[i][k];
+                if (nd.left != kInvalidNode)
+                    nd.left += off;
+                if (nd.right != kInvalidNode)
+                    nd.right += off;
+                dst[k] = nd;
+            }
+            if (t.right)
+                nodes_[t.parent].right = off;
+            else
+                nodes_[t.parent].left = off;
+        });
+        return root;
+    }
+
     const BvhConfig &cfg_;
+    uint32_t threads_;
     std::vector<PrimRef> prims_;
     std::vector<BinNode> nodes_;
 };
@@ -207,47 +422,82 @@ nodeFootprintBytes(const WideNode &n, uint32_t node_bytes)
  * exactly what the hardware would decode.
  */
 void
-quantizeChildBounds(std::vector<WideNode> &nodes)
+quantizeChildBounds(std::vector<WideNode> &nodes, uint32_t threads)
 {
-    for (auto &n : nodes) {
-        Aabb u;
-        for (const auto &c : n.child)
-            if (c.kind != WideChild::Invalid)
-                u.grow(c.bounds);
-        if (u.empty())
-            continue;
-        Vec3 ext = u.extent();
-        for (auto &c : n.child) {
-            if (c.kind == WideChild::Invalid)
+    parallelChunks(nodes.size(), 4096, threads, [&](size_t begin,
+                                                    size_t end, uint32_t) {
+        for (size_t i = begin; i < end; i++) {
+            WideNode &n = nodes[i];
+            Aabb u;
+            for (const auto &c : n.child)
+                if (c.kind != WideChild::Invalid)
+                    u.grow(c.bounds);
+            if (u.empty())
                 continue;
-            Aabb exact = c.bounds;
-            for (int a = 0; a < 3; a++) {
-                float e = ext[a];
-                if (e <= 0.0f)
-                    continue; // flat axis: exact representation
-                float step = e / 255.0f;
-                float qlo = u.lo[a] +
-                            std::floor((exact.lo[a] - u.lo[a]) / step) *
-                                step;
-                float qhi = u.lo[a] +
-                            std::ceil((exact.hi[a] - u.lo[a]) / step) *
-                                step;
-                // Guard against float round-off un-conserving the box.
-                c.bounds.lo[a] = std::min(qlo, exact.lo[a]);
-                c.bounds.hi[a] = std::max(qhi, exact.hi[a]);
+            Vec3 ext = u.extent();
+            for (auto &c : n.child) {
+                if (c.kind == WideChild::Invalid)
+                    continue;
+                Aabb exact = c.bounds;
+                for (int a = 0; a < 3; a++) {
+                    float e = ext[a];
+                    if (e <= 0.0f)
+                        continue; // flat axis: exact representation
+                    float step = e / 255.0f;
+                    float qlo = u.lo[a] +
+                                std::floor((exact.lo[a] - u.lo[a]) / step) *
+                                    step;
+                    float qhi = u.lo[a] +
+                                std::ceil((exact.hi[a] - u.lo[a]) / step) *
+                                    step;
+                    // Guard against float round-off un-conserving the box.
+                    c.bounds.lo[a] = std::min(qlo, exact.lo[a]);
+                    c.bounds.hi[a] = std::max(qhi, exact.hi[a]);
+                }
             }
         }
-    }
+    });
 }
 
 } // anonymous namespace
+
+uint64_t
+BvhConfig::fingerprint() const
+{
+    // buildThreads is deliberately excluded: it never changes the
+    // output (the parallel build is bit-identical to the serial one).
+    Fnv1a h;
+    h.pod(uint32_t(0xB1D50001)); // schema tag
+    h.pod(int32_t(maxLeafTris));
+    h.pod(int32_t(sahBins));
+    h.pod(traversalCost);
+    h.pod(intersectCost);
+    h.pod(treeletMaxBytes);
+    h.pod(uint8_t(quantizedNodes));
+    return h.value();
+}
+
+uint32_t
+resolveBuildThreads(uint32_t requested)
+{
+    if (requested)
+        return requested;
+    if (const char *v = std::getenv("TRT_BUILD_THREADS")) {
+        long n = std::atol(v);
+        if (n > 0)
+            return uint32_t(std::min<long>(n, 256));
+    }
+    uint32_t hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
 
 /** Collapses the binary tree into the wide node array of @p out. */
 class BvhBuilder
 {
   public:
     static void
-    collapse(const std::vector<BinNode> &bin, uint32_t bin_root, Bvh &out)
+    collapse(const std::vector<BinNode> &bin, uint32_t bin_root, Bvh &out,
+             uint32_t threads)
     {
         if (bin_root == kInvalidNode) {
             out.nodes_.emplace_back();
@@ -263,12 +513,16 @@ class BvhBuilder
             out.nodes_.push_back(n);
             return;
         }
+        if (threads > 1 && bin.size() >= kParallelCollapseMin) {
+            collapseParallel(bin, bin_root, out, threads);
+            return;
+        }
         out.nodes_.emplace_back();
         collapseNode(bin, bin_root, 0, out);
     }
 
     static void
-    partitionTreelets(Bvh &bvh, uint32_t max_bytes)
+    partitionTreelets(Bvh &bvh, uint32_t max_bytes, uint32_t threads)
     {
         auto &nodes = bvh.nodes_;
         bvh.nodeTreelet_.assign(nodes.size(), kInvalidTreelet);
@@ -276,44 +530,27 @@ class BvhBuilder
         // Treelet node membership in assignment order, used for layout.
         std::vector<std::vector<uint32_t>> members;
 
-        std::deque<uint32_t> pending;
-        pending.push_back(0);
-        while (!pending.empty()) {
-            uint32_t root = pending.front();
-            pending.pop_front();
-            uint32_t tid = uint32_t(members.size());
-            members.emplace_back();
-
-            // Frontier ordered by surface area so the biggest subtrees
-            // are pulled into the treelet first (Aila & Karras).
-            using Entry = std::pair<float, uint32_t>;
-            std::priority_queue<Entry> frontier;
-            auto area_of = [&](uint32_t n) {
-                Aabb b;
-                for (const auto &c : nodes[n].child)
-                    if (c.kind != WideChild::Invalid)
-                        b.grow(c.bounds);
-                return b.surfaceArea();
-            };
-            frontier.emplace(area_of(root), root);
-            uint32_t bytes = 0;
-
-            while (!frontier.empty()) {
-                uint32_t n = frontier.top().second;
-                frontier.pop();
-                uint32_t fp = nodeFootprintBytes(nodes[n],
-                                                 bvh.nodeBytes_);
-                if (bytes > 0 && bytes + fp > max_bytes) {
-                    pending.push_back(n);
-                    continue;
-                }
-                bvh.nodeTreelet_[n] = tid;
-                members[tid].push_back(n);
-                bytes += fp;
-                for (const auto &c : nodes[n].child)
-                    if (c.kind == WideChild::Internal)
-                        frontier.emplace(area_of(c.index), c.index);
-            }
+        // The serial formulation is a FIFO over treelet roots: pop a
+        // root, fill its treelet, append the spilled roots. Each fill
+        // depends only on its root (fills touch disjoint subtrees), so
+        // entire FIFO generations can run in parallel; processing them
+        // as waves preserves the serial pop order and hence the
+        // treelet ids and the layout, bit for bit.
+        std::vector<uint32_t> wave{0};
+        while (!wave.empty()) {
+            uint32_t base = uint32_t(members.size());
+            members.resize(base + wave.size());
+            std::vector<std::vector<uint32_t>> spills(wave.size());
+            parallelChunks(wave.size(), 1, threads,
+                           [&](size_t i, size_t, uint32_t) {
+                               fillTreelet(bvh, wave[i],
+                                           base + uint32_t(i), max_bytes,
+                                           members[base + i], spills[i]);
+                           });
+            std::vector<uint32_t> next;
+            for (const auto &s : spills)
+                next.insert(next.end(), s.begin(), s.end());
+            wave = std::move(next);
         }
 
         layout(bvh, members);
@@ -321,13 +558,15 @@ class BvhBuilder
     }
 
   private:
-    static void
-    collapseNode(const std::vector<BinNode> &bin, uint32_t bin_idx,
-                 uint32_t wide_idx, Bvh &out)
+    /**
+     * Gather up to kBvhWidth binary descendants of @p bin_idx, greedily
+     * expanding the internal slot with the largest surface area.
+     * Returns the slot count.
+     */
+    static int
+    gatherSlots(const std::vector<BinNode> &bin, uint32_t bin_idx,
+                uint32_t slots[kBvhWidth])
     {
-        // Gather up to kBvhWidth binary descendants, greedily expanding
-        // the internal slot with the largest surface area.
-        uint32_t slots[kBvhWidth];
         int n_slots = 0;
         slots[n_slots++] = bin[bin_idx].left;
         slots[n_slots++] = bin[bin_idx].right;
@@ -350,6 +589,15 @@ class BvhBuilder
             slots[best] = bin[expand].left;
             slots[n_slots++] = bin[expand].right;
         }
+        return n_slots;
+    }
+
+    static void
+    collapseNode(const std::vector<BinNode> &bin, uint32_t bin_idx,
+                 uint32_t wide_idx, Bvh &out)
+    {
+        uint32_t slots[kBvhWidth];
+        int n_slots = gatherSlots(bin, bin_idx, slots);
 
         // First create all children entries (reserving wide indices for
         // the internal ones), then recurse; out.nodes_ may reallocate so
@@ -375,6 +623,180 @@ class BvhBuilder
         for (int i = 0; i < n_slots; i++)
             if (child_wide[i] != kInvalidNode)
                 collapseNode(bin, slots[i], child_wide[i], out);
+    }
+
+    /** Scratch entry of the wave-parallel collapse: one wide node. */
+    struct CollapseScratch
+    {
+        uint32_t bin = 0;               //!< Binary node collapsed here.
+        uint32_t slots[kBvhWidth] = {}; //!< Gathered binary descendants.
+        int nSlots = 0;
+        uint32_t internalCount = 0; //!< Slots that are wide children.
+        uint32_t firstChild = 0;    //!< First wide child (slot order).
+        uint32_t subtree = 0;       //!< Wide nodes in this subtree.
+        uint32_t canon = 0;         //!< Canonical index in out.nodes_.
+        uint32_t childrenBase = 0;  //!< Canonical index of first child.
+    };
+
+    /**
+     * Wave-parallel collapse reproducing the serial numbering exactly.
+     * The serial recursion allocates a parent's internal children
+     * consecutively, then numbers each child's descendants in slot
+     * order; with per-subtree wide-node counts those indices are
+     * computable top-down without running the recursion.
+     */
+    static void
+    collapseParallel(const std::vector<BinNode> &bin, uint32_t bin_root,
+                     Bvh &out, uint32_t threads)
+    {
+        std::vector<CollapseScratch> cn;
+        cn.reserve(bin.size() / 2 + 1);
+        cn.emplace_back();
+        cn[0].bin = bin_root;
+
+        // Wave expansion: gather slots for the current wave in
+        // parallel, then append its wide children (slot order within a
+        // parent, parent order within the wave).
+        std::vector<std::pair<uint32_t, uint32_t>> waves;
+        uint32_t wave_begin = 0;
+        while (wave_begin < cn.size()) {
+            uint32_t wave_end = uint32_t(cn.size());
+            waves.emplace_back(wave_begin, wave_end);
+            parallelChunks(
+                wave_end - wave_begin, 256, threads,
+                [&](size_t b, size_t e, uint32_t) {
+                    for (size_t i = b; i < e; i++) {
+                        CollapseScratch &c = cn[wave_begin + i];
+                        c.nSlots = gatherSlots(bin, c.bin, c.slots);
+                        c.internalCount = 0;
+                        for (int s = 0; s < c.nSlots; s++)
+                            if (!bin[c.slots[s]].isLeaf())
+                                c.internalCount++;
+                    }
+                });
+            uint32_t next = wave_end;
+            for (uint32_t i = wave_begin; i < wave_end; i++) {
+                cn[i].firstChild = next;
+                next += cn[i].internalCount;
+            }
+            cn.resize(next);
+            parallelChunks(wave_end - wave_begin, 256, threads,
+                           [&](size_t b, size_t e, uint32_t) {
+                               for (size_t i = b; i < e; i++) {
+                                   CollapseScratch &c = cn[wave_begin + i];
+                                   uint32_t r = 0;
+                                   for (int s = 0; s < c.nSlots; s++)
+                                       if (!bin[c.slots[s]].isLeaf())
+                                           cn[c.firstChild + r++].bin =
+                                               c.slots[s];
+                               }
+                           });
+            wave_begin = wave_end;
+        }
+
+        // Subtree wide-node counts, bottom-up wave by wave.
+        for (size_t w = waves.size(); w-- > 0;) {
+            auto [begin, end] = waves[w];
+            parallelChunks(end - begin, 1024, threads,
+                           [&](size_t b, size_t e, uint32_t) {
+                               for (size_t i = b; i < e; i++) {
+                                   CollapseScratch &c = cn[begin + i];
+                                   c.subtree = 1;
+                                   for (uint32_t r = 0;
+                                        r < c.internalCount; r++)
+                                       c.subtree +=
+                                           cn[c.firstChild + r].subtree;
+                               }
+                           });
+        }
+
+        // Canonical numbering, top-down: each wave assigns the next
+        // wave's indices from its own (already assigned) ones.
+        cn[0].canon = 0;
+        cn[0].childrenBase = 1;
+        for (const auto &[begin, end] : waves) {
+            parallelChunks(
+                end - begin, 1024, threads,
+                [&](size_t b, size_t e, uint32_t) {
+                    for (size_t i = b; i < e; i++) {
+                        const CollapseScratch &p = cn[begin + i];
+                        uint32_t running =
+                            p.childrenBase + p.internalCount;
+                        for (uint32_t r = 0; r < p.internalCount; r++) {
+                            CollapseScratch &c = cn[p.firstChild + r];
+                            c.canon = p.childrenBase + r;
+                            c.childrenBase = running;
+                            running += c.subtree - 1;
+                        }
+                    }
+                });
+        }
+
+        // Emit the wide nodes.
+        out.nodes_.assign(cn.size(), WideNode{});
+        parallelChunks(cn.size(), 1024, threads, [&](size_t b, size_t e,
+                                                     uint32_t) {
+            for (size_t i = b; i < e; i++) {
+                const CollapseScratch &c = cn[i];
+                WideNode &n = out.nodes_[c.canon];
+                uint32_t r = 0;
+                for (int s = 0; s < c.nSlots; s++) {
+                    const BinNode &bc = bin[c.slots[s]];
+                    WideChild wc;
+                    wc.bounds = bc.bounds;
+                    if (bc.isLeaf()) {
+                        wc.kind = WideChild::Leaf;
+                        wc.index = bc.firstTri;
+                        wc.count = bc.triCount;
+                    } else {
+                        wc.kind = WideChild::Internal;
+                        wc.index = cn[c.firstChild + r].canon;
+                        r++;
+                    }
+                    n.child[s] = wc;
+                }
+            }
+        });
+    }
+
+    /**
+     * Fill the treelet rooted at @p root with id @p tid: pull nodes by
+     * descending surface area (Aila & Karras) until the byte cap, spill
+     * the rest as future treelet roots.
+     */
+    static void
+    fillTreelet(Bvh &bvh, uint32_t root, uint32_t tid, uint32_t max_bytes,
+                std::vector<uint32_t> &out_members,
+                std::vector<uint32_t> &spills)
+    {
+        const auto &nodes = bvh.nodes_;
+        using Entry = std::pair<float, uint32_t>;
+        std::priority_queue<Entry> frontier;
+        auto area_of = [&](uint32_t n) {
+            Aabb b;
+            for (const auto &c : nodes[n].child)
+                if (c.kind != WideChild::Invalid)
+                    b.grow(c.bounds);
+            return b.surfaceArea();
+        };
+        frontier.emplace(area_of(root), root);
+        uint32_t bytes = 0;
+
+        while (!frontier.empty()) {
+            uint32_t n = frontier.top().second;
+            frontier.pop();
+            uint32_t fp = nodeFootprintBytes(nodes[n], bvh.nodeBytes_);
+            if (bytes > 0 && bytes + fp > max_bytes) {
+                spills.push_back(n);
+                continue;
+            }
+            bvh.nodeTreelet_[n] = tid;
+            out_members.push_back(n);
+            bytes += fp;
+            for (const auto &c : nodes[n].child)
+                if (c.kind == WideChild::Internal)
+                    frontier.emplace(area_of(c.index), c.index);
+        }
     }
 
     static void
@@ -448,30 +870,35 @@ Bvh
 Bvh::build(const std::vector<Triangle> &tris, const BvhConfig &cfg)
 {
     Bvh bvh;
+    uint32_t threads = resolveBuildThreads(cfg.buildThreads);
 
-    BinaryBuilder bb(tris, cfg);
+    BinaryBuilder bb(tris, cfg, threads);
     uint32_t bin_root = bb.build();
 
     // Reorder triangles by the permutation the binary build produced so
     // leaf ranges are contiguous.
-    bvh.tris_.reserve(tris.size());
-    bvh.triOrig_.reserve(tris.size());
-    for (const auto &p : bb.prims()) {
-        bvh.tris_.push_back(tris[p.tri]);
-        bvh.triOrig_.push_back(p.tri);
-    }
+    bvh.tris_.resize(tris.size());
+    bvh.triOrig_.resize(tris.size());
+    const auto &prims = bb.prims();
+    parallelChunks(tris.size(), kReduceGrain, threads,
+                   [&](size_t begin, size_t end, uint32_t) {
+                       for (size_t i = begin; i < end; i++) {
+                           bvh.tris_[i] = tris[prims[i].tri];
+                           bvh.triOrig_[i] = prims[i].tri;
+                       }
+                   });
 
-    BvhBuilder::collapse(bb.nodes(), bin_root, bvh);
+    BvhBuilder::collapse(bb.nodes(), bin_root, bvh, threads);
 
     if (cfg.quantizedNodes) {
         bvh.nodeBytes_ = kCompressedNodeBytes;
-        quantizeChildBounds(bvh.nodes_);
+        quantizeChildBounds(bvh.nodes_, threads);
     }
     for (const auto &c : bvh.nodes_[0].child)
         if (c.kind != WideChild::Invalid)
             bvh.rootBounds_.grow(c.bounds);
 
-    BvhBuilder::partitionTreelets(bvh, cfg.treeletMaxBytes);
+    BvhBuilder::partitionTreelets(bvh, cfg.treeletMaxBytes, threads);
     return bvh;
 }
 

@@ -59,7 +59,27 @@ struct BvhConfig
      * nodes fit per treelet and per cache line.
      */
     bool quantizedNodes = false;
+    /**
+     * Build threads: 1 = serial, N = exactly N threads, 0 = auto (the
+     * TRT_BUILD_THREADS environment variable, else hardware
+     * concurrency). The thread count never changes the built BVH — the
+     * parallel build is bit-identical to the serial one (same node
+     * order, same treelet ids, same layout) — so it is deliberately
+     * excluded from fingerprint().
+     */
+    uint32_t buildThreads = 0;
+
+    /**
+     * Hash of every parameter that affects the built BVH (not
+     * buildThreads). Folded into the harness's scene-bundle cache key
+     * so cached bundles can't go stale when builder parameters change.
+     */
+    uint64_t fingerprint() const;
 };
+
+/** Resolve a BvhConfig::buildThreads-style knob to a concrete thread
+ *  count >= 1 (0 = TRT_BUILD_THREADS env var, else hardware). */
+uint32_t resolveBuildThreads(uint32_t requested);
 
 /** One child slot of a wide node. */
 struct WideChild

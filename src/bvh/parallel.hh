@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Minimal deterministic fork/join helpers for the parallel BVH build.
+ *
+ * Work is cut into chunks whose boundaries depend only on the input
+ * size — never on the thread count or execution order — and every chunk
+ * writes a disjoint output slot. Reductions then combine the per-chunk
+ * partials in chunk order on one thread. Because the combining
+ * operations used by the builder (min/max for AABB growth, integer
+ * sums) are exactly associative, any thread count produces bit-identical
+ * results to a serial run.
+ */
+
+#ifndef TRT_BVH_PARALLEL_HH
+#define TRT_BVH_PARALLEL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trt
+{
+
+/** Number of fixed-size chunks covering @p n items at @p grain. */
+inline uint32_t
+chunkCount(size_t n, uint32_t grain)
+{
+    return uint32_t((n + grain - 1) / grain);
+}
+
+/**
+ * Run @p fn(begin, end, chunk) for every grain-sized chunk of [0, n)
+ * on up to @p threads threads (dynamic chunk scheduling). Exceptions
+ * are captured and the first one rethrown on the calling thread.
+ */
+template <typename Fn>
+void
+parallelChunks(size_t n, uint32_t grain, uint32_t threads, Fn &&fn)
+{
+    if (n == 0)
+        return;
+    const uint32_t chunks = chunkCount(n, grain);
+    auto run_chunk = [&](uint32_t c) {
+        size_t begin = size_t(c) * grain;
+        size_t end = begin + grain < n ? begin + grain : n;
+        fn(begin, end, c);
+    };
+    if (threads <= 1 || chunks <= 1) {
+        for (uint32_t c = 0; c < chunks; c++)
+            run_chunk(c);
+        return;
+    }
+
+    std::atomic<uint32_t> next{0};
+    std::mutex err_mtx;
+    std::exception_ptr first_error;
+    auto worker = [&]() {
+        for (;;) {
+            uint32_t c = next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= chunks)
+                return;
+            try {
+                run_chunk(c);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(err_mtx);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    uint32_t nt = threads < chunks ? threads : chunks;
+    std::vector<std::thread> pool;
+    pool.reserve(nt - 1);
+    for (uint32_t t = 1; t < nt; t++)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &th : pool)
+        th.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+/** parallelChunks with one item per chunk (a plain task queue). */
+template <typename Fn>
+void
+parallelTasks(size_t n, uint32_t threads, Fn &&fn)
+{
+    parallelChunks(n, 1, threads,
+                   [&](size_t begin, size_t, uint32_t) { fn(begin); });
+}
+
+} // namespace trt
+
+#endif // TRT_BVH_PARALLEL_HH

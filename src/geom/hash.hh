@@ -1,0 +1,62 @@
+/**
+ * @file
+ * FNV-1a hashing used for configuration fingerprints (scene-bundle and
+ * run-result cache keys). Hash scalar fields one at a time — never a
+ * whole struct — so padding bytes can't leak nondeterminism into keys.
+ */
+
+#ifndef TRT_GEOM_HASH_HH
+#define TRT_GEOM_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+namespace trt
+{
+
+/** Incremental 64-bit FNV-1a hasher. */
+class Fnv1a
+{
+  public:
+    Fnv1a &
+    bytes(const void *p, size_t n)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (size_t i = 0; i < n; i++) {
+            state_ ^= b[i];
+            state_ *= 1099511628211ull;
+        }
+        return *this;
+    }
+
+    /** Hash one scalar (its object representation). */
+    template <typename T>
+    Fnv1a &
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        static_assert(std::is_arithmetic_v<T> || std::is_enum_v<T>,
+                      "hash scalars field by field, not whole structs");
+        return bytes(&v, sizeof(T));
+    }
+
+    Fnv1a &
+    str(const std::string &s)
+    {
+        uint64_t n = s.size();
+        bytes(&n, sizeof(n));
+        return bytes(s.data(), s.size());
+    }
+
+    uint64_t value() const { return state_; }
+
+  private:
+    uint64_t state_ = 1469598103934665603ull;
+};
+
+} // namespace trt
+
+#endif // TRT_GEOM_HASH_HH

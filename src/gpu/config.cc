@@ -1,0 +1,75 @@
+/**
+ * @file
+ * GpuConfig fingerprinting for the harness run cache. Every field that
+ * can change simulation results is hashed individually; bump the schema
+ * tag whenever a field is added, removed or reordered so stale cache
+ * entries can never be mistaken for fresh ones.
+ */
+
+#include "gpu/config.hh"
+
+#include "geom/hash.hh"
+
+namespace trt
+{
+
+uint64_t
+GpuConfig::fingerprint() const
+{
+    Fnv1a h;
+    h.pod(uint32_t(0x6C0F0001)); // schema tag
+
+    h.pod(numSms);
+    h.pod(maxWarpsPerSm);
+    h.pod(warpSize);
+    h.pod(maxCtasPerSm);
+    h.pod(regsPerSm);
+    h.pod(rtUnitsPerSm);
+    h.pod(warpBufferSize);
+
+    h.pod(mem.lineBytes);
+    h.pod(mem.numL1s);
+    h.pod(mem.l1Bytes);
+    h.pod(mem.l1Ways);
+    h.pod(mem.l1HitLatency);
+    h.pod(mem.l2Bytes);
+    h.pod(mem.l2Ways);
+    h.pod(mem.l2HitLatency);
+    h.pod(mem.l2ReservedBytes);
+    h.pod(mem.dramLatency);
+    h.pod(mem.dramBytesPerCycle);
+
+    h.pod(ctaSize);
+    h.pod(raygenAluInstrs);
+    h.pod(shadeAluInstrs);
+    h.pod(regsPerThread);
+    h.pod(simtStackDepth);
+
+    h.pod(rtMemIssuePerCycle);
+    h.pod(isectBoxLatency);
+    h.pod(isectTriLatency);
+    h.pod(isectIssuePerCycle);
+
+    h.pod(imageWidth);
+    h.pod(imageHeight);
+    h.pod(maxBounces);
+    h.pod(contributionCutoff);
+
+    h.pod(arch);
+    h.pod(uint8_t(rayVirtualization));
+    h.pod(uint8_t(virtualizationFree));
+    h.pod(maxVirtualRaysPerSm);
+    h.pod(queueThreshold);
+    h.pod(uint8_t(groupUnderpopulated));
+    h.pod(repackThreshold);
+    h.pod(uint8_t(preloadEnabled));
+    h.pod(initialDivergeThreshold);
+    h.pod(uint8_t(skipTreeletPhase));
+
+    h.pod(prefetchCooldown);
+    h.pod(prefetchMinRays);
+
+    return h.value();
+}
+
+} // namespace trt

@@ -121,6 +121,14 @@ struct GpuConfig
         c.arch = RtArch::TreeletPrefetch;
         return c;
     }
+
+    /**
+     * Hash of every simulation-affecting field (including the embedded
+     * MemConfig), hashed field by field so struct padding can't leak
+     * into the key. Used by the harness run cache: two configs with
+     * equal fingerprints produce identical RunStats for the same scene.
+     */
+    uint64_t fingerprint() const;
 };
 
 } // namespace trt

@@ -1,0 +1,155 @@
+#include "gpu/run_stats_io.hh"
+
+#include <istream>
+#include <ostream>
+
+namespace trt
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x54525452u; // 'TRTR'
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readPod(std::istream &is, T &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return bool(is);
+}
+
+template <typename T>
+void
+writeVec(std::ostream &os, const std::vector<T> &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = v.size();
+    os.write(reinterpret_cast<const char *>(&n), sizeof(n));
+    if (n)
+        os.write(reinterpret_cast<const char *>(v.data()),
+                 std::streamsize(n * sizeof(T)));
+}
+
+template <typename T>
+bool
+readVec(std::istream &is, std::vector<T> &v)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    is.read(reinterpret_cast<char *>(&n), sizeof(n));
+    if (!is || n > (1ull << 32))
+        return false;
+    v.resize(n);
+    if (n)
+        is.read(reinterpret_cast<char *>(v.data()),
+                std::streamsize(n * sizeof(T)));
+    return bool(is);
+}
+
+// RtStats is written field by field (not as one struct) so that
+// uninitialized padding between the uint32 high-water fields never
+// reaches the file: cache blobs stay byte-deterministic.
+void
+writeRtStats(std::ostream &os, const RtStats &rt)
+{
+    writePod(os, rt.activeLaneCycles);
+    writePod(os, rt.slotLaneCycles);
+    writePod(os, rt.modeCycles);
+    writePod(os, rt.isectTests);
+    writePod(os, rt.nodeVisits);
+    writePod(os, rt.leafVisits);
+    writePod(os, rt.raysCompleted);
+    writePod(os, rt.boundaryCrossings);
+    writePod(os, rt.raysEnqueued);
+    writePod(os, rt.treeletWarpsFormed);
+    writePod(os, rt.groupedWarpsFormed);
+    writePod(os, rt.repackEvents);
+    writePod(os, rt.repackedRays);
+    writePod(os, rt.countTableHighWater);
+    writePod(os, rt.countTableOverThresholdHW);
+    writePod(os, rt.queueTableEntriesHW);
+    writePod(os, rt.maxConcurrentRays);
+    writePod(os, rt.prefetchLines);
+    writePod(os, rt.prefetchUsedLines);
+    writePod(os, rt.prefetchIssues);
+}
+
+bool
+readRtStats(std::istream &is, RtStats &rt)
+{
+    return readPod(is, rt.activeLaneCycles) &&
+           readPod(is, rt.slotLaneCycles) && readPod(is, rt.modeCycles) &&
+           readPod(is, rt.isectTests) && readPod(is, rt.nodeVisits) &&
+           readPod(is, rt.leafVisits) && readPod(is, rt.raysCompleted) &&
+           readPod(is, rt.boundaryCrossings) &&
+           readPod(is, rt.raysEnqueued) &&
+           readPod(is, rt.treeletWarpsFormed) &&
+           readPod(is, rt.groupedWarpsFormed) &&
+           readPod(is, rt.repackEvents) && readPod(is, rt.repackedRays) &&
+           readPod(is, rt.countTableHighWater) &&
+           readPod(is, rt.countTableOverThresholdHW) &&
+           readPod(is, rt.queueTableEntriesHW) &&
+           readPod(is, rt.maxConcurrentRays) &&
+           readPod(is, rt.prefetchLines) &&
+           readPod(is, rt.prefetchUsedLines) &&
+           readPod(is, rt.prefetchIssues);
+}
+
+} // anonymous namespace
+
+void
+RunStatsIo::save(std::ostream &os, const RunStats &st)
+{
+    writePod(os, kMagic);
+    writePod(os, kVersion);
+
+    writePod(os, st.cycles);
+    writeVec(os, st.framebuffer);
+    writeRtStats(os, st.rt);
+    // MemClassStats is all-uint64 (no padding), safe to write whole.
+    static_assert(sizeof(MemClassStats) == 8 * sizeof(uint64_t));
+    writePod(os, st.mem);
+    writePod(os, st.bvhL1MissRate);
+    writeVec(os, st.bvhMissSeries);
+    writePod(os, st.aluLaneInstrs);
+    writePod(os, st.raysTraced);
+    writePod(os, st.ctasLaunched);
+    writePod(os, st.ctaSaves);
+    writePod(os, st.ctaRestores);
+    writePod(os, st.ctaStateBytes);
+    writeVec(os, st.primaryHits);
+}
+
+bool
+RunStatsIo::load(std::istream &is, RunStats &st)
+{
+    uint32_t magic = 0, version = 0;
+    if (!readPod(is, magic) || !readPod(is, version))
+        return false;
+    if (magic != kMagic || version != kVersion)
+        return false;
+
+    if (!(readPod(is, st.cycles) && readVec(is, st.framebuffer) &&
+          readRtStats(is, st.rt) && readPod(is, st.mem) &&
+          readPod(is, st.bvhL1MissRate) && readVec(is, st.bvhMissSeries) &&
+          readPod(is, st.aluLaneInstrs) && readPod(is, st.raysTraced) &&
+          readPod(is, st.ctasLaunched) && readPod(is, st.ctaSaves) &&
+          readPod(is, st.ctaRestores) && readPod(is, st.ctaStateBytes) &&
+          readVec(is, st.primaryHits)))
+        return false;
+
+    // The blob must end exactly here; trailing bytes mean a schema skew
+    // that kVersion failed to catch.
+    return is.peek() == std::istream::traits_type::eof();
+}
+
+} // namespace trt

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Versioned binary serialization of RunStats, used by the harness run
+ * cache (.trt_cache/runs/) to memoize cycle-level simulations across
+ * bench invocations.
+ */
+
+#ifndef TRT_GPU_RUN_STATS_IO_HH
+#define TRT_GPU_RUN_STATS_IO_HH
+
+#include <iosfwd>
+
+#include "gpu/gpu.hh"
+
+namespace trt
+{
+
+struct RunStatsIo
+{
+    /** Bump on any RunStats/RtStats/MemClassStats layout change. */
+    static constexpr uint32_t kVersion = 1;
+
+    static void save(std::ostream &os, const RunStats &st);
+
+    /** Returns false (leaving @p st unspecified) on magic/version
+     *  mismatch or truncation. */
+    static bool load(std::istream &is, RunStats &st);
+};
+
+} // namespace trt
+
+#endif // TRT_GPU_RUN_STATS_IO_HH

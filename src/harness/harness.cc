@@ -1,6 +1,7 @@
 #include "harness/harness.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +12,7 @@
 #include <thread>
 
 #include "bvh/io.hh"
+#include "harness/run_cache.hh"
 
 namespace trt
 {
@@ -60,23 +62,26 @@ readVec(std::istream &is, std::vector<T> &v)
     return bool(is);
 }
 
-/** Directory of the bundle cache; empty string disables caching. */
-std::string
-cacheDir()
-{
-    const char *v = envStr("TRT_CACHE");
-    if (!v)
-        return ".trt_cache";
-    std::string s = v;
-    return s == "0" || s.empty() ? std::string() : s;
-}
-
 std::filesystem::path
 cachePath(const std::string &name, float scale)
 {
+    // The builder-parameter fingerprint is part of the key: a change
+    // to maxLeafTris, the treelet byte cap, etc. must never serve a
+    // bundle built under the old parameters.
     std::ostringstream ss;
-    ss << name << "_s" << scale << "_v" << kBundleCacheVersion << ".bin";
-    return std::filesystem::path(cacheDir()) / ss.str();
+    ss << name << "_s" << scale << "_b" << std::hex
+       << BvhConfig{}.fingerprint() << std::dec << "_v"
+       << kBundleCacheVersion << ".bin";
+    return std::filesystem::path(cacheRootDir()) / ss.str();
+}
+
+/** Milliseconds elapsed since @p t0. */
+uint64_t
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count());
 }
 
 bool
@@ -138,6 +143,16 @@ saveBundleFile(const std::filesystem::path &path, const SceneBundle &b)
 }
 
 } // anonymous namespace
+
+std::string
+cacheRootDir()
+{
+    const char *v = envStr("TRT_CACHE");
+    if (!v)
+        return ".trt_cache";
+    std::string s = v;
+    return s == "0" || s.empty() ? std::string() : s;
+}
 
 HarnessOptions
 HarnessOptions::fromEnv()
@@ -216,15 +231,21 @@ getSceneBundle(const std::string &name, float scale)
 
     auto bundle = std::make_unique<SceneBundle>();
     bool cached = false;
-    if (!cacheDir().empty())
+    if (!cacheRootDir().empty())
         cached = loadBundleFile(cachePath(name, scale), *bundle);
-    if (!cached) {
+    if (cached) {
+        harnessTiming().bundleCacheHits++;
+    } else {
+        auto t0 = std::chrono::steady_clock::now();
         bundle->name = name;
         bundle->scene = buildScene(name, scale);
         bundle->bvh = Bvh::build(bundle->scene.triangles);
         bundle->bvhStats = bundle->bvh.stats();
-        if (!cacheDir().empty())
+        harnessTiming().sceneBuildMs += msSince(t0);
+        if (!cacheRootDir().empty()) {
+            harnessTiming().bundleCacheMisses++;
             saveBundleFile(cachePath(name, scale), *bundle);
+        }
     }
 
     std::lock_guard<std::mutex> lk(mtx);
@@ -237,8 +258,19 @@ RunStats
 runScene(const std::string &name, const GpuConfig &cfg,
          const HarnessOptions &opt)
 {
+    // Consult the run cache before touching the scene bundle: a warm
+    // cache skips scene generation and the BVH build as well.
+    uint64_t fp = runFingerprint(cfg, name, opt.sceneScale);
+    RunStats st;
+    if (loadCachedRun(fp, name, st))
+        return st;
+
     const SceneBundle &b = getSceneBundle(name, opt.sceneScale);
-    return simulate(cfg, b.scene, b.bvh);
+    auto t0 = std::chrono::steady_clock::now();
+    st = simulate(cfg, b.scene, b.bvh);
+    harnessTiming().simulateMs += msSince(t0);
+    storeCachedRun(fp, name, st);
+    return st;
 }
 
 void

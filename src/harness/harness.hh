@@ -5,12 +5,19 @@
  * scene x configuration sweeps.
  *
  * Environment variables:
- *   TRT_RES      image resolution (square), default 256 (as the paper).
- *   TRT_SCALE    scene triangle-budget multiplier, default 1.0.
- *   TRT_SCENES   comma-separated subset of scene names.
- *   TRT_FAST     =1: resolution 64, scale 0.15 (smoke runs).
- *   TRT_THREADS  max parallel scene simulations (default: hw threads).
- *   TRT_RESULTS  directory for CSV dumps, default "results".
+ *   TRT_RES            image resolution (square), default 256 (paper).
+ *   TRT_SCALE          scene triangle-budget multiplier, default 1.0.
+ *   TRT_SCENES         comma-separated subset of scene names.
+ *   TRT_FAST           =1: resolution 64, scale 0.15 (smoke runs).
+ *   TRT_THREADS        max parallel scene simulations (default: hw).
+ *   TRT_RESULTS        directory for CSV dumps, default "results".
+ *   TRT_CACHE          cache root, default ".trt_cache"; =0 disables
+ *                      all on-disk caching (bundles and run results).
+ *   TRT_BUILD_THREADS  BVH build threads (default: hw). Any value
+ *                      yields a bit-identical BVH; this is purely a
+ *                      wall-clock knob.
+ *   TRT_RUN_CACHE      =0: bypass the persistent RunStats memoization
+ *                      under <TRT_CACHE>/runs/ (see run_cache.hh).
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH
@@ -54,13 +61,21 @@ struct HarnessOptions
     GpuConfig apply(GpuConfig cfg) const;
 };
 
+/** Root directory of the on-disk caches (TRT_CACHE, default
+ *  ".trt_cache"); empty string when caching is disabled. */
+std::string cacheRootDir();
+
 /**
  * Get (building and caching on first use) the bundle for @p name at
  * @p scale. Thread-safe; the returned reference lives for the process.
  */
 const SceneBundle &getSceneBundle(const std::string &name, float scale);
 
-/** Simulate one scene under @p cfg (resolution from cfg). */
+/**
+ * Simulate one scene under @p cfg (resolution from cfg). Consults the
+ * persistent run cache first (run_cache.hh); a hit skips simulation
+ * entirely and is counted in harnessTiming().
+ */
 RunStats runScene(const std::string &name, const GpuConfig &cfg,
                   const HarnessOptions &opt);
 

@@ -1,0 +1,153 @@
+#include "harness/run_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "geom/hash.hh"
+#include "gpu/run_stats_io.hh"
+#include "harness/harness.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+std::once_flag summary_armed;
+
+void
+printSummaryAtExit()
+{
+    const HarnessTiming &t = harnessTiming();
+    if (t.sceneBuildMs == 0 && t.simulateMs == 0 && t.runCacheHits == 0 &&
+        t.runCacheMisses == 0 && t.bundleCacheHits == 0 &&
+        t.bundleCacheMisses == 0)
+        return;
+    std::cout << harnessTimingSummary() << "\n";
+}
+
+std::filesystem::path
+runCachePath(uint64_t fp, const std::string &scene)
+{
+    std::ostringstream ss;
+    ss << scene << "_" << std::hex << fp << "_v" << std::dec
+       << RunStatsIo::kVersion << ".bin";
+    return std::filesystem::path(cacheRootDir()) / "runs" / ss.str();
+}
+
+} // anonymous namespace
+
+HarnessTiming &
+harnessTiming()
+{
+    static HarnessTiming timing;
+    std::call_once(summary_armed,
+                   []() { std::atexit(printSummaryAtExit); });
+    return timing;
+}
+
+void
+resetHarnessTiming()
+{
+    HarnessTiming &t = harnessTiming();
+    t.sceneBuildMs = 0;
+    t.simulateMs = 0;
+    t.bundleCacheHits = 0;
+    t.bundleCacheMisses = 0;
+    t.runCacheHits = 0;
+    t.runCacheMisses = 0;
+}
+
+std::string
+harnessTimingSummary()
+{
+    const HarnessTiming &t = harnessTiming();
+    std::ostringstream ss;
+    ss << "[harness] scene build " << t.sceneBuildMs << " ms, simulate "
+       << t.simulateMs << " ms | bundle cache " << t.bundleCacheHits
+       << " hit " << t.bundleCacheMisses << " miss | run cache "
+       << t.runCacheHits << " hit " << t.runCacheMisses << " miss";
+    return ss.str();
+}
+
+bool
+runCacheEnabled()
+{
+    if (cacheRootDir().empty())
+        return false;
+    const char *v = std::getenv("TRT_RUN_CACHE");
+    if (!v)
+        return true;
+    return std::string(v) != "0" && *v != '\0';
+}
+
+uint64_t
+runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale)
+{
+    Fnv1a h;
+    h.pod(uint32_t(0x52554E01)); // schema tag
+    h.pod(cfg.fingerprint());
+    h.str(scene);
+    h.pod(scale);
+    // The harness builds bundles with default BVH parameters; a change
+    // there changes simulated addresses and must invalidate runs.
+    h.pod(BvhConfig{}.fingerprint());
+    h.pod(uint32_t(RunStatsIo::kVersion));
+    // Build stamp: simulator code changes invalidate old results even
+    // when no schema version was bumped.
+    h.str(std::string(__DATE__ " " __TIME__));
+    return h.value();
+}
+
+bool
+loadCachedRun(uint64_t fp, const std::string &scene, RunStats &st)
+{
+    if (!runCacheEnabled())
+        return false;
+    std::ifstream is(runCachePath(fp, scene), std::ios::binary);
+    if (is && RunStatsIo::load(is, st)) {
+        harnessTiming().runCacheHits++;
+        return true;
+    }
+    harnessTiming().runCacheMisses++;
+    return false;
+}
+
+void
+storeCachedRun(uint64_t fp, const std::string &scene, const RunStats &st)
+{
+    if (!runCacheEnabled())
+        return;
+    std::filesystem::path path = runCachePath(fp, scene);
+    std::error_code ec;
+    std::filesystem::create_directories(path.parent_path(), ec);
+
+    // Write to a private temp file and rename so concurrent bench
+    // processes never observe a half-written blob.
+    std::ostringstream tmp_name;
+    tmp_name << path.string() << ".tmp." << ::getpid();
+    std::filesystem::path tmp(tmp_name.str());
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os)
+            return;
+        RunStatsIo::save(os, st);
+        if (!os) {
+            os.close();
+            std::filesystem::remove(tmp, ec);
+            return;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        std::filesystem::remove(tmp, ec);
+}
+
+} // namespace trt

@@ -402,6 +402,137 @@ TEST(CompressedBvh, ClosestHitsIdentical)
     }
 }
 
+/**
+ * Field-wise equality of two built BVHs (node array, triangle order,
+ * treelet assignment, byte layout). Field-wise rather than memcmp so
+ * uninitialized struct padding can't cause false mismatches.
+ */
+void
+expectBvhIdentical(const Bvh &a, const Bvh &b)
+{
+    ASSERT_EQ(a.nodes().size(), b.nodes().size());
+    for (size_t n = 0; n < a.nodes().size(); n++) {
+        const WideNode &na = a.nodes()[n];
+        const WideNode &nb = b.nodes()[n];
+        for (int c = 0; c < kBvhWidth; c++) {
+            ASSERT_EQ(na.child[c].kind, nb.child[c].kind)
+                << "node " << n << " child " << c;
+            ASSERT_EQ(na.child[c].index, nb.child[c].index)
+                << "node " << n << " child " << c;
+            ASSERT_EQ(na.child[c].count, nb.child[c].count)
+                << "node " << n << " child " << c;
+            ASSERT_TRUE(na.child[c].bounds.lo == nb.child[c].bounds.lo &&
+                        na.child[c].bounds.hi == nb.child[c].bounds.hi)
+                << "node " << n << " child " << c << " bounds";
+        }
+    }
+
+    ASSERT_EQ(a.triangles().size(), b.triangles().size());
+    for (uint32_t i = 0; i < a.triangles().size(); i++) {
+        ASSERT_EQ(a.originalTriIndex(i), b.originalTriIndex(i))
+            << "triangle permutation diverges at " << i;
+        ASSERT_EQ(a.triBlockAddr(i), b.triBlockAddr(i)) << "tri addr " << i;
+    }
+
+    ASSERT_EQ(a.treeletCount(), b.treeletCount());
+    for (uint32_t n = 0; n < a.nodes().size(); n++) {
+        ASSERT_EQ(a.treeletOf(n), b.treeletOf(n)) << "node " << n;
+        ASSERT_EQ(a.nodeAddr(n), b.nodeAddr(n)) << "node " << n;
+    }
+    for (uint32_t t = 0; t < a.treeletCount(); t++) {
+        ASSERT_EQ(a.treeletNodeCount(t), b.treeletNodeCount(t)) << "tl " << t;
+        ASSERT_EQ(a.treeletBytes(t), b.treeletBytes(t)) << "tl " << t;
+        ASSERT_EQ(a.treeletBaseAddr(t), b.treeletBaseAddr(t)) << "tl " << t;
+        ASSERT_FLOAT_EQ(a.treeletAvgDepth(t), b.treeletAvgDepth(t))
+            << "tl " << t;
+    }
+    ASSERT_EQ(a.totalBytes(), b.totalBytes());
+    ASSERT_EQ(a.nodeBytes(), b.nodeBytes());
+    ASSERT_TRUE(a.rootBounds().lo == b.rootBounds().lo &&
+                a.rootBounds().hi == b.rootBounds().hi);
+}
+
+TEST(ParallelBuild, BitIdenticalToSerialOnRegistryScenes)
+{
+    // ISSUE acceptance: parallel build (8 threads) must be bit-identical
+    // to the serial build — same node order, same treelet ids, same
+    // layout — on at least 3 registry scenes.
+    for (const char *name : {"BUNNY", "CRNVL", "PARTY"}) {
+        Scene s = buildScene(name, 0.25f);
+        // Ensure the scene is large enough to engage the parallel path.
+        ASSERT_GT(s.triangles.size(), 4096u) << name;
+        BvhConfig serial;
+        serial.buildThreads = 1;
+        BvhConfig parallel;
+        parallel.buildThreads = 8;
+        Bvh a = Bvh::build(s.triangles, serial);
+        Bvh b = Bvh::build(s.triangles, parallel);
+        SCOPED_TRACE(name);
+        expectBvhIdentical(a, b);
+    }
+}
+
+TEST(ParallelBuild, BitIdenticalAcrossThreadCounts)
+{
+    std::vector<Triangle> tris = randomTriangles(20000, 99);
+    BvhConfig serial;
+    serial.buildThreads = 1;
+    Bvh ref = Bvh::build(tris, serial);
+    for (uint32_t threads : {2u, 3u, 8u, 16u}) {
+        BvhConfig cfg;
+        cfg.buildThreads = threads;
+        Bvh par = Bvh::build(tris, cfg);
+        SCOPED_TRACE(threads);
+        expectBvhIdentical(ref, par);
+    }
+}
+
+TEST(ParallelBuild, BitIdenticalWithQuantizedNodes)
+{
+    std::vector<Triangle> tris = randomTriangles(16000, 7);
+    BvhConfig serial;
+    serial.buildThreads = 1;
+    serial.quantizedNodes = true;
+    BvhConfig parallel = serial;
+    parallel.buildThreads = 8;
+    expectBvhIdentical(Bvh::build(tris, serial), Bvh::build(tris, parallel));
+}
+
+TEST(ParallelBuild, SmallInputsUseAnyThreadCount)
+{
+    // Tiny scenes fall back to the serial path regardless of the knob;
+    // the result must still be well-formed and identical.
+    std::vector<Triangle> tris = randomTriangles(37, 3);
+    BvhConfig serial;
+    serial.buildThreads = 1;
+    BvhConfig parallel;
+    parallel.buildThreads = 8;
+    expectBvhIdentical(Bvh::build(tris, serial), Bvh::build(tris, parallel));
+}
+
+TEST(BvhConfigFingerprint, SensitiveToBuildParamsNotThreads)
+{
+    BvhConfig base;
+    uint64_t fp = base.fingerprint();
+
+    BvhConfig threads = base;
+    threads.buildThreads = 8;
+    EXPECT_EQ(fp, threads.fingerprint())
+        << "buildThreads must not affect the fingerprint";
+
+    BvhConfig leaf = base;
+    leaf.maxLeafTris = 4;
+    EXPECT_NE(fp, leaf.fingerprint());
+
+    BvhConfig cap = base;
+    cap.treeletMaxBytes = 16 * 1024;
+    EXPECT_NE(fp, cap.fingerprint());
+
+    BvhConfig quant = base;
+    quant.quantizedNodes = true;
+    EXPECT_NE(fp, quant.fingerprint());
+}
+
 TEST(Stats, SahQualitySane)
 {
     // The SAH build should visit far fewer nodes than a degenerate

@@ -7,10 +7,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
+#include "gpu/run_stats_io.hh"
 #include "harness/harness.hh"
+#include "harness/run_cache.hh"
 
 namespace trt
 {
@@ -155,6 +158,218 @@ TEST(WriteCsv, CreatesFile)
     std::getline(in, line);
     EXPECT_EQ(line, "a");
     std::filesystem::remove_all(opt.resultsDir);
+}
+
+RunStats
+syntheticStats()
+{
+    RunStats st;
+    st.cycles = 123456789ull;
+    st.framebuffer = {{0.1f, 0.2f, 0.3f}, {1.0f, 0.0f, 0.5f}};
+    st.rt.activeLaneCycles = 11;
+    st.rt.slotLaneCycles = 22;
+    st.rt.modeCycles[0] = 33;
+    st.rt.isectTests[1] = 44;
+    st.rt.nodeVisits = 55;
+    st.rt.countTableHighWater = 66;
+    st.rt.prefetchIssues = 77;
+    st.mem[0].l1Accesses = 88;
+    st.mem[1].dramReadBytes = 99;
+    st.bvhL1MissRate = 0.125;
+    st.bvhMissSeries = {0.5, 0.25, 0.125};
+    st.aluLaneInstrs = 101;
+    st.raysTraced = 102;
+    st.ctasLaunched = 103;
+    st.ctaSaves = 104;
+    st.ctaRestores = 105;
+    st.ctaStateBytes = 106;
+    st.primaryHits.resize(3);
+    st.primaryHits[1].t = 1.5f;
+    st.primaryHits[1].triIndex = 42;
+    return st;
+}
+
+void
+expectStatsEqual(const RunStats &a, const RunStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    ASSERT_EQ(a.framebuffer.size(), b.framebuffer.size());
+    for (size_t i = 0; i < a.framebuffer.size(); i++)
+        EXPECT_TRUE(a.framebuffer[i] == b.framebuffer[i]) << i;
+    EXPECT_EQ(a.rt.activeLaneCycles, b.rt.activeLaneCycles);
+    EXPECT_EQ(a.rt.slotLaneCycles, b.rt.slotLaneCycles);
+    EXPECT_EQ(a.rt.modeCycles, b.rt.modeCycles);
+    EXPECT_EQ(a.rt.isectTests, b.rt.isectTests);
+    EXPECT_EQ(a.rt.nodeVisits, b.rt.nodeVisits);
+    EXPECT_EQ(a.rt.countTableHighWater, b.rt.countTableHighWater);
+    EXPECT_EQ(a.rt.prefetchIssues, b.rt.prefetchIssues);
+    for (size_t c = 0; c < a.mem.size(); c++) {
+        EXPECT_EQ(a.mem[c].l1Accesses, b.mem[c].l1Accesses) << c;
+        EXPECT_EQ(a.mem[c].l1Misses, b.mem[c].l1Misses) << c;
+        EXPECT_EQ(a.mem[c].dramReadBytes, b.mem[c].dramReadBytes) << c;
+    }
+    EXPECT_EQ(a.bvhL1MissRate, b.bvhL1MissRate);
+    EXPECT_EQ(a.bvhMissSeries, b.bvhMissSeries);
+    EXPECT_EQ(a.aluLaneInstrs, b.aluLaneInstrs);
+    EXPECT_EQ(a.raysTraced, b.raysTraced);
+    EXPECT_EQ(a.ctasLaunched, b.ctasLaunched);
+    EXPECT_EQ(a.ctaSaves, b.ctaSaves);
+    EXPECT_EQ(a.ctaRestores, b.ctaRestores);
+    EXPECT_EQ(a.ctaStateBytes, b.ctaStateBytes);
+    ASSERT_EQ(a.primaryHits.size(), b.primaryHits.size());
+    for (size_t i = 0; i < a.primaryHits.size(); i++) {
+        EXPECT_EQ(a.primaryHits[i].t, b.primaryHits[i].t) << i;
+        EXPECT_EQ(a.primaryHits[i].triIndex, b.primaryHits[i].triIndex)
+            << i;
+    }
+}
+
+TEST(RunStatsIo, RoundTripExact)
+{
+    RunStats st = syntheticStats();
+    std::stringstream ss;
+    RunStatsIo::save(ss, st);
+    RunStats back;
+    ASSERT_TRUE(RunStatsIo::load(ss, back));
+    expectStatsEqual(st, back);
+}
+
+TEST(RunStatsIo, RejectsBadMagicVersionAndTruncation)
+{
+    RunStats st = syntheticStats();
+    std::stringstream ss;
+    RunStatsIo::save(ss, st);
+    std::string blob = ss.str();
+
+    RunStats back;
+    {
+        std::string bad = blob;
+        bad[0] ^= 0xff; // magic
+        std::istringstream is(bad);
+        EXPECT_FALSE(RunStatsIo::load(is, back));
+    }
+    {
+        std::string bad = blob;
+        bad[4] ^= 0xff; // version
+        std::istringstream is(bad);
+        EXPECT_FALSE(RunStatsIo::load(is, back));
+    }
+    {
+        std::istringstream is(blob.substr(0, blob.size() / 2));
+        EXPECT_FALSE(RunStatsIo::load(is, back));
+    }
+    {
+        std::istringstream is(blob + "x"); // trailing garbage
+        EXPECT_FALSE(RunStatsIo::load(is, back));
+    }
+}
+
+TEST(RunCache, FingerprintSensitivity)
+{
+    GpuConfig cfg;
+    uint64_t fp = runFingerprint(cfg, "BUNNY", 1.0f);
+    EXPECT_EQ(fp, runFingerprint(cfg, "BUNNY", 1.0f));
+    EXPECT_NE(fp, runFingerprint(cfg, "CRNVL", 1.0f));
+    EXPECT_NE(fp, runFingerprint(cfg, "BUNNY", 0.5f));
+
+    GpuConfig bounces = cfg;
+    bounces.maxBounces++;
+    EXPECT_NE(fp, runFingerprint(bounces, "BUNNY", 1.0f));
+    GpuConfig res = cfg;
+    res.imageWidth = 128;
+    EXPECT_NE(fp, runFingerprint(res, "BUNNY", 1.0f));
+    GpuConfig arch = GpuConfig::virtualizedTreeletQueues();
+    EXPECT_NE(fp, runFingerprint(arch, "BUNNY", 1.0f));
+}
+
+/** Fixture giving each test a private cache root. */
+class RunCacheOnDisk : public ::testing::Test
+{
+  protected:
+    RunCacheOnDisk()
+        : dir_((std::filesystem::temp_directory_path() /
+                "trt_run_cache_test")
+                   .string()),
+          cache_("TRT_CACHE", dir_.c_str())
+    {
+        std::filesystem::remove_all(dir_);
+        resetHarnessTiming();
+    }
+
+    ~RunCacheOnDisk() override
+    {
+        std::filesystem::remove_all(dir_);
+        resetHarnessTiming();
+    }
+
+    std::string dir_;
+    EnvGuard cache_;
+};
+
+TEST_F(RunCacheOnDisk, StoreThenLoadRoundTrips)
+{
+    RunStats st = syntheticStats();
+    uint64_t fp = runFingerprint(GpuConfig{}, "BUNNY", 0.03f);
+    storeCachedRun(fp, "BUNNY", st);
+
+    RunStats back;
+    ASSERT_TRUE(loadCachedRun(fp, "BUNNY", back));
+    expectStatsEqual(st, back);
+    EXPECT_EQ(harnessTiming().runCacheHits, 1u);
+
+    // A different fingerprint (changed config) must miss.
+    GpuConfig other;
+    other.maxBounces++;
+    RunStats none;
+    EXPECT_FALSE(
+        loadCachedRun(runFingerprint(other, "BUNNY", 0.03f), "BUNNY",
+                      none));
+    EXPECT_EQ(harnessTiming().runCacheMisses, 1u);
+}
+
+TEST_F(RunCacheOnDisk, SecondRunSceneIsServedFromCache)
+{
+    HarnessOptions opt;
+    opt.resolution = 16;
+    opt.sceneScale = 0.03f;
+    GpuConfig cfg = opt.apply(GpuConfig{});
+    cfg.numSms = 2;
+    cfg.mem.numL1s = 2;
+
+    RunStats first = runScene("BUNNY", cfg, opt);
+    EXPECT_EQ(harnessTiming().runCacheHits, 0u);
+    EXPECT_EQ(harnessTiming().runCacheMisses, 1u);
+
+    RunStats second = runScene("BUNNY", cfg, opt);
+    EXPECT_EQ(harnessTiming().runCacheHits, 1u);
+    EXPECT_EQ(harnessTiming().runCacheMisses, 1u);
+    expectStatsEqual(first, second);
+
+    // Any config change invalidates (different fingerprint -> miss).
+    GpuConfig changed = cfg;
+    changed.queueThreshold++;
+    runScene("BUNNY", changed, opt);
+    EXPECT_EQ(harnessTiming().runCacheMisses, 2u);
+}
+
+TEST_F(RunCacheOnDisk, EscapeHatchDisablesCache)
+{
+    EnvGuard off("TRT_RUN_CACHE", "0");
+    EXPECT_FALSE(runCacheEnabled());
+
+    HarnessOptions opt;
+    opt.resolution = 16;
+    opt.sceneScale = 0.03f;
+    GpuConfig cfg = opt.apply(GpuConfig{});
+    cfg.numSms = 2;
+    cfg.mem.numL1s = 2;
+
+    runScene("BUNNY", cfg, opt);
+    runScene("BUNNY", cfg, opt);
+    EXPECT_EQ(harnessTiming().runCacheHits, 0u);
+    EXPECT_EQ(harnessTiming().runCacheMisses, 0u);
+    EXPECT_FALSE(
+        std::filesystem::exists(std::filesystem::path(dir_) / "runs"));
 }
 
 } // anonymous namespace

@@ -14,6 +14,7 @@
 
 #include "bvh/bvh.hh"
 #include "bvh/traverser.hh"
+#include "core/arch.hh"
 #include "geom/rng.hh"
 #include "harness/run_cache.hh"
 #include "memsys/cache.hh"
@@ -206,6 +207,33 @@ BM_RunCacheStore(benchmark::State &state)
     }
 }
 BENCHMARK(BM_RunCacheStore)->Unit(benchmark::kMicrosecond);
+
+/**
+ * Simulator scaling: one full frame of the proposed architecture at
+ * TRT_SIM_THREADS = 1..8 worker threads. Arg is the thread count; the
+ * per-arg wall time directly yields the parallel-tick speedup curve
+ * (results are bit-identical across args — see test_determinism).
+ */
+void
+BM_SimulatorScaling(benchmark::State &state)
+{
+    GpuConfig cfg = GpuConfig::virtualizedTreeletQueues();
+    cfg.imageWidth = cfg.imageHeight = 128;
+    cfg.simThreads = uint32_t(state.range(0));
+    const Scene &s = benchScene();
+    for (auto _ : state) {
+        RunStats st = simulate(cfg, s, benchBvh());
+        benchmark::DoNotOptimize(st.cycles);
+    }
+    state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_SimulatorScaling)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void
 BM_CacheFullyAssoc(benchmark::State &state)

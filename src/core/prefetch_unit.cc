@@ -53,7 +53,9 @@ TreeletPrefetchRtUnit::onTreeletEnter(uint64_t now, uint32_t)
 
     uint64_t base = bvh_.treeletBaseAddr(popular);
     uint32_t bytes = bvh_.treeletBytes(popular);
-    mem_.prefetchL1(now, smId_, base, bytes, MemClass::BvhNode);
+    // Result (ready cycle) is unused: the prefetcher fires and forgets,
+    // so a deferred ticket needs no fixup.
+    port_.prefetchL1(now, base, bytes, MemClass::BvhNode);
 
     uint32_t line = mem_.lineBytes();
     uint64_t first = base & ~uint64_t(line - 1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 #include <unordered_set>
 
 namespace trt
@@ -83,8 +84,8 @@ TreeletQueueRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
         p.rayId = allocRayId();
         // Section 4.2 step 1: ray data is written to the reserved L2
         // region as the warp issues to the RT unit.
-        mem_.write(now, smId_, rayDataAddr(p.rayId), kRayDataBytes,
-                   MemClass::RayData);
+        port_.write(now, rayDataAddr(p.rayId), kRayDataBytes,
+                    MemClass::RayData);
         fresh.push_back(std::move(p));
     }
     raysInFlight_ += lanes;
@@ -167,8 +168,8 @@ TreeletQueueRtUnit::parkEntry(uint64_t now, Slot &slot, RayEntry &e)
     // reserved L2 region; the queue-table update itself is charged to
     // the energy model per enqueue (the 6.29KB table is pinned next to
     // the treelet data, section 6.5).
-    mem_.write(now, smId_, rayDataAddr(p.rayId), kRayDataBytes,
-               MemClass::RayData);
+    port_.write(now, rayDataAddr(p.rayId), kRayDataBytes,
+                MemClass::RayData);
     enqueue(now, std::move(p), target);
 
     e.valid = false;
@@ -194,11 +195,13 @@ TreeletQueueRtUnit::installParked(uint64_t now, Slot &slot, Parked &&p)
         // preloader already fetched it (section 4.3).
         e.stage = Stage::WaitData;
         if (p.dataReadyAt > 0) {
+            // A kPendingReady preload sentinel propagates into e.ready
+            // and stalls the ray until onMemCommit() patches it.
             e.ready = std::max(now, p.dataReadyAt);
         } else {
-            e.ready = mem_.read(now, smId_, rayDataAddr(p.rayId),
-                                kRayDataBytes, MemClass::RayData, true)
-                          .readyCycle;
+            e.ready = kPendingReady;
+            port_.read(now, rayDataAddr(p.rayId), kRayDataBytes,
+                       MemClass::RayData, true, &e.ready);
         }
         slot.active++;
         return;
@@ -288,8 +291,9 @@ TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
             // Already (being) loaded by the preloader.
             preloadedTreelet_ = kInvalidTreelet;
         } else {
-            mem_.prefetchL1(now, smId_, bvh_.treeletBaseAddr(treelet),
-                            bvh_.treeletBytes(treelet), MemClass::BvhNode);
+            port_.prefetchL1(now, bvh_.treeletBaseAddr(treelet),
+                             bvh_.treeletBytes(treelet),
+                             MemClass::BvhNode);
         }
         loadedTreelet_ = treelet;
     }
@@ -316,10 +320,19 @@ TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
         for (uint32_t i = 0; i < pre; i++) {
             Parked &p = qit->second[i];
             if (p.dataReadyAt == 0) {
-                p.dataReadyAt =
-                    mem_.read(now, smId_, rayDataAddr(p.rayId),
-                              kRayDataBytes, MemClass::RayData, true)
-                        .readyCycle;
+                // The Parked may move (deque churn, or into a slot)
+                // before the phase commits, so the result cannot be
+                // written through a pointer; record a fixup resolved
+                // by ray id in onMemCommit().
+                MemTicket t =
+                    port_.read(now, rayDataAddr(p.rayId), kRayDataBytes,
+                               MemClass::RayData, true, nullptr);
+                if (port_.resolved(t)) {
+                    p.dataReadyAt = port_.result(t).readyCycle;
+                } else {
+                    p.dataReadyAt = kPendingReady;
+                    preloadFixups_.push_back({t, p.rayId, treelet});
+                }
             }
         }
     }
@@ -377,8 +390,8 @@ TreeletQueueRtUnit::maybePreload(uint64_t now)
         return;
 
     preloadedTreelet_ = best;
-    mem_.prefetchL1(now, smId_, bvh_.treeletBaseAddr(best),
-                    bvh_.treeletBytes(best), MemClass::BvhNode);
+    port_.prefetchL1(now, bvh_.treeletBaseAddr(best),
+                     bvh_.treeletBytes(best), MemClass::BvhNode);
 }
 
 uint32_t
@@ -600,6 +613,77 @@ bool
 TreeletQueueRtUnit::idle() const
 {
     return raysInFlight_ == 0 && pendingFresh_.empty();
+}
+
+void
+TreeletQueueRtUnit::onMemCommit(uint64_t now)
+{
+    for (const auto &f : preloadFixups_) {
+        uint64_t ready = port_.result(f.ticket).readyCycle;
+        bool found = false;
+
+        // Still parked in the queue it was preloaded from?
+        auto qit = queues_.find(f.treelet);
+        if (qit != queues_.end()) {
+            for (auto &p : qit->second) {
+                if (p.rayId == f.rayId &&
+                    p.dataReadyAt == kPendingReady) {
+                    p.dataReadyAt = ready;
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (found)
+            continue;
+
+        // Installed into a slot within the same tick: the sentinel
+        // propagated into the entry's ready cycle (installParked).
+        for (auto &slot : slots_) {
+            for (auto &e : slot.entries) {
+                if (e.valid && e.stage == Stage::WaitData &&
+                    e.rayId == f.rayId && e.ready == kPendingReady) {
+                    e.ready = std::max(now, ready);
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                break;
+        }
+        assert(found && "preload fixup target vanished");
+        (void)found;
+    }
+    preloadFixups_.clear();
+}
+
+std::string
+TreeletQueueRtUnit::debugStatus() const
+{
+    std::ostringstream os;
+    os << "vtq raysInFlight=" << raysInFlight_
+       << " queued=" << queuedRays_ << " queues=" << queues_.size()
+       << " freshWarps=" << pendingFresh_.size() << " loaded=";
+    if (loadedTreelet_ == kInvalidTreelet)
+        os << "-";
+    else
+        os << loadedTreelet_;
+    os << " preloaded=";
+    if (preloadedTreelet_ == kInvalidTreelet)
+        os << "-";
+    else
+        os << preloadedTreelet_;
+    os << " slots{";
+    for (size_t i = 0; i < slots_.size(); i++) {
+        const Slot &s = slots_[i];
+        const char *kind = s.kind == SlotKind::Free      ? "free"
+                           : s.kind == SlotKind::Fresh   ? "fresh"
+                           : s.kind == SlotKind::Treelet ? "treelet"
+                                                         : "grouped";
+        os << (i ? " " : "") << kind << ":" << s.active;
+    }
+    os << "}";
+    return os.str();
 }
 
 } // namespace trt

@@ -50,6 +50,8 @@ class TreeletQueueRtUnit : public RtUnitBase
     void tick(uint64_t now) override;
     uint64_t nextEventCycle() const override;
     bool idle() const override;
+    void onMemCommit(uint64_t now) override;
+    std::string debugStatus() const override;
 
     /** Rays currently owned by this unit (active + parked). */
     uint32_t raysInFlight() const { return raysInFlight_; }
@@ -142,6 +144,20 @@ class TreeletQueueRtUnit : public RtUnitBase
 
     uint32_t loadedTreelet_ = kInvalidTreelet;
     uint32_t preloadedTreelet_ = kInvalidTreelet;
+
+    /**
+     * Ray-data preloads deferred in an issue phase whose destination —
+     * a Parked in a deque, possibly moved into a slot entry within the
+     * same tick — cannot be pinned by address. onMemCommit() resolves
+     * each ticket and finds the ray by id instead.
+     */
+    struct PreloadFixup
+    {
+        MemTicket ticket;
+        uint32_t rayId;
+        uint32_t treelet;
+    };
+    std::vector<PreloadFixup> preloadFixups_;
 };
 
 } // namespace trt

@@ -69,6 +69,10 @@ GpuConfig::fingerprint() const
     h.pod(prefetchCooldown);
     h.pod(prefetchMinRays);
 
+    // simThreads is deliberately not hashed: it changes wall-clock
+    // behavior only, never RunStats, so cached runs stay valid across
+    // thread counts.
+
     return h.value();
 }
 

@@ -102,6 +102,13 @@ struct GpuConfig
     /** Min rays on a treelet before it is worth prefetching. */
     uint32_t prefetchMinRays = 2;
 
+    // ------ Host execution (wall clock only) --------------------------
+    /** Worker threads for SM tick fan-out. 0 = take TRT_SIM_THREADS
+     *  from the environment (default 1). Any value yields bit-identical
+     *  RunStats — the two-phase memory commit serializes all shared
+     *  state — so this is deliberately excluded from fingerprint(). */
+    uint32_t simThreads = 0;
+
     /** Convenience: the full proposed configuration. */
     static GpuConfig
     virtualizedTreeletQueues()

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 namespace trt
@@ -14,6 +16,21 @@ namespace
 constexpr uint64_t kCtaStateBase = 0x300000000ull;
 /** Bytes reserved per CTA in the save area. */
 constexpr uint64_t kCtaStateStride = 8192;
+
+/** Resolve the SM tick-fan-out width: explicit config, else the
+ *  TRT_SIM_THREADS environment variable, else serial. */
+uint32_t
+resolveSimThreads(uint32_t cfg_threads)
+{
+    if (cfg_threads > 0)
+        return cfg_threads;
+    if (const char *env = std::getenv("TRT_SIM_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return uint32_t(v);
+    }
+    return 1;
+}
 
 } // anonymous namespace
 
@@ -41,13 +58,26 @@ Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
                     "(use core/arch.hh makeRtUnitFactory)");
             unit = std::make_unique<BaselineRtUnit>(cfg_, mem_, bvh_, sm);
         }
-        unit->setCompletion([this](uint64_t token,
-                                   std::vector<LaneHit> &&hits) {
-            onWarpTraceDone(lastNow_, token, std::move(hits));
+        // During the (possibly multi-threaded) tick phase completions
+        // are buffered per SM and drained in SM order after the memory
+        // commit; outside it (accept path, final drain) they are
+        // handled inline as before.
+        unit->setCompletion([this, sm](uint64_t token,
+                                       std::vector<LaneHit> &&hits) {
+            if (inTickPhase_)
+                pendingDone_[sm].push_back({token, std::move(hits)});
+            else
+                onWarpTraceDone(lastNow_, token, std::move(hits));
         });
         rtUnits_.push_back(std::move(unit));
     }
     rtNextEvent_.assign(cfg_.numSms, kNoEvent);
+    pendingDone_.resize(cfg_.numSms);
+
+    uint32_t threads =
+        std::min(resolveSimThreads(cfg_.simThreads), cfg_.numSms);
+    if (threads > 1)
+        pool_ = std::make_unique<TickPool>(threads);
 
     buildCtas();
 }
@@ -207,11 +237,12 @@ Gpu::tryResume(uint64_t now)
             uint32_t bytes = ctaStateBytesFor(c);
             run_.ctaStateBytes += bytes;
             if (!cfg_.virtualizationFree) {
-                ready = mem_.read(now, s,
+                // Serial phase: the port resolves immediately.
+                mem_.port(s).read(now,
                                   kCtaStateBase +
                                       c.token * kCtaStateStride,
-                                  bytes, MemClass::CtaState)
-                            .readyCycle;
+                                  bytes, MemClass::CtaState, false,
+                                  &ready);
             }
             pushEvent(ready, Event::CtaRestored, ctaIdx, 0);
         }
@@ -318,8 +349,9 @@ Gpu::maybeSuspendCta(uint64_t now, uint32_t cta)
     uint32_t bytes = ctaStateBytesFor(c);
     run_.ctaStateBytes += bytes;
     if (!cfg_.virtualizationFree) {
-        mem_.write(now, c.smId, kCtaStateBase + c.token * kCtaStateStride,
-                   bytes, MemClass::CtaState);
+        mem_.port(c.smId).write(now,
+                                kCtaStateBase + c.token * kCtaStateStride,
+                                bytes, MemClass::CtaState);
     }
     maybeResumeReady(now, cta);
 }
@@ -428,6 +460,40 @@ Gpu::checkCtaFinished(uint64_t now, uint32_t cta)
     ctasFinished_++;
 }
 
+std::string
+Gpu::simStateDump(uint64_t now) const
+{
+    std::ostringstream os;
+    os << "  cycle=" << now << " ctas=" << ctasFinished_ << "/"
+       << ctas_.size() << " finished, " << pendingCtas_.size()
+       << " pending launch, " << events_.size() << " host events";
+    uint32_t suspended = 0, resumeq = 0;
+    for (const auto &c : ctas_) {
+        if (c.state == CtaState::Suspended)
+            suspended++;
+        if (c.state == CtaState::ResumeQueued)
+            resumeq++;
+    }
+    os << ", " << suspended << " suspended, " << resumeq
+       << " resume-queued\n";
+    for (uint32_t s = 0; s < cfg_.numSms; s++) {
+        const SmState &sm = sms_[s];
+        os << "  sm" << s << ": ctas=" << sm.ctasResident
+           << " warps=" << sm.warpsUsed
+           << " acceptQ=" << sm.acceptQueue.size()
+           << " resumeQ=" << sm.resumeQueue.size() << " nextEvent=";
+        if (rtNextEvent_[s] == kNoEvent)
+            os << "idle";
+        else
+            os << rtNextEvent_[s];
+        std::string rt = rtUnits_[s]->debugStatus();
+        if (!rt.empty())
+            os << " | " << rt;
+        os << "\n";
+    }
+    return os.str();
+}
+
 void
 Gpu::servicePass(uint64_t now)
 {
@@ -460,14 +526,15 @@ Gpu::run()
             throw std::logic_error(
                 "simulation deadlock: no pending events but " +
                 std::to_string(ctas_.size() - ctasFinished_) +
-                " CTAs unfinished");
+                " CTAs unfinished\n" + simStateDump(now));
         }
 
         now = std::max(now, next);
         if (now == last_now) {
             if (++same_cycle_iters > 100000)
                 throw std::logic_error("simulation livelock at cycle " +
-                                       std::to_string(now));
+                                       std::to_string(now) + "\n" +
+                                       simStateDump(now));
         } else {
             same_cycle_iters = 0;
             last_now = now;
@@ -491,11 +558,41 @@ Gpu::run()
             }
         }
 
-        for (uint32_t s = 0; s < cfg_.numSms; s++) {
-            if (rtNextEvent_[s] <= now) {
-                rtUnits_[s]->tick(now);
-                refreshRtEvent(s);
+        // Tick due SMs. Ticks are mutually independent once memory
+        // traffic is deferred (two-phase protocol, memsys.hh), so they
+        // may run on worker threads; commitIssuePhase() then resolves
+        // all recorded requests in (sm, seq) order — exactly what the
+        // old serial SM loop produced — and the buffered completions
+        // drain in the same SM order. RunStats is bit-identical at any
+        // thread count.
+        tickList_.clear();
+        for (uint32_t s = 0; s < cfg_.numSms; s++)
+            if (rtNextEvent_[s] <= now)
+                tickList_.push_back(s);
+
+        if (!tickList_.empty()) {
+            mem_.beginIssuePhase();
+            inTickPhase_ = true;
+            if (pool_) {
+                pool_->run(uint32_t(tickList_.size()),
+                           [this, now](uint32_t i) {
+                               rtUnits_[tickList_[i]]->tick(now);
+                           });
+            } else {
+                for (uint32_t s : tickList_)
+                    rtUnits_[s]->tick(now);
             }
+            mem_.commitIssuePhase();
+            for (uint32_t s : tickList_)
+                rtUnits_[s]->onMemCommit(now);
+            inTickPhase_ = false;
+            for (uint32_t s : tickList_) {
+                for (auto &d : pendingDone_[s])
+                    onWarpTraceDone(now, d.token, std::move(d.hits));
+                pendingDone_[s].clear();
+            }
+            for (uint32_t s : tickList_)
+                refreshRtEvent(s);
         }
         servicePass(now);
     }

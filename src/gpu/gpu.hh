@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "gpu/config.hh"
 #include "gpu/rt_unit.hh"
 #include "gpu/shader.hh"
+#include "gpu/sim_pool.hh"
 #include "memsys/memsys.hh"
 #include "scene/scene.hh"
 
@@ -187,6 +189,9 @@ class Gpu
     uint32_t ctaStateBytesFor(const CtaExec &c) const;
     void pushEvent(uint64_t cycle, Event::Type t, uint32_t cta,
                    uint32_t warp);
+    /** Multi-line snapshot of scheduler + per-SM RT-unit state for
+     *  deadlock/livelock diagnostics. */
+    std::string simStateDump(uint64_t now) const;
 
     GpuConfig cfg_;
     const Scene &scene_;
@@ -214,6 +219,25 @@ class Gpu
     RunStats run_;
     bool ran_ = false;
     uint64_t lastNow_ = 0;
+
+    // ---- SM-parallel tick machinery ---------------------------------
+    /** Worker pool for SM tick fan-out (absent when simThreads <= 1). */
+    std::unique_ptr<TickPool> pool_;
+    /** SMs due to tick this cycle; rebuilt every loop iteration. */
+    std::vector<uint32_t> tickList_;
+    /** True while SM ticks run (possibly on worker threads): warp
+     *  completions must be buffered, not handled inline, because the
+     *  handler touches scheduler state shared across SMs. */
+    bool inTickPhase_ = false;
+    struct DeferredDone
+    {
+        uint64_t token;
+        std::vector<LaneHit> hits;
+    };
+    /** Completions buffered during the tick phase, per SM; drained in
+     *  SM order after the memory commit — the order the serial SM loop
+     *  would have produced. */
+    std::vector<std::vector<DeferredDone>> pendingDone_;
 };
 
 } // namespace trt

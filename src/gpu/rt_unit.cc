@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <sstream>
 
 namespace trt
 {
@@ -68,8 +69,9 @@ RtStats::accumulate(const RtStats &o)
 
 RtUnitBase::RtUnitBase(const GpuConfig &cfg, MemorySystem &mem,
                        const Bvh &bvh, uint32_t sm_id)
-    : cfg_(cfg), mem_(mem), bvh_(bvh), smId_(sm_id),
-      memIssue_(cfg.rtMemIssuePerCycle), isect_(cfg.isectIssuePerCycle)
+    : cfg_(cfg), mem_(mem), port_(mem.port(sm_id)), bvh_(bvh),
+      smId_(sm_id), memIssue_(cfg.rtMemIssuePerCycle),
+      isect_(cfg.isectIssuePerCycle)
 {
 }
 
@@ -102,8 +104,12 @@ RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
                 onDemandLine(a);
             MemClass cls =
                 acc.leaf ? MemClass::Triangle : MemClass::BvhNode;
-            auto res = mem_.read(issue_at, smId_, acc.addr, acc.bytes, cls);
-            e.ready = res.readyCycle;
+            // Deferred in an issue phase: the sentinel parks the ray in
+            // WaitMem until commitIssuePhase() stores the real ready
+            // cycle through &e.ready (slot entries never move mid-tick).
+            e.ready = kPendingReady;
+            port_.read(issue_at, acc.addr, acc.bytes, cls, false,
+                       &e.ready);
             e.fetchIsLeaf = acc.leaf;
             e.stage = Stage::WaitMem;
             changed = true;
@@ -292,6 +298,29 @@ BaselineRtUnit::idle() const
         if (slot.active)
             return false;
     return true;
+}
+
+std::string
+BaselineRtUnit::debugStatus() const
+{
+    uint32_t active = 0;
+    std::array<uint32_t, 5> stages{};
+    for (const auto &slot : slots_) {
+        if (!slot.active)
+            continue;
+        active++;
+        for (const auto &e : slot.rays)
+            if (e.valid)
+                stages[size_t(e.stage)]++;
+    }
+    std::ostringstream os;
+    os << "baseline slots=" << active << "/" << slots_.size()
+       << " pendingWarps=" << pending_.size() << " rays{waitData="
+       << stages[size_t(Stage::WaitData)]
+       << " needIssue=" << stages[size_t(Stage::NeedIssue)]
+       << " waitMem=" << stages[size_t(Stage::WaitMem)]
+       << " waitIsect=" << stages[size_t(Stage::WaitIsect)] << "}";
+    return os.str();
 }
 
 } // namespace trt

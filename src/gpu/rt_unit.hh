@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bvh/traverser.hh"
@@ -30,6 +31,15 @@ namespace trt
 
 /** "No pending event" sentinel for nextEventCycle(). */
 constexpr uint64_t kNoEvent = ~0ull;
+
+/**
+ * Ready-cycle sentinel stored while a deferred memory request is
+ * unresolved (issue phase, see memsys.hh). Any comparison
+ * `ready > now` naturally stalls the consumer; commitIssuePhase()
+ * overwrites it with the real ready cycle before anyone can observe a
+ * later `now`.
+ */
+constexpr uint64_t kPendingReady = ~0ull;
 
 /** Traversal mode attribution for Figures 14/15. */
 enum class TraversalMode : uint8_t
@@ -138,6 +148,16 @@ class RtUnitBase
     /** True when no rays are in flight or queued. */
     virtual bool idle() const = 0;
 
+    /**
+     * Called once per cycle after commitIssuePhase(), in SM order.
+     * Units that recorded deferred requests whose destination may have
+     * moved (see TreeletQueueRtUnit's preload fixups) resolve them here.
+     */
+    virtual void onMemCommit(uint64_t now) { (void)now; }
+
+    /** One-line occupancy/state summary for stall diagnostics. */
+    virtual std::string debugStatus() const { return {}; }
+
     void setCompletion(CompletionFn fn) { completion_ = std::move(fn); }
     void setCtaDrained(CtaDrainedFn fn) { ctaDrained_ = std::move(fn); }
 
@@ -202,6 +222,8 @@ class RtUnitBase
 
     const GpuConfig &cfg_;
     MemorySystem &mem_;
+    /** This SM's two-phase frontend; all tick-time traffic goes here. */
+    MemorySystem::SmPort &port_;
     const Bvh &bvh_;
     uint32_t smId_;
 
@@ -232,6 +254,7 @@ class BaselineRtUnit : public RtUnitBase
     void tick(uint64_t now) override;
     uint64_t nextEventCycle() const override;
     bool idle() const override;
+    std::string debugStatus() const override;
 
   protected:
     struct WarpSlot

@@ -2,6 +2,9 @@
 
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "geom/hash.hh"
 
 namespace trt
 {
@@ -150,6 +153,20 @@ RunStatsIo::load(std::istream &is, RunStats &st)
     // The blob must end exactly here; trailing bytes mean a schema skew
     // that kVersion failed to catch.
     return is.peek() == std::istream::traits_type::eof();
+}
+
+uint64_t
+RunStatsIo::fingerprint(const RunStats &st)
+{
+    // Hash the exact serialized form: anything save() covers is covered
+    // here, and padding can never leak in (save() writes field by
+    // field).
+    std::ostringstream os(std::ios::binary);
+    save(os, st);
+    std::string bytes = os.str();
+    Fnv1a h;
+    h.bytes(bytes.data(), bytes.size());
+    return h.value();
 }
 
 } // namespace trt

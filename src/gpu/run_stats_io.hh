@@ -25,6 +25,14 @@ struct RunStatsIo
     /** Returns false (leaving @p st unspecified) on magic/version
      *  mismatch or truncation. */
     static bool load(std::istream &is, RunStats &st);
+
+    /**
+     * FNV-1a over the serialized bytes of @p st: covers every field
+     * save() covers (cycles, framebuffer, all counters, miss series),
+     * with no padding leakage. Used by the determinism tests and CI to
+     * compare runs across TRT_SIM_THREADS settings.
+     */
+    static uint64_t fingerprint(const RunStats &st);
 };
 
 } // namespace trt

@@ -165,6 +165,7 @@ HarnessOptions::fromEnv()
     opt.resolution = uint32_t(envDouble("TRT_RES", opt.resolution));
     opt.sceneScale = float(envDouble("TRT_SCALE", opt.sceneScale));
     opt.threads = uint32_t(envDouble("TRT_THREADS", 0));
+    opt.simThreads = uint32_t(envDouble("TRT_SIM_THREADS", 0));
     if (const char *r = envStr("TRT_RESULTS"))
         opt.resultsDir = r;
 
@@ -186,6 +187,21 @@ HarnessOptions::apply(GpuConfig cfg) const
     cfg.imageWidth = resolution;
     cfg.imageHeight = resolution;
     return cfg;
+}
+
+uint32_t
+HarnessOptions::effectiveSimThreads() const
+{
+    if (simThreads > 0)
+        return simThreads;
+    uint32_t hw = std::thread::hardware_concurrency();
+    uint32_t budget = threads ? threads : (hw ? hw : 4);
+    // Scenes run concurrently up to the same budget (parallelForScenes
+    // clamps to the scene count); split the remainder across them.
+    uint32_t scene_par =
+        std::min<uint32_t>(budget, uint32_t(std::max<size_t>(
+                                       scenes.size(), 1)));
+    return std::max(1u, budget / scene_par);
 }
 
 const SceneBundle &
@@ -267,7 +283,12 @@ runScene(const std::string &name, const GpuConfig &cfg,
 
     const SceneBundle &b = getSceneBundle(name, opt.sceneScale);
     auto t0 = std::chrono::steady_clock::now();
-    st = simulate(cfg, b.scene, b.bvh);
+    // Wall-clock-only knob, applied after the fingerprint above so
+    // cached results remain valid across thread counts.
+    GpuConfig run_cfg = cfg;
+    if (run_cfg.simThreads == 0)
+        run_cfg.simThreads = opt.effectiveSimThreads();
+    st = simulate(run_cfg, b.scene, b.bvh);
     harnessTiming().simulateMs += msSince(t0);
     storeCachedRun(fp, name, st);
     return st;

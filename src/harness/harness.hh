@@ -18,6 +18,16 @@
  *                      wall-clock knob.
  *   TRT_RUN_CACHE      =0: bypass the persistent RunStats memoization
  *                      under <TRT_CACHE>/runs/ (see run_cache.hh).
+ *   TRT_RUN_CACHE_MAX_MB  size cap for <TRT_CACHE>/runs/, default 512;
+ *                      oldest blobs (by mtime, LRU) are pruned after
+ *                      each store. <=0 disables pruning.
+ *   TRT_SIM_THREADS    worker threads per simulation (SM tick fan-out
+ *                      via the two-phase memory interface). Any value
+ *                      yields bit-identical RunStats; purely a
+ *                      wall-clock knob. Default: unset — the harness
+ *                      divides the TRT_THREADS budget across the
+ *                      scenes running in parallel (see
+ *                      HarnessOptions::effectiveSimThreads).
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH
@@ -52,6 +62,9 @@ struct HarnessOptions
     float sceneScale = 1.0f;
     std::vector<std::string> scenes; //!< Defaults to all of Table 2.
     uint32_t threads = 0;            //!< 0 = hardware concurrency.
+    /** Per-simulation SM tick threads (TRT_SIM_THREADS); 0 = derive
+     *  from the thread budget, see effectiveSimThreads(). */
+    uint32_t simThreads = 0;
     std::string resultsDir = "results";
 
     /** Read TRT_* environment variables. */
@@ -59,6 +72,14 @@ struct HarnessOptions
 
     /** Apply resolution to a GpuConfig. */
     GpuConfig apply(GpuConfig cfg) const;
+
+    /**
+     * SM tick threads each simulation should use: the explicit
+     * TRT_SIM_THREADS when set, otherwise the TRT_THREADS budget
+     * divided by the scenes that run concurrently — so scene-level and
+     * within-run parallelism compose without oversubscribing the host.
+     */
+    uint32_t effectiveSimThreads() const;
 };
 
 /** Root directory of the on-disk caches (TRT_CACHE, default

@@ -1,5 +1,6 @@
 #include "harness/run_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -7,6 +8,7 @@
 #include <iostream>
 #include <mutex>
 #include <sstream>
+#include <vector>
 
 #include <unistd.h>
 
@@ -28,9 +30,75 @@ printSummaryAtExit()
     const HarnessTiming &t = harnessTiming();
     if (t.sceneBuildMs == 0 && t.simulateMs == 0 && t.runCacheHits == 0 &&
         t.runCacheMisses == 0 && t.bundleCacheHits == 0 &&
-        t.bundleCacheMisses == 0)
+        t.bundleCacheMisses == 0 && t.runCachePrunedBlobs == 0)
         return;
     std::cout << harnessTimingSummary() << "\n";
+}
+
+/** Size cap for the runs directory in bytes; 0 = pruning disabled. */
+uint64_t
+runCacheCapBytes()
+{
+    constexpr long kDefaultMb = 512;
+    long mb = kDefaultMb;
+    if (const char *v = std::getenv("TRT_RUN_CACHE_MAX_MB"))
+        mb = std::atol(v);
+    return mb > 0 ? uint64_t(mb) * 1024 * 1024 : 0;
+}
+
+/**
+ * Evict least-recently-used blobs until the directory fits the cap.
+ * mtime is the recency signal (loadCachedRun touches it on every hit);
+ * ties break on path for determinism. Serialized within the process;
+ * concurrent processes at worst prune the same files, which the
+ * error_code removes tolerate.
+ */
+void
+pruneRunCache(const std::filesystem::path &dir)
+{
+    uint64_t cap = runCacheCapBytes();
+    if (cap == 0)
+        return;
+
+    static std::mutex prune_mtx;
+    std::lock_guard<std::mutex> lk(prune_mtx);
+
+    struct Blob
+    {
+        std::filesystem::path path;
+        std::filesystem::file_time_type mtime;
+        uint64_t size;
+    };
+    std::vector<Blob> blobs;
+    uint64_t total = 0;
+    std::error_code ec;
+    for (const auto &de : std::filesystem::directory_iterator(dir, ec)) {
+        if (!de.is_regular_file(ec) || de.path().extension() != ".bin")
+            continue;
+        uint64_t size = de.file_size(ec);
+        if (ec)
+            continue;
+        blobs.push_back({de.path(), de.last_write_time(ec), size});
+        total += size;
+    }
+    if (total <= cap)
+        return;
+
+    std::sort(blobs.begin(), blobs.end(),
+              [](const Blob &a, const Blob &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Blob &b : blobs) {
+        if (total <= cap)
+            break;
+        std::filesystem::remove(b.path, ec);
+        if (ec)
+            continue;
+        total -= b.size;
+        harnessTiming().runCachePrunedBlobs++;
+        harnessTiming().runCachePrunedBytes += b.size;
+    }
 }
 
 std::filesystem::path
@@ -63,6 +131,8 @@ resetHarnessTiming()
     t.bundleCacheMisses = 0;
     t.runCacheHits = 0;
     t.runCacheMisses = 0;
+    t.runCachePrunedBlobs = 0;
+    t.runCachePrunedBytes = 0;
 }
 
 std::string
@@ -74,6 +144,10 @@ harnessTimingSummary()
        << t.simulateMs << " ms | bundle cache " << t.bundleCacheHits
        << " hit " << t.bundleCacheMisses << " miss | run cache "
        << t.runCacheHits << " hit " << t.runCacheMisses << " miss";
+    if (t.runCachePrunedBlobs > 0) {
+        ss << ", pruned " << t.runCachePrunedBlobs << " blobs ("
+           << (t.runCachePrunedBytes / 1024) << " KB)";
+    }
     return ss.str();
 }
 
@@ -111,9 +185,14 @@ loadCachedRun(uint64_t fp, const std::string &scene, RunStats &st)
 {
     if (!runCacheEnabled())
         return false;
-    std::ifstream is(runCachePath(fp, scene), std::ios::binary);
+    std::filesystem::path path = runCachePath(fp, scene);
+    std::ifstream is(path, std::ios::binary);
     if (is && RunStatsIo::load(is, st)) {
         harnessTiming().runCacheHits++;
+        // Touch the blob so LRU pruning keeps hot entries.
+        std::error_code ec;
+        std::filesystem::last_write_time(
+            path, std::filesystem::file_time_type::clock::now(), ec);
         return true;
     }
     harnessTiming().runCacheMisses++;
@@ -148,6 +227,7 @@ storeCachedRun(uint64_t fp, const std::string &scene, const RunStats &st)
     std::filesystem::rename(tmp, path, ec);
     if (ec)
         std::filesystem::remove(tmp, ec);
+    pruneRunCache(path.parent_path());
 }
 
 } // namespace trt

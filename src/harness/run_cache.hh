@@ -41,6 +41,9 @@ struct HarnessTiming
     std::atomic<uint32_t> bundleCacheMisses{0};
     std::atomic<uint32_t> runCacheHits{0};
     std::atomic<uint32_t> runCacheMisses{0};
+    /** Blobs/bytes evicted by the TRT_RUN_CACHE_MAX_MB size cap. */
+    std::atomic<uint32_t> runCachePrunedBlobs{0};
+    std::atomic<uint64_t> runCachePrunedBytes{0};
 };
 
 /** The process-wide counters. First use arms an at-exit summary. */
@@ -71,7 +74,12 @@ uint64_t runFingerprint(const GpuConfig &cfg, const std::string &scene,
  */
 bool loadCachedRun(uint64_t fp, const std::string &scene, RunStats &st);
 
-/** Persist @p st for @p fp (atomic write; no-op if caching disabled). */
+/**
+ * Persist @p st for @p fp (atomic write; no-op if caching disabled).
+ * Afterwards prunes the runs directory to TRT_RUN_CACHE_MAX_MB
+ * (default 512 MB, <=0 disables), evicting least-recently-used blobs —
+ * loads touch their blob's mtime, so hot entries survive.
+ */
 void storeCachedRun(uint64_t fp, const std::string &scene,
                     const RunStats &st);
 

@@ -35,8 +35,11 @@ MemorySystem::MemorySystem(const MemConfig &cfg)
       dramCyclesPerByte_(1.0 / cfg.dramBytesPerCycle)
 {
     l1s_.reserve(cfg.numL1s);
-    for (uint32_t i = 0; i < cfg.numL1s; i++)
+    ports_.reserve(cfg.numL1s);
+    for (uint32_t i = 0; i < cfg.numL1s; i++) {
         l1s_.emplace_back(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes);
+        ports_.emplace_back(*this, i);
+    }
     if (cfg.l2ReservedBytes > 0) {
         // Reserved partition is fully associative: it holds a known
         // working set (ray data) and should not suffer conflict misses.
@@ -99,8 +102,8 @@ MemorySystem::cleanPending(std::unordered_map<uint64_t, LineFill> &map,
 }
 
 uint64_t
-MemorySystem::readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
-                       MemClass cls, bool bypass_l1, bool install_only)
+MemorySystem::finishLine(uint64_t now, uint32_t sm, uint64_t line_addr,
+                         MemClass cls, bool bypass_l1, bool l1_hit)
 {
     auto &st = stats_[size_t(cls)];
     bool bvh = cls == MemClass::BvhNode || cls == MemClass::Triangle;
@@ -108,9 +111,7 @@ MemorySystem::readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
 
     if (!bypass_l1) {
         st.l1Accesses++;
-        bool hit = install_only ? l1s_[sm].probe(line_addr)
-                                : l1s_[sm].access(line_addr);
-        if (hit) {
+        if (l1_hit) {
             // If the line's fill is still in flight, wait for it.
             uint64_t pend = pendingReady(pendingL1_, l1_key, now);
             uint64_t ready = std::max(now + cfg_.l1HitLatency, pend);
@@ -121,8 +122,6 @@ MemorySystem::readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
         st.l1Misses++;
         if (bvh && bvhSeries_)
             bvhSeries_->record(now, 1, 1);
-        if (install_only)
-            l1s_[sm].install(line_addr);
     }
 
     // L2 lookup. Ray data goes to the reserved partition when present.
@@ -146,29 +145,60 @@ MemorySystem::readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
     return ready;
 }
 
+void
+MemorySystem::issueReadTags(uint32_t sm, uint64_t addr, uint32_t bytes,
+                            bool bypass_l1, std::vector<uint8_t> &flags)
+{
+    if (bypass_l1)
+        return;
+    uint64_t first = l1s_[sm].lineAddr(addr);
+    uint64_t last = l1s_[sm].lineAddr(addr + (bytes ? bytes - 1 : 0));
+    for (uint64_t a = first; a <= last; a += cfg_.lineBytes)
+        flags.push_back(l1s_[sm].access(a) ? kLineHit : kLineMiss);
+}
+
+MemorySystem::Access
+MemorySystem::commitRead(uint32_t sm, const SmPort::Request &r,
+                         const std::vector<uint8_t> &flags)
+{
+    Access acc;
+    uint64_t first = l1s_[sm].lineAddr(r.addr);
+    uint64_t last = l1s_[sm].lineAddr(r.addr + (r.bytes ? r.bytes - 1 : 0));
+
+    // Multi-line requests issue back to back; completion is the max.
+    uint64_t ready = r.now;
+    uint32_t line = 0;
+    for (uint64_t a = first; a <= last; a += cfg_.lineBytes, line++) {
+        bool hit = !r.bypassL1 && flags[r.flagOff + line] == kLineHit;
+        uint64_t rr = finishLine(r.now + line, sm, a, r.cls, r.bypassL1,
+                                 hit);
+        ready = std::max(ready, rr);
+        if (line == 0) {
+            // Report hit levels of the first line (diagnostics only).
+            acc.l1Hit = rr <= r.now + cfg_.l1HitLatency;
+            acc.l2Hit = rr <= r.now + cfg_.l2HitLatency;
+        }
+    }
+    acc.readyCycle = ready;
+    return acc;
+}
+
 MemorySystem::Access
 MemorySystem::read(uint64_t now, uint32_t sm, uint64_t addr, uint32_t bytes,
                    MemClass cls, bool bypass_l1)
 {
     assert(sm < l1s_.size());
-    Access acc;
-    uint64_t first = l1s_[sm].lineAddr(addr);
-    uint64_t last = l1s_[sm].lineAddr(addr + (bytes ? bytes - 1 : 0));
-
-    // Multi-line requests issue back to back; completion is the max.
-    uint64_t ready = now;
-    uint32_t line = 0;
-    for (uint64_t a = first; a <= last; a += cfg_.lineBytes, line++) {
-        uint64_t r = readLine(now + line, sm, a, cls, bypass_l1, false);
-        ready = std::max(ready, r);
-        if (line == 0) {
-            // Report hit levels of the first line (diagnostics only).
-            acc.l1Hit = r <= now + cfg_.l1HitLatency;
-            acc.l2Hit = r <= now + cfg_.l2HitLatency;
-        }
-    }
-    acc.readyCycle = ready;
-    return acc;
+    assert(!issuePhase_ && "use port(sm) during an issue phase");
+    scratchFlags_.clear();
+    issueReadTags(sm, addr, bytes, bypass_l1, scratchFlags_);
+    SmPort::Request r;
+    r.kind = SmPort::Request::Read;
+    r.bypassL1 = bypass_l1;
+    r.cls = cls;
+    r.bytes = bytes;
+    r.now = now;
+    r.addr = addr;
+    return commitRead(sm, r, scratchFlags_);
 }
 
 void
@@ -184,28 +214,169 @@ MemorySystem::write(uint64_t now, uint32_t sm, uint64_t addr, uint32_t bytes,
     dramService(now, bytes, cls, true);
 }
 
+void
+MemorySystem::issuePrefetchTags(uint32_t sm, uint64_t addr, uint32_t bytes,
+                                std::vector<uint8_t> &flags)
+{
+    uint64_t first = l1s_[sm].lineAddr(addr);
+    uint64_t last = l1s_[sm].lineAddr(addr + (bytes ? bytes - 1 : 0));
+    for (uint64_t a = first; a <= last; a += cfg_.lineBytes) {
+        if (l1s_[sm].probe(a)) {
+            flags.push_back(kLineResident);
+        } else {
+            l1s_[sm].install(a);
+            flags.push_back(kLineMiss);
+        }
+    }
+}
+
+uint64_t
+MemorySystem::commitPrefetch(uint32_t sm, const SmPort::Request &r,
+                             const std::vector<uint8_t> &flags)
+{
+    uint64_t first = l1s_[sm].lineAddr(r.addr);
+    uint64_t last = l1s_[sm].lineAddr(r.addr + (r.bytes ? r.bytes - 1 : 0));
+
+    uint64_t ready = r.now;
+    uint32_t line = 0;
+    for (uint64_t a = first; a <= last; a += cfg_.lineBytes, line++) {
+        uint64_t l1_key = (uint64_t(sm) << 48) | (a & 0xffffffffffffull);
+        if (flags[r.flagOff + line] == kLineResident) {
+            // Already resident; maybe still in flight from earlier.
+            ready = std::max(ready,
+                             pendingReady(pendingL1_, l1_key, r.now));
+            continue;
+        }
+        uint64_t rr = finishLine(r.now + line, sm, a, r.cls, false, false);
+        notePending(pendingL1_, l1_key, rr);
+        ready = std::max(ready, rr);
+    }
+    return ready;
+}
+
 uint64_t
 MemorySystem::prefetchL1(uint64_t now, uint32_t sm, uint64_t addr,
                          uint32_t bytes, MemClass cls)
 {
     assert(sm < l1s_.size());
-    uint64_t first = l1s_[sm].lineAddr(addr);
-    uint64_t last = l1s_[sm].lineAddr(addr + (bytes ? bytes - 1 : 0));
+    assert(!issuePhase_ && "use port(sm) during an issue phase");
+    scratchFlags_.clear();
+    issuePrefetchTags(sm, addr, bytes, scratchFlags_);
+    SmPort::Request r;
+    r.kind = SmPort::Request::Prefetch;
+    r.cls = cls;
+    r.bytes = bytes;
+    r.now = now;
+    r.addr = addr;
+    return commitPrefetch(sm, r, scratchFlags_);
+}
 
-    uint64_t ready = now;
-    uint32_t line = 0;
-    for (uint64_t a = first; a <= last; a += cfg_.lineBytes, line++) {
-        uint64_t l1_key = (uint64_t(sm) << 48) | (a & 0xffffffffffffull);
-        if (l1s_[sm].probe(a)) {
-            // Already resident; maybe still in flight from earlier.
-            ready = std::max(ready, pendingReady(pendingL1_, l1_key, now));
-            continue;
-        }
-        uint64_t r = readLine(now + line, sm, a, cls, false, true);
-        notePending(pendingL1_, l1_key, r);
-        ready = std::max(ready, r);
+MemTicket
+MemorySystem::SmPort::read(uint64_t now, uint64_t addr, uint32_t bytes,
+                           MemClass cls, bool bypass_l1,
+                           uint64_t *ready_dst)
+{
+    if (!owner_->issuePhase_) {
+        Access a = owner_->read(now, sm_, addr, bytes, cls, bypass_l1);
+        if (ready_dst)
+            *ready_dst = a.readyCycle;
+        results_.push_back(a);
+        return MemTicket(results_.size() - 1);
     }
-    return ready;
+    Request r;
+    r.kind = Request::Read;
+    r.bypassL1 = bypass_l1;
+    r.cls = cls;
+    r.bytes = bytes;
+    r.now = now;
+    r.addr = addr;
+    r.flagOff = uint32_t(flags_.size());
+    r.readyDst = ready_dst;
+    owner_->issueReadTags(sm_, addr, bytes, bypass_l1, flags_);
+    requests_.push_back(r);
+    return MemTicket(requests_.size() - 1);
+}
+
+void
+MemorySystem::SmPort::write(uint64_t now, uint64_t addr, uint32_t bytes,
+                            MemClass cls)
+{
+    if (!owner_->issuePhase_) {
+        owner_->write(now, sm_, addr, bytes, cls);
+        return;
+    }
+    Request r;
+    r.kind = Request::Write;
+    r.cls = cls;
+    r.bytes = bytes;
+    r.now = now;
+    r.addr = addr;
+    requests_.push_back(r);
+}
+
+MemTicket
+MemorySystem::SmPort::prefetchL1(uint64_t now, uint64_t addr,
+                                 uint32_t bytes, MemClass cls)
+{
+    if (!owner_->issuePhase_) {
+        Access a;
+        a.readyCycle = owner_->prefetchL1(now, sm_, addr, bytes, cls);
+        results_.push_back(a);
+        return MemTicket(results_.size() - 1);
+    }
+    Request r;
+    r.kind = Request::Prefetch;
+    r.cls = cls;
+    r.bytes = bytes;
+    r.now = now;
+    r.addr = addr;
+    r.flagOff = uint32_t(flags_.size());
+    owner_->issuePrefetchTags(sm_, addr, bytes, flags_);
+    requests_.push_back(r);
+    return MemTicket(requests_.size() - 1);
+}
+
+void
+MemorySystem::beginIssuePhase()
+{
+    assert(!issuePhase_);
+    issuePhase_ = true;
+    for (auto &p : ports_) {
+        p.requests_.clear();
+        p.flags_.clear();
+        p.results_.clear();
+    }
+}
+
+void
+MemorySystem::commitIssuePhase()
+{
+    assert(issuePhase_);
+    issuePhase_ = false;
+    // Drain in (sm, seq) order: the exact global order the old serial
+    // SM loop produced, so every MSHR merge, L2 eviction and DRAM
+    // queueing decision is reproduced bit for bit.
+    for (auto &p : ports_) {
+        p.results_.reserve(p.requests_.size());
+        for (const SmPort::Request &r : p.requests_) {
+            Access a;
+            switch (r.kind) {
+              case SmPort::Request::Read:
+                a = commitRead(p.sm_, r, p.flags_);
+                break;
+              case SmPort::Request::Write:
+                write(r.now, p.sm_, r.addr, r.bytes, r.cls);
+                break;
+              case SmPort::Request::Prefetch:
+                a.readyCycle = commitPrefetch(p.sm_, r, p.flags_);
+                break;
+            }
+            if (r.readyDst)
+                *r.readyDst = a.readyCycle;
+            p.results_.push_back(a);
+        }
+        p.requests_.clear();
+    }
 }
 
 bool

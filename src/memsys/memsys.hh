@@ -11,6 +11,18 @@
  * misses to the same line merge instead of each paying DRAM latency —
  * and so a ray touching a line whose fill is still in flight waits for
  * the fill, not an L1 hit.
+ *
+ * Two-phase operation: callers inside an SM tick go through a per-SM
+ * SmPort. Outside an issue phase the port resolves synchronously
+ * (identical to the plain read()/write()/prefetchL1() entry points).
+ * Between beginIssuePhase() and commitIssuePhase() the port only
+ * performs the SM-local half of each request (L1 tag lookup/update) and
+ * records it; commitIssuePhase() then replays the shared half (stats,
+ * L2, DRAM queueing, MSHR tables) of every recorded request in
+ * (sm, seq) order — exactly the order a serial SM loop would have
+ * produced — and writes each result back through the requester's
+ * destination pointer. This lets the Gpu run SM ticks on worker threads
+ * with bit-identical results at any thread count.
  */
 
 #ifndef TRT_MEMSYS_MEMSYS_HH
@@ -77,6 +89,9 @@ struct MemClassStats
     uint64_t writes = 0;
 };
 
+/** Ticket identifying one SmPort request within the current phase. */
+using MemTicket = uint32_t;
+
 /** The full hierarchy. One instance per simulated GPU. */
 class MemorySystem
 {
@@ -92,6 +107,91 @@ class MemorySystem
         bool l1Hit = false;
         bool l2Hit = false;
     };
+
+    /**
+     * Per-SM request frontend (two-phase interface). Constructed by
+     * MemorySystem, one per L1; obtain via port(sm). During an issue
+     * phase only this SM's L1 tags are touched, so distinct ports may
+     * be driven from distinct threads concurrently.
+     */
+    class SmPort
+    {
+      public:
+        SmPort(MemorySystem &owner, uint32_t sm)
+            : owner_(&owner), sm_(sm)
+        {}
+
+        /**
+         * Read @p bytes at @p addr (see MemorySystem::read). Returns a
+         * ticket; the Access is available via result() once resolved —
+         * immediately outside an issue phase, after commitIssuePhase()
+         * inside one. If @p ready_dst is non-null, the ready cycle is
+         * additionally stored through it at resolution time; the
+         * pointee must stay at that address until the phase commits.
+         */
+        MemTicket read(uint64_t now, uint64_t addr, uint32_t bytes,
+                       MemClass cls, bool bypass_l1 = false,
+                       uint64_t *ready_dst = nullptr);
+
+        /** Write-through store (see MemorySystem::write); no result. */
+        void write(uint64_t now, uint64_t addr, uint32_t bytes,
+                   MemClass cls);
+
+        /** Prefetch into this SM's L1 (see MemorySystem::prefetchL1).
+         *  The resulting Access carries only readyCycle. */
+        MemTicket prefetchL1(uint64_t now, uint64_t addr, uint32_t bytes,
+                             MemClass cls);
+
+        /** True once @p t has a result (always true for tickets issued
+         *  outside an issue phase). */
+        bool resolved(MemTicket t) const { return t < results_.size(); }
+
+        /** Result of @p t; valid until the next beginIssuePhase(). */
+        const Access &result(MemTicket t) const { return results_[t]; }
+
+        /** L1 probe; SM-local, callable in any phase. */
+        bool l1Probe(uint64_t addr) const
+        { return owner_->l1Probe(sm_, addr); }
+
+      private:
+        friend class MemorySystem;
+
+        struct Request
+        {
+            enum Kind : uint8_t { Read, Write, Prefetch } kind;
+            bool bypassL1 = false;
+            MemClass cls = MemClass::Shader;
+            uint32_t bytes = 0;
+            uint64_t now = 0;
+            uint64_t addr = 0;
+            uint32_t flagOff = 0; //!< Into flags_ (per-line tag state).
+            uint64_t *readyDst = nullptr;
+        };
+
+        MemorySystem *owner_;
+        uint32_t sm_;
+        std::vector<Request> requests_;
+        std::vector<uint8_t> flags_;
+        std::vector<Access> results_;
+    };
+
+    /** The issue frontend of SM @p sm. */
+    SmPort &port(uint32_t sm) { return ports_[sm]; }
+
+    /**
+     * Enter the deferred (issue) phase: ports record requests instead
+     * of resolving them. Clears all tickets of the previous phase.
+     */
+    void beginIssuePhase();
+
+    /**
+     * Leave the issue phase: resolve every recorded request against the
+     * shared L2/DRAM state in (sm, seq) order and write results back.
+     */
+    void commitIssuePhase();
+
+    /** True between beginIssuePhase() and commitIssuePhase(). */
+    bool issuePhase() const { return issuePhase_; }
 
     /**
      * Read @p bytes at @p addr from SM @p sm at time @p now. Multi-line
@@ -147,9 +247,32 @@ class MemorySystem
         uint64_t readyCycle = 0;
     };
 
-    /** Latency for one line read; updates caches and counters. */
-    uint64_t readLine(uint64_t now, uint32_t sm, uint64_t line_addr,
-                      MemClass cls, bool bypass_l1, bool install_only);
+    /** Per-line L1 tag state captured at issue time. */
+    enum LineFlag : uint8_t
+    {
+        kLineMiss = 0,     //!< L1 miss (tag updated / installed).
+        kLineHit = 1,      //!< L1 hit.
+        kLineResident = 2, //!< Prefetch target already resident.
+    };
+
+    /** Issue half of read(): per-SM L1 tag lookups, one flag per line
+     *  appended to @p flags. No-op (appends nothing) for bypass_l1. */
+    void issueReadTags(uint32_t sm, uint64_t addr, uint32_t bytes,
+                       bool bypass_l1, std::vector<uint8_t> &flags);
+    /** Issue half of prefetchL1(): probe/install, one flag per line. */
+    void issuePrefetchTags(uint32_t sm, uint64_t addr, uint32_t bytes,
+                           std::vector<uint8_t> &flags);
+    /** Commit half of read(): everything downstream of the L1 tags. */
+    Access commitRead(uint32_t sm, const SmPort::Request &r,
+                      const std::vector<uint8_t> &flags);
+    /** Commit half of prefetchL1(). */
+    uint64_t commitPrefetch(uint32_t sm, const SmPort::Request &r,
+                            const std::vector<uint8_t> &flags);
+
+    /** Shared (post-L1-tag) half of one line read: counters, series,
+     *  MSHR waits, L2 lookup and DRAM queueing. */
+    uint64_t finishLine(uint64_t now, uint32_t sm, uint64_t line_addr,
+                        MemClass cls, bool bypass_l1, bool l1_hit);
 
     /** DRAM queueing + service; returns completion cycle. */
     uint64_t dramService(uint64_t now, uint32_t bytes, MemClass cls,
@@ -167,6 +290,11 @@ class MemorySystem
     std::vector<Cache> l1s_;
     Cache l2_;
     std::unique_ptr<Cache> l2Reserved_;
+
+    std::vector<SmPort> ports_;
+    bool issuePhase_ = false;
+    /** Scratch for the serial (immediate) path's per-line flags. */
+    std::vector<uint8_t> scratchFlags_;
 
     /** In-flight fills keyed by (sm << 48) | line for L1, line for L2. */
     std::unordered_map<uint64_t, LineFill> pendingL1_;

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Determinism of the SM-parallel simulator: RunStats must be
+ * bit-identical between TRT_SIM_THREADS=1 and any higher thread count.
+ * This is the hard acceptance bar of the two-phase memory interface —
+ * worker threads may only change wall-clock time, never results. The
+ * comparison uses RunStatsIo::fingerprint (a hash of the full
+ * serialized RunStats: cycles, framebuffer, every counter, the miss
+ * series), plus targeted field checks so a mismatch names the culprit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/arch.hh"
+#include "gpu/run_stats_io.hh"
+#include "harness/harness.hh"
+
+namespace trt
+{
+namespace
+{
+
+const SceneBundle &
+bundle(const std::string &name)
+{
+    return getSceneBundle(name, 0.25f);
+}
+
+GpuConfig
+sized(GpuConfig cfg)
+{
+    cfg.imageWidth = cfg.imageHeight = 64;
+    // Keep baseline occupancy below the ray count so virtualization
+    // (CTA save/restore traffic) is exercised, as in integration_test.
+    cfg.maxCtasPerSm = 2;
+    return cfg;
+}
+
+RunStats
+runWithThreads(const std::string &scene, GpuConfig cfg, uint32_t threads)
+{
+    cfg.simThreads = threads;
+    const SceneBundle &b = bundle(scene);
+    return simulate(cfg, b.scene, b.bvh);
+}
+
+void
+expectIdentical(const RunStats &serial, const RunStats &parallel,
+                const std::string &what)
+{
+    // Field checks first: a fingerprint mismatch alone says nothing
+    // about where the divergence started.
+    EXPECT_EQ(serial.cycles, parallel.cycles) << what;
+    EXPECT_EQ(serial.framebuffer, parallel.framebuffer) << what;
+    EXPECT_EQ(serial.bvhMissSeries, parallel.bvhMissSeries) << what;
+    EXPECT_EQ(serial.rt.raysCompleted, parallel.rt.raysCompleted) << what;
+    EXPECT_EQ(serial.rt.activeLaneCycles, parallel.rt.activeLaneCycles)
+        << what;
+    EXPECT_EQ(serial.rt.isectTests, parallel.rt.isectTests) << what;
+    EXPECT_EQ(serial.rt.raysEnqueued, parallel.rt.raysEnqueued) << what;
+    EXPECT_EQ(serial.aluLaneInstrs, parallel.aluLaneInstrs) << what;
+    EXPECT_EQ(serial.ctaSaves, parallel.ctaSaves) << what;
+    EXPECT_EQ(serial.ctaRestores, parallel.ctaRestores) << what;
+    for (size_t c = 0; c < serial.mem.size(); c++) {
+        EXPECT_EQ(serial.mem[c].l1Accesses, parallel.mem[c].l1Accesses)
+            << what << " class " << c;
+        EXPECT_EQ(serial.mem[c].l2Misses, parallel.mem[c].l2Misses)
+            << what << " class " << c;
+        EXPECT_EQ(serial.mem[c].dramAccesses,
+                  parallel.mem[c].dramAccesses)
+            << what << " class " << c;
+    }
+    // The blanket check: every serialized byte.
+    EXPECT_EQ(RunStatsIo::fingerprint(serial),
+              RunStatsIo::fingerprint(parallel))
+        << what;
+}
+
+class DeterminismScene : public ::testing::TestWithParam<const char *>
+{
+};
+
+/** The proposed architecture (heaviest memory machinery: treelet
+ *  queues, preloads, ray virtualization) across >= 3 scenes. */
+TEST_P(DeterminismScene, VtqBitIdenticalAt4Threads)
+{
+    GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());
+    RunStats serial = runWithThreads(GetParam(), cfg, 1);
+    RunStats parallel = runWithThreads(GetParam(), cfg, 4);
+    expectIdentical(serial, parallel,
+                    std::string("vtq/") + GetParam() + " 1 vs 4");
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossScenes, DeterminismScene,
+                         ::testing::Values("CRNVL", "BUNNY", "SPNZA"));
+
+TEST(Determinism, BaselineAndPrefetchArches)
+{
+    GpuConfig base = sized(GpuConfig{});
+    expectIdentical(runWithThreads("CRNVL", base, 1),
+                    runWithThreads("CRNVL", base, 4),
+                    "baseline/CRNVL 1 vs 4");
+    GpuConfig pref = sized(GpuConfig::treeletPrefetch());
+    expectIdentical(runWithThreads("CRNVL", pref, 1),
+                    runWithThreads("CRNVL", pref, 4),
+                    "prefetch/CRNVL 1 vs 4");
+}
+
+TEST(Determinism, ThreadCountSweep)
+{
+    GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());
+    RunStats serial = runWithThreads("CRNVL", cfg, 1);
+    for (uint32_t t : {2u, 8u}) {
+        expectIdentical(serial, runWithThreads("CRNVL", cfg, t),
+                        "vtq/CRNVL 1 vs " + std::to_string(t));
+    }
+}
+
+/** simThreads must never reach the run-cache key: cached serial
+ *  results stay valid for parallel runs and vice versa. */
+TEST(Determinism, SimThreadsExcludedFromFingerprint)
+{
+    GpuConfig a = sized(GpuConfig::virtualizedTreeletQueues());
+    GpuConfig b = a;
+    b.simThreads = 8;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+} // anonymous namespace
+} // namespace trt

@@ -4,6 +4,7 @@
  * caching, parallel execution and CSV output.
  */
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -350,6 +351,50 @@ TEST_F(RunCacheOnDisk, SecondRunSceneIsServedFromCache)
     changed.queueThreshold++;
     runScene("BUNNY", changed, opt);
     EXPECT_EQ(harnessTiming().runCacheMisses, 2u);
+}
+
+TEST_F(RunCacheOnDisk, SizeCapPrunesLruBlobs)
+{
+    // ~0.7 MB serialized per blob.
+    RunStats big;
+    big.cycles = 1;
+    big.framebuffer.assign(60000, Vec3{1, 2, 3});
+
+    uint64_t fp1 = runFingerprint(GpuConfig{}, "AAA", 1.0f);
+    uint64_t fp2 = runFingerprint(GpuConfig{}, "BBB", 1.0f);
+    uint64_t fp3 = runFingerprint(GpuConfig{}, "CCC", 1.0f);
+    {
+        EnvGuard nocap("TRT_RUN_CACHE_MAX_MB", "0"); // no pruning yet
+        storeCachedRun(fp1, "AAA", big);
+        storeCachedRun(fp2, "BBB", big);
+        storeCachedRun(fp3, "CCC", big);
+    }
+
+    // Age the blobs explicitly (mtime is the LRU signal): AAA oldest.
+    auto runs = std::filesystem::path(dir_) / "runs";
+    auto now = std::filesystem::file_time_type::clock::now();
+    for (const auto &de : std::filesystem::directory_iterator(runs)) {
+        std::string name = de.path().filename().string();
+        int age_min = name.rfind("AAA", 0) == 0   ? 3
+                      : name.rfind("BBB", 0) == 0 ? 2
+                                                  : 1;
+        std::filesystem::last_write_time(
+            de.path(), now - std::chrono::minutes(age_min));
+    }
+
+    // A store under a 1 MB cap prunes the two oldest blobs.
+    EnvGuard cap("TRT_RUN_CACHE_MAX_MB", "1");
+    RunStats small;
+    small.cycles = 2;
+    storeCachedRun(runFingerprint(GpuConfig{}, "DDD", 1.0f), "DDD",
+                   small);
+
+    RunStats back;
+    EXPECT_FALSE(loadCachedRun(fp1, "AAA", back));
+    EXPECT_FALSE(loadCachedRun(fp2, "BBB", back));
+    EXPECT_TRUE(loadCachedRun(fp3, "CCC", back));
+    EXPECT_EQ(harnessTiming().runCachePrunedBlobs, 2u);
+    EXPECT_GT(harnessTiming().runCachePrunedBytes, 1024u * 1024u);
 }
 
 TEST_F(RunCacheOnDisk, EscapeHatchDisablesCache)

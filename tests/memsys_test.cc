@@ -265,6 +265,114 @@ TEST(MemorySystem, BvhMissRateAndSeries)
     EXPECT_DOUBLE_EQ(mem.bvhSeries()->ratioAt(warm / 100), 0.0);
 }
 
+TEST(MemorySystem, PortImmediateMatchesPlainRead)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem serial(mc);
+    MemorySystem ported(mc);
+
+    for (uint64_t i = 0; i < 50; i++) {
+        uint64_t now = i * 7;
+        uint64_t addr = 0x1000 + (i % 8) * 64;
+        auto a = serial.read(now, 0, addr, 64, MemClass::BvhNode);
+        uint64_t ready = 0;
+        MemTicket t = ported.port(0).read(now, addr, 64,
+                                          MemClass::BvhNode, false,
+                                          &ready);
+        ASSERT_TRUE(ported.port(0).resolved(t));
+        const auto &b = ported.port(0).result(t);
+        EXPECT_EQ(a.readyCycle, b.readyCycle);
+        EXPECT_EQ(a.readyCycle, ready);
+        EXPECT_EQ(a.l1Hit, b.l1Hit);
+        EXPECT_EQ(a.l2Hit, b.l2Hit);
+    }
+}
+
+/**
+ * Two SMs hammering the same L2 set within single cycles: the serial
+ * read() path and the issue/commit path must produce identical Access
+ * results and identical counters. This is the cross-SM contention case
+ * the (sm, seq) commit order exists for — L2 LRU updates, MSHR merges
+ * and DRAM queueing all depend on the global request order.
+ */
+TEST(MemorySystem, TwoPhaseMatchesSerialUnderL2Contention)
+{
+    MemConfig mc = smallConfig();
+    MemorySystem serial(mc);
+    MemorySystem phased(mc);
+
+    // Addresses with identical L2 set index: stride = sets * lineBytes.
+    uint64_t sets = mc.l2Bytes / (uint64_t(mc.l2Ways) * mc.lineBytes);
+    uint64_t stride = sets * mc.lineBytes;
+
+    for (uint64_t round = 0; round < 200; round++) {
+        uint64_t now = round * 3; // several rounds share a cycle
+        // Both SMs pick conflicting lines; every 4th round they touch
+        // the very same line (same-cycle MSHR merge across SMs).
+        uint64_t a0 = 0x100000 + (round % 6) * stride;
+        uint64_t a1 = round % 4 == 0
+                          ? a0
+                          : 0x100000 + ((round + 3) % 6) * stride;
+
+        auto s0 = serial.read(now, 0, a0, 64, MemClass::BvhNode);
+        auto s1 = serial.read(now, 1, a1, 64, MemClass::Triangle);
+        if (round % 5 == 0)
+            serial.write(now, 0, 0x900000 + round * 64, 64,
+                         MemClass::RayData);
+        uint64_t sp = 0;
+        if (round % 7 == 0)
+            sp = serial.prefetchL1(now, 1, 0x400000 + round * 64, 64,
+                                   MemClass::BvhNode);
+
+        phased.beginIssuePhase();
+        uint64_t r0 = 0, r1 = 0;
+        MemTicket t0 = phased.port(0).read(now, a0, 64,
+                                           MemClass::BvhNode, false, &r0);
+        MemTicket t1 = phased.port(1).read(now, a1, 64,
+                                           MemClass::Triangle, false, &r1);
+        if (round % 5 == 0)
+            phased.port(0).write(now, 0x900000 + round * 64, 64,
+                                 MemClass::RayData);
+        MemTicket tp = 0;
+        if (round % 7 == 0)
+            tp = phased.port(1).prefetchL1(now, 0x400000 + round * 64,
+                                           64, MemClass::BvhNode);
+        // Unresolved until the commit.
+        EXPECT_FALSE(phased.port(0).resolved(t0));
+        EXPECT_FALSE(phased.port(1).resolved(t1));
+        phased.commitIssuePhase();
+
+        ASSERT_TRUE(phased.port(0).resolved(t0));
+        ASSERT_TRUE(phased.port(1).resolved(t1));
+        const auto &p0 = phased.port(0).result(t0);
+        const auto &p1 = phased.port(1).result(t1);
+        EXPECT_EQ(s0.readyCycle, p0.readyCycle) << "round " << round;
+        EXPECT_EQ(s0.l1Hit, p0.l1Hit);
+        EXPECT_EQ(s0.l2Hit, p0.l2Hit);
+        EXPECT_EQ(s0.readyCycle, r0);
+        EXPECT_EQ(s1.readyCycle, p1.readyCycle) << "round " << round;
+        EXPECT_EQ(s1.l1Hit, p1.l1Hit);
+        EXPECT_EQ(s1.l2Hit, p1.l2Hit);
+        EXPECT_EQ(s1.readyCycle, r1);
+        if (round % 7 == 0) {
+            EXPECT_EQ(sp, phased.port(1).result(tp).readyCycle);
+        }
+    }
+
+    for (size_t c = 0; c < size_t(MemClass::NumClasses); c++) {
+        const auto &a = serial.classStats(MemClass(c));
+        const auto &b = phased.classStats(MemClass(c));
+        EXPECT_EQ(a.l1Accesses, b.l1Accesses) << memClassName(MemClass(c));
+        EXPECT_EQ(a.l1Misses, b.l1Misses);
+        EXPECT_EQ(a.l2Accesses, b.l2Accesses);
+        EXPECT_EQ(a.l2Misses, b.l2Misses);
+        EXPECT_EQ(a.dramAccesses, b.dramAccesses);
+        EXPECT_EQ(a.dramReadBytes, b.dramReadBytes);
+        EXPECT_EQ(a.dramWriteBytes, b.dramWriteBytes);
+        EXPECT_EQ(a.writes, b.writes);
+    }
+}
+
 TEST(MemorySystem, MemClassNames)
 {
     EXPECT_STREQ(memClassName(MemClass::BvhNode), "bvh_node");

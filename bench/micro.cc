@@ -16,6 +16,8 @@
 #include "bvh/traverser.hh"
 #include "core/arch.hh"
 #include "geom/rng.hh"
+#include "geom/simd.hh"
+#include "gpu/rt_unit.hh"
 #include "harness/run_cache.hh"
 #include "memsys/cache.hh"
 #include "memsys/memsys.hh"
@@ -234,6 +236,93 @@ BENCHMARK(BM_SimulatorScaling)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8);
+
+/**
+ * The 4-wide slab test, scalar reference vs the dispatching kernel
+ * (SIMD when compiled in and enabled). Arg: 0 = scalar, 1 = vector.
+ * Both paths produce bit-identical masks and entry distances; the
+ * delta here is the pure host-side speedup of the vector backend.
+ */
+void
+BM_Aabb4Kernel(benchmark::State &state)
+{
+    constexpr int kInputs = 256;
+    static std::vector<std::pair<Ray, PackedBounds4>> inputs = [] {
+        std::vector<std::pair<Ray, PackedBounds4>> in;
+        Pcg32 rng(7);
+        for (int i = 0; i < kInputs; i++) {
+            Ray r({rng.nextRange(-4, 4), rng.nextRange(-4, 4), -6.0f},
+                  normalize(Vec3{rng.nextRange(-0.3f, 0.3f),
+                                 rng.nextRange(-0.3f, 0.3f), 1.0f}));
+            PackedBounds4 pb;
+            for (int k = 0; k < 4; k++) {
+                Vec3 lo{rng.nextRange(-5, 4), rng.nextRange(-5, 4),
+                        rng.nextRange(-5, 4)};
+                pb.set(k, Aabb{lo, lo + Vec3{1, 1, 1}});
+            }
+            in.emplace_back(r, pb);
+        }
+        return in;
+    }();
+
+    bool want_simd = state.range(0) != 0;
+    if (want_simd && !simdCompiledIn()) {
+        state.SkipWithError("TRT_SIMD=OFF build");
+        return;
+    }
+    setSimdEnabled(want_simd);
+    size_t i = 0;
+    float t[4];
+    for (auto _ : state) {
+        const auto &[r, pb] = inputs[i++ & (kInputs - 1)];
+        RayInv inv(r);
+        benchmark::DoNotOptimize(intersectAabb4(r, inv, pb, t));
+    }
+    setSimdEnabled(true);
+    state.SetItemsProcessed(int64_t(state.iterations()) * 4);
+    state.SetLabel(want_simd ? "simd" : "scalar");
+}
+BENCHMARK(BM_Aabb4Kernel)->Arg(0)->Arg(1);
+
+/**
+ * Cost of the per-tick next-event refresh the GPU main loop pays for
+ * every ticked SM (Gpu::refreshRtEvent). With the incremental event
+ * heap this is O(1) in the number of resident rays — the label arg
+ * (32 / 1024 / 4096 rays) documents exactly that flatness; the old
+ * implementation rescanned every warp-buffer entry.
+ */
+void
+BM_RtNextEventRefresh(benchmark::State &state)
+{
+    uint32_t rays = uint32_t(state.range(0));
+    GpuConfig cfg;
+    cfg.warpBufferSize = (rays + cfg.warpSize - 1) / cfg.warpSize;
+    MemConfig mc;
+    mc.numL1s = 1;
+    MemorySystem mem(mc);
+    BaselineRtUnit unit(cfg, mem, benchBvh(), 0);
+    unit.setCompletion([](uint64_t, std::vector<LaneHit> &&) {});
+
+    Pcg32 rng(11);
+    Aabb bounds = benchBvh().rootBounds();
+    uint64_t token = 1;
+    for (uint32_t n = 0; n < rays; n += cfg.warpSize) {
+        TraceRequest req;
+        req.token = token++;
+        for (uint32_t l = 0; l < cfg.warpSize; l++)
+            req.lanes.push_back({uint8_t(l), randomRay(rng, bounds)});
+        unit.tryAccept(0, std::move(req));
+    }
+    // One tick populates the wait states (and the event heap) of every
+    // resident ray; the refresh below is what each later cycle pays.
+    unit.tick(0);
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(unit.nextEventCycle());
+    }
+    state.SetLabel(std::to_string(rays) + " resident rays");
+}
+BENCHMARK(BM_RtNextEventRefresh)->Arg(32)->Arg(1024)->Arg(4096);
 
 void
 BM_CacheFullyAssoc(benchmark::State &state)

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Wall-clock smoke benchmark of the simulator hot loop.
+#
+# Times build/bench/bench_fig10_overall (the headline figure: all three
+# architectures over the scene suite) at smoke scale with the run cache
+# disabled, so every run is a full cycle-level simulation. Writes the
+# result as JSON to BENCH_simwall.json (or $1).
+#
+# Environment:
+#   BENCH_RUNS       repetitions, best-of is reported (default 3)
+#   BASELINE_WALL_S  optional baseline seconds; adds a "speedup" field
+#   BENCH_BIN        override the benchmark binary
+set -eu
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_simwall.json}
+runs=${BENCH_RUNS:-3}
+bin=${BENCH_BIN:-build/bench/bench_fig10_overall}
+
+if [ ! -x "$bin" ]; then
+    echo "bench_wall: $bin not built" >&2
+    exit 1
+fi
+
+export TRT_FAST=1
+export TRT_RUN_CACHE=0
+
+best_real=""
+best_sim_ms=""
+all_real=""
+for i in $(seq 1 "$runs"); do
+    log=$(mktemp)
+    start=$(date +%s.%N)
+    "$bin" >"$log" 2>&1
+    end=$(date +%s.%N)
+    real=$(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')
+    sim_ms=$(sed -n 's/.*simulate \([0-9]*\) ms.*/\1/p' "$log" | tail -1)
+    rm -f "$log"
+    echo "bench_wall: run $i/$runs real=${real}s simulate=${sim_ms:-?}ms" >&2
+    all_real="${all_real:+$all_real, }$real"
+    if [ -z "$best_real" ] || awk "BEGIN{exit !($real < $best_real)}"; then
+        best_real=$real
+        best_sim_ms=${sim_ms:-0}
+    fi
+done
+
+{
+    echo "{"
+    echo "  \"bench\": \"$(basename "$bin")\","
+    echo "  \"mode\": \"TRT_FAST=1 TRT_RUN_CACHE=0\","
+    echo "  \"runs\": [$all_real],"
+    echo "  \"best_real_s\": $best_real,"
+    echo "  \"best_simulate_ms\": ${best_sim_ms:-0},"
+    if [ -n "${BASELINE_WALL_S:-}" ]; then
+        speedup=$(echo "$BASELINE_WALL_S $best_real" |
+                  awk '{printf "%.3f", $1 / $2}')
+        echo "  \"baseline_wall_s\": $BASELINE_WALL_S,"
+        echo "  \"speedup\": $speedup,"
+    fi
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\""
+    echo "}"
+} > "$out"
+
+echo "bench_wall: wrote $out" >&2
+cat "$out"

@@ -899,7 +899,26 @@ Bvh::build(const std::vector<Triangle> &tris, const BvhConfig &cfg)
             bvh.rootBounds_.grow(c.bounds);
 
     BvhBuilder::partitionTreelets(bvh, cfg.treeletMaxBytes, threads);
+    bvh.buildPackedBounds(threads);
     return bvh;
+}
+
+void
+Bvh::buildPackedBounds(uint32_t threads)
+{
+    packed_.resize(nodes_.size());
+    parallelChunks(nodes_.size(), kReduceGrain, threads,
+                   [&](size_t begin, size_t end, uint32_t) {
+                       for (size_t i = begin; i < end; i++) {
+                           PackedBounds4 pb;
+                           const WideNode &n = nodes_[i];
+                           for (int k = 0; k < kBvhWidth; k++) {
+                               if (n.child[k].kind != WideChild::Invalid)
+                                   pb.set(k, n.child[k].bounds);
+                           }
+                           packed_[i] = pb;
+                       }
+                   });
 }
 
 HitRecord
@@ -924,7 +943,8 @@ Bvh::intersectClosest(const Ray &ray) const
             continue;
 
         const WideNode &n = nodes_[e.node];
-        // Collect intersected children, then push far-to-near.
+        // Collect intersected children (all four lanes in one packed
+        // slab test), then push far-to-near.
         struct ChildHit
         {
             const WideChild *c;
@@ -932,12 +952,11 @@ Bvh::intersectClosest(const Ray &ray) const
         };
         ChildHit hits[kBvhWidth];
         int nh = 0;
-        for (const auto &c : n.child) {
-            if (c.kind == WideChild::Invalid)
-                continue;
-            float t;
-            if (intersectAabb(r, inv, c.bounds, t))
-                hits[nh++] = {&c, t};
+        float t_entry[4];
+        uint32_t m = intersectAabb4(r, inv, packed_[e.node], t_entry);
+        for (int k = 0; k < kBvhWidth; k++) {
+            if (m >> k & 1u)
+                hits[nh++] = {&n.child[k], t_entry[k]};
         }
         // Insertion sort by descending t (at most kBvhWidth entries;
         // avoids std::sort's code paths tripping -Warray-bounds).
@@ -955,14 +974,24 @@ Bvh::intersectClosest(const Ray &ray) const
             if (c.kind == WideChild::Internal) {
                 stack.push_back({c.index, hits[i].t});
             } else {
-                for (uint32_t k = 0; k < c.count; k++) {
-                    float t, u, v;
-                    if (intersectTriangle(r, tris_[c.index + k], t, u, v)) {
-                        hit.t = t;
-                        hit.u = u;
-                        hit.v = v;
-                        hit.triIndex = c.index + k;
-                        r.tmax = t;
+                // Batched Möller-Trumbore; the acceptance fold runs
+                // per lane in order so r.tmax shrinks exactly as the
+                // scalar loop's did.
+                for (uint32_t k0 = 0; k0 < c.count; k0 += 4) {
+                    uint32_t cnt = std::min(c.count - k0, 4u);
+                    float t[4], u[4], v[4];
+                    uint32_t tm = mollerTrumbore4(
+                        r, &tris_[c.index + k0], cnt, t, u, v);
+                    for (uint32_t k = 0; k < cnt; k++) {
+                        if (!(tm >> k & 1u))
+                            continue;
+                        if (t[k] > r.tmin && t[k] < r.tmax) {
+                            hit.t = t[k];
+                            hit.u = u[k];
+                            hit.v = v[k];
+                            hit.triIndex = c.index + k0 + k;
+                            r.tmax = t[k];
+                        }
                     }
                 }
             }

@@ -19,6 +19,7 @@
 
 #include "geom/aabb.hh"
 #include "geom/intersect.hh"
+#include "geom/simd.hh"
 
 namespace trt
 {
@@ -139,6 +140,10 @@ class Bvh
                      const BvhConfig &cfg = {});
 
     const std::vector<WideNode> &nodes() const { return nodes_; }
+    /** SoA child bounds per node for the 4-wide intersection kernels
+     *  (geom/simd.hh); same indexing as nodes(). */
+    const std::vector<PackedBounds4> &packedBounds() const
+    { return packed_; }
     const std::vector<Triangle> &triangles() const { return tris_; }
     /** Original scene index of reordered triangle @p i. */
     uint32_t originalTriIndex(uint32_t i) const { return triOrig_[i]; }
@@ -190,7 +195,12 @@ class Bvh
     friend class BvhBuilder;
     friend struct BvhIo;
 
+    /** (Re)derive packed_ from nodes_ (build tail and BvhIo::load;
+     *  the SoA mirror is never serialized). */
+    void buildPackedBounds(uint32_t threads);
+
     std::vector<WideNode> nodes_;
+    std::vector<PackedBounds4> packed_;
     std::vector<Triangle> tris_;
     std::vector<uint32_t> triOrig_;
     Aabb rootBounds_;

@@ -75,17 +75,23 @@ BvhIo::save(std::ostream &os, const Bvh &bvh)
 bool
 BvhIo::load(std::istream &is, Bvh &bvh)
 {
-    return readVec(is, bvh.nodes_) && readVec(is, bvh.tris_) &&
-           readVec(is, bvh.triOrig_) && readPod(is, bvh.rootBounds_) &&
-           readVec(is, bvh.nodeTreelet_) &&
-           readVec(is, bvh.treeletNodes_) &&
-           readVec(is, bvh.treeletBytes_) &&
-           readVec(is, bvh.treeletAddr_) &&
-           readVec(is, bvh.treeletDepth_) && readVec(is, bvh.nodeAddr_) &&
-           readVec(is, bvh.triAddr_) && readPod(is, bvh.totalBytes_) &&
-           // Trailing field added later; absent in older streams, which
-           // can only hold default (uncompressed) builds.
-           (readPod(is, bvh.nodeBytes_) || (bvh.nodeBytes_ = kNodeBytes));
+    bool ok =
+        readVec(is, bvh.nodes_) && readVec(is, bvh.tris_) &&
+        readVec(is, bvh.triOrig_) && readPod(is, bvh.rootBounds_) &&
+        readVec(is, bvh.nodeTreelet_) &&
+        readVec(is, bvh.treeletNodes_) &&
+        readVec(is, bvh.treeletBytes_) &&
+        readVec(is, bvh.treeletAddr_) &&
+        readVec(is, bvh.treeletDepth_) && readVec(is, bvh.nodeAddr_) &&
+        readVec(is, bvh.triAddr_) && readPod(is, bvh.totalBytes_) &&
+        // Trailing field added later; absent in older streams, which
+        // can only hold default (uncompressed) builds.
+        (readPod(is, bvh.nodeBytes_) || (bvh.nodeBytes_ = kNodeBytes));
+    if (ok) {
+        // The SoA kernel mirror is derived, not serialized.
+        bvh.buildPackedBounds(1);
+    }
+    return ok;
 }
 
 } // namespace trt

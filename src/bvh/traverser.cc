@@ -7,8 +7,23 @@ namespace trt
 {
 
 RayTraverser::RayTraverser(const Bvh *bvh, const Ray &ray)
-    : bvh_(bvh), ray_(ray), inv_(ray)
 {
+    reset(bvh, ray);
+}
+
+void
+RayTraverser::reset(const Bvh *bvh, const Ray &ray)
+{
+    bvh_ = bvh;
+    ray_ = ray;
+    inv_ = RayInv(ray);
+    currentStack_.clear();
+    treeletStack_.clear();
+    pendingLeaves_.clear();
+    curTreelet_ = kInvalidTreelet;
+    fetchNode_ = kInvalidNode;
+    hitRec_ = HitRecord{};
+    counts_ = Counts{};
     // The ray conceptually starts outside any treelet with the root on
     // its treelet stack, so even the first step is a boundary crossing
     // into the root treelet. This is exactly how the paper's treelet
@@ -91,14 +106,16 @@ RayTraverser::complete()
         };
         ChildHit hits[kBvhWidth];
         int nh = 0;
-        for (const auto &c : n.child) {
-            if (c.kind == WideChild::Invalid)
-                continue;
-            tests++;
-            float t;
-            if (intersectAabb(r, inv_, c.bounds, t))
-                hits[nh++] = {&c, t};
+        // One packed slab test covers all four children; every valid
+        // child counts as a box test exactly as the per-child loop did.
+        const PackedBounds4 &pb = bvh_->packedBounds()[fetchNode_];
+        float t_entry[4];
+        uint32_t m = intersectAabb4(r, inv_, pb, t_entry);
+        for (int k = 0; k < kBvhWidth; k++) {
+            if (m >> k & 1u)
+                hits[nh++] = {&n.child[k], t_entry[k]};
         }
+        tests = pb.validCount;
         counts_.boxTests += tests;
 
         // Internal children pushed far-to-near so the nearest pops
@@ -139,18 +156,27 @@ RayTraverser::complete()
         Ray r = ray_;
         if (hitRec_.hit())
             r.tmax = hitRec_.t;
-        for (uint32_t k = 0; k < pl.count; k++) {
-            tests++;
-            float t, u, v;
-            const Triangle &tri = bvh_->triangles()[pl.firstTri + k];
-            if (intersectTriangle(r, tri, t, u, v)) {
-                hitRec_.t = t;
-                hitRec_.u = u;
-                hitRec_.v = v;
-                hitRec_.triIndex = pl.firstTri + k;
-                r.tmax = t;
+        // Batched Möller-Trumbore candidates; the acceptance fold runs
+        // per lane in order so r.tmax shrinks between triangles of the
+        // leaf exactly as the scalar loop's did.
+        const Triangle *tris = &bvh_->triangles()[pl.firstTri];
+        for (uint32_t k0 = 0; k0 < pl.count; k0 += 4) {
+            uint32_t cnt = std::min(pl.count - k0, 4u);
+            float t[4], u[4], v[4];
+            uint32_t m = mollerTrumbore4(r, tris + k0, cnt, t, u, v);
+            for (uint32_t k = 0; k < cnt; k++) {
+                if (!(m >> k & 1u))
+                    continue;
+                if (t[k] > r.tmin && t[k] < r.tmax) {
+                    hitRec_.t = t[k];
+                    hitRec_.u = u[k];
+                    hitRec_.v = v[k];
+                    hitRec_.triIndex = pl.firstTri + k0 + k;
+                    r.tmax = t[k];
+                }
             }
         }
+        tests = pl.count;
         counts_.triTests += tests;
 
         if (pendingLeaves_.empty())

@@ -64,6 +64,10 @@ class RayTraverser
      *  outlive the traverser). */
     RayTraverser(const Bvh *bvh, const Ray &ray);
 
+    /** Re-begin traversal in place, reusing the stack allocations of
+     *  whatever this traverser ran before (hot-loop pooling). */
+    void reset(const Bvh *bvh, const Ray &ray);
+
     Phase phase() const { return phase_; }
     bool done() const { return phase_ == Phase::Done; }
 

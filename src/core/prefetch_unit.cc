@@ -1,6 +1,6 @@
 #include "core/prefetch_unit.hh"
 
-#include <unordered_map>
+#include <algorithm>
 
 namespace trt
 {
@@ -15,7 +15,11 @@ TreeletPrefetchRtUnit::TreeletPrefetchRtUnit(const GpuConfig &cfg,
 uint32_t
 TreeletPrefetchRtUnit::popularTreelet() const
 {
-    std::unordered_map<uint32_t, uint32_t> histo;
+    // At most warpBufferSize x warpSize rays contribute, with far fewer
+    // distinct treelets; a pooled vector with linear lookup beats a
+    // freshly allocated hash map at this size. The max-count/min-id
+    // selection is order-independent, so results are unchanged.
+    histoScratch_.clear();
     for (const auto &slot : slots_) {
         if (!slot.active)
             continue;
@@ -23,13 +27,21 @@ TreeletPrefetchRtUnit::popularTreelet() const
             if (!e.valid || e.stage == Stage::Done)
                 continue;
             uint32_t t = e.trav.currentTreelet();
-            if (t != kInvalidTreelet)
-                histo[t]++;
+            if (t == kInvalidTreelet)
+                continue;
+            auto it = std::find_if(histoScratch_.begin(),
+                                   histoScratch_.end(),
+                                   [t](const auto &h)
+                                   { return h.first == t; });
+            if (it == histoScratch_.end())
+                histoScratch_.emplace_back(t, 1u);
+            else
+                it->second++;
         }
     }
     uint32_t best = kInvalidTreelet;
     uint32_t best_count = std::max(1u, cfg_.prefetchMinRays) - 1;
-    for (const auto &[t, n] : histo) {
+    for (const auto &[t, n] : histoScratch_) {
         if (n > best_count || (n == best_count && t < best)) {
             best = t;
             best_count = n;
@@ -61,7 +73,7 @@ TreeletPrefetchRtUnit::onTreeletEnter(uint64_t now, uint32_t)
     uint64_t first = base & ~uint64_t(line - 1);
     uint64_t last = (base + bytes - 1) & ~uint64_t(line - 1);
     for (uint64_t a = first; a <= last; a += line) {
-        if (outstanding_.insert(a).second)
+        if (outstanding_.insert(a))
             stats_.prefetchLines++;
     }
 }
@@ -69,11 +81,8 @@ TreeletPrefetchRtUnit::onTreeletEnter(uint64_t now, uint32_t)
 void
 TreeletPrefetchRtUnit::onDemandLine(uint64_t line_addr)
 {
-    auto it = outstanding_.find(line_addr);
-    if (it != outstanding_.end()) {
-        outstanding_.erase(it);
+    if (outstanding_.erase(line_addr))
         stats_.prefetchUsedLines++;
-    }
 }
 
 } // namespace trt

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
-#include <unordered_set>
 
 namespace trt
 {
@@ -77,7 +76,8 @@ TreeletQueueRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
     fresh.reserve(lanes);
     for (const auto &lr : req.lanes) {
         Parked p;
-        p.trav = RayTraverser(&bvh_, lr.ray);
+        p.trav = takeTraverser();
+        p.trav.reset(&bvh_, lr.ray);
         p.warpToken = req.token;
         p.ctaToken = req.ctaToken;
         p.lane = lr.lane;
@@ -127,10 +127,32 @@ void
 TreeletQueueRtUnit::enqueue(uint64_t now, Parked &&p, uint32_t treelet)
 {
     (void)now;
-    queues_[treelet].push_back(std::move(p));
+    auto &q = queues_[treelet];
+    q.push_back(std::move(p));
+    noteQueueGrew(q.size());
     queuedRays_++;
     stats_.raysEnqueued++;
     updateTableHighWater();
+}
+
+void
+TreeletQueueRtUnit::noteQueueGrew(size_t sz)
+{
+    // Only non-empty queues exist in the table, so a threshold of 0
+    // counts exactly the queues a threshold of 1 does.
+    if (sz == std::max<size_t>(1, cfg_.queueThreshold))
+        overThresholdNow_++;
+    if ((sz - 1) % cfg_.warpSize == 0)
+        tableEntriesNow_++;
+}
+
+void
+TreeletQueueRtUnit::noteQueueShrank(size_t sz)
+{
+    if (sz + 1 == std::max<size_t>(1, cfg_.queueThreshold))
+        overThresholdNow_--;
+    if (sz % cfg_.warpSize == 0)
+        tableEntriesNow_--;
 }
 
 void
@@ -138,16 +160,10 @@ TreeletQueueRtUnit::updateTableHighWater()
 {
     stats_.countTableHighWater = std::max<uint32_t>(
         stats_.countTableHighWater, uint32_t(queues_.size()));
-    uint32_t over = 0, entries = 0;
-    for (const auto &[t, q] : queues_) {
-        if (q.size() >= cfg_.queueThreshold)
-            over++;
-        entries += uint32_t((q.size() + cfg_.warpSize - 1) / cfg_.warpSize);
-    }
     stats_.countTableOverThresholdHW =
-        std::max(stats_.countTableOverThresholdHW, over);
+        std::max(stats_.countTableOverThresholdHW, overThresholdNow_);
     stats_.queueTableEntriesHW =
-        std::max(stats_.queueTableEntriesHW, entries);
+        std::max(stats_.queueTableEntriesHW, tableEntriesNow_);
 }
 
 void
@@ -196,14 +212,22 @@ TreeletQueueRtUnit::installParked(uint64_t now, Slot &slot, Parked &&p)
         e.stage = Stage::WaitData;
         if (p.dataReadyAt > 0) {
             // A kPendingReady preload sentinel propagates into e.ready
-            // and stalls the ray until onMemCommit() patches it.
+            // and stalls the ray until onMemCommit() patches it (which
+            // also notes the wake-up).
             e.ready = std::max(now, p.dataReadyAt);
         } else {
             e.ready = kPendingReady;
             port_.read(now, rayDataAddr(p.rayId), kRayDataBytes,
                        MemClass::RayData, true, &e.ready);
         }
+        // Entries live in a fixed-size vector and a WaitData entry pins
+        // its slot, so the sentinel pointer stays valid until drained.
+        if (e.ready == kPendingReady)
+            notePendingEvent(&e.ready);
+        else
+            noteEvent(e.ready);
         slot.active++;
+        slot.policyPending = true;
         return;
     }
     assert(false && "no free entry in slot");
@@ -223,18 +247,19 @@ TreeletQueueRtUnit::largestQueue() const
     return best;
 }
 
-std::vector<TreeletQueueRtUnit::Parked>
-TreeletQueueRtUnit::gatherStrays(uint32_t max)
+void
+TreeletQueueRtUnit::gatherStrays(uint32_t max, std::vector<Parked> &out)
 {
     // Section 4.4: select queues starting from the first treelet count
     // table entry until enough rays fill the warp.
-    std::vector<Parked> out;
+    out.clear();
     auto it = queues_.begin();
     while (it != queues_.end() && out.size() < max) {
         auto &q = it->second;
         while (!q.empty() && out.size() < max) {
             out.push_back(std::move(q.front()));
             q.pop_front();
+            noteQueueShrank(q.size());
             queuedRays_--;
         }
         if (q.empty())
@@ -242,7 +267,6 @@ TreeletQueueRtUnit::gatherStrays(uint32_t max)
         else
             ++it;
     }
-    return out;
 }
 
 void
@@ -255,8 +279,7 @@ TreeletQueueRtUnit::dispatchFresh(uint64_t now, Slot &slot)
     slot.treelet = kInvalidTreelet;
     slot.draining = false;
     slot.active = 0;
-    for (auto &e : slot.entries)
-        e = RayEntry{};
+    reclaimEntries(slot);
 
     for (auto &p : fresh) {
         for (auto &e : slot.entries) {
@@ -274,9 +297,14 @@ TreeletQueueRtUnit::dispatchFresh(uint64_t now, Slot &slot)
             e.stage = Stage::NeedIssue;
             e.ready = now;
             slot.active++;
+            slot.policyPending = true;
             break;
         }
     }
+    // Fresh entries can issue this very cycle; when dispatched from
+    // tryAccept() (outside a tick) this schedules the same-cycle tick
+    // the old rescan provided.
+    noteEvent(now);
 }
 
 void
@@ -302,14 +330,14 @@ TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
     slot.treelet = treelet;
     slot.draining = false;
     slot.active = 0;
-    for (auto &e : slot.entries)
-        e = RayEntry{};
+    reclaimEntries(slot);
 
     uint32_t n = std::min<uint32_t>(cfg_.warpSize,
                                     uint32_t(qit->second.size()));
     for (uint32_t i = 0; i < n; i++) {
         installParked(now, slot, std::move(qit->second.front()));
         qit->second.pop_front();
+        noteQueueShrank(qit->second.size());
         queuedRays_--;
     }
     // Ray-data preloading (section 4.3): fetch the data of the rays
@@ -345,17 +373,16 @@ TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
 void
 TreeletQueueRtUnit::dispatchGrouped(uint64_t now, Slot &slot)
 {
-    std::vector<Parked> strays = gatherStrays(cfg_.warpSize);
-    if (strays.empty())
+    gatherStrays(cfg_.warpSize, strayScratch_);
+    if (strayScratch_.empty())
         return;
 
     slot.kind = SlotKind::Grouped;
     slot.treelet = kInvalidTreelet;
     slot.draining = false;
     slot.active = 0;
-    for (auto &e : slot.entries)
-        e = RayEntry{};
-    for (auto &p : strays)
+    reclaimEntries(slot);
+    for (auto &p : strayScratch_)
         installParked(now, slot, std::move(p));
     stats_.groupedWarpsFormed++;
 }
@@ -397,16 +424,21 @@ TreeletQueueRtUnit::maybePreload(uint64_t now)
 uint32_t
 TreeletQueueRtUnit::slotDivergence(const Slot &slot) const
 {
-    std::unordered_set<uint32_t> t;
+    // Linear dedup over at most warpSize ids into pooled scratch; this
+    // runs per boundary decision, so avoiding a hash set matters.
+    divScratch_.clear();
     for (const auto &e : slot.entries) {
         if (!e.valid || e.stage == Stage::Done)
             continue;
         uint32_t id = e.trav.atBoundary() ? e.trav.nextTreelet()
                                           : e.trav.currentTreelet();
-        if (id != kInvalidTreelet)
-            t.insert(id);
+        if (id != kInvalidTreelet &&
+            std::find(divScratch_.begin(), divScratch_.end(), id) ==
+                divScratch_.end()) {
+            divScratch_.push_back(id);
+        }
     }
-    return uint32_t(t.size());
+    return uint32_t(divScratch_.size());
 }
 
 void
@@ -473,12 +505,11 @@ TreeletQueueRtUnit::handlePolicy(uint64_t now, Slot &slot)
     if (slot.kind == SlotKind::Grouped && cfg_.repackThreshold > 0 &&
         slot.active > 0 && slot.active < cfg_.repackThreshold &&
         queuedRays_ > 0) {
-        std::vector<Parked> refill =
-            gatherStrays(cfg_.warpSize - slot.active);
-        if (!refill.empty()) {
+        gatherStrays(cfg_.warpSize - slot.active, strayScratch_);
+        if (!strayScratch_.empty()) {
             stats_.repackEvents++;
-            stats_.repackedRays += refill.size();
-            for (auto &p : refill)
+            stats_.repackedRays += strayScratch_.size();
+            for (auto &p : strayScratch_)
                 installParked(now, slot, std::move(p));
         }
     }
@@ -547,6 +578,8 @@ void
 TreeletQueueRtUnit::tick(uint64_t now)
 {
     accountInterval(now);
+    // Everything due by now is handled below; drop its event records.
+    consumeEventsUpTo(now);
 
     bool changed = true;
     while (changed) {
@@ -556,57 +589,39 @@ TreeletQueueRtUnit::tick(uint64_t now)
                 continue;
             uint32_t before = slot.active;
             bool park_all = slot.kind == SlotKind::Fresh && slot.draining;
+            bool stepped = false;
             for (auto &e : slot.entries) {
                 if (!e.valid || e.stage == Stage::Done)
                     continue;
-                changed |= stepRay(now, e, modeOf(slot.kind), park_all);
+                // Not-due waits can't progress; skip the call entirely.
+                if (e.stage != Stage::NeedIssue && e.ready > now)
+                    continue;
+                stepped |= stepRay(now, e, modeOf(slot.kind), park_all);
             }
-            handlePolicy(now, slot);
+            changed |= stepped;
+            // handlePolicy() leaves no actionable entry behind, so it
+            // is a no-op until a ray makes progress, entries are
+            // (re)installed, or an underpopulated grouped warp can
+            // still repack from the queues. Skipping it makes the
+            // fixed-point verification pass cheap.
+            if (stepped || slot.policyPending ||
+                (slot.kind == SlotKind::Grouped &&
+                 cfg_.repackThreshold > 0 && slot.active > 0 &&
+                 slot.active < cfg_.repackThreshold && queuedRays_ > 0)) {
+                slot.policyPending = false;
+                handlePolicy(now, slot);
+            }
             changed |= slot.active != before ||
                        slot.kind == SlotKind::Free;
         }
         dispatch(now);
-        // Newly dispatched rays may already be steppable this cycle;
-        // the loop above picks them up on the next pass if so.
-        for (const auto &slot : slots_) {
-            if (slot.kind == SlotKind::Free)
-                continue;
-            for (const auto &e : slot.entries) {
-                if (e.valid && e.stage == Stage::NeedIssue &&
-                    !needsPolicy(e) && memIssue_.nextFree(now) <= now) {
-                    changed = true;
-                    break;
-                }
-            }
-        }
+        // Exiting is safe without a leftover-work scan: every stalled
+        // entry already has a wake-up on the books. stepRay() notes the
+        // issue-port free cycle when the port blocks it, installParked()
+        // notes (or defers via sentinel) each entry's data-ready cycle,
+        // and dispatchFresh() notes the current cycle, so rays the loop
+        // leaves behind always have a pending event.
     }
-}
-
-uint64_t
-TreeletQueueRtUnit::nextEventCycle() const
-{
-    uint64_t next = kNoEvent;
-    for (const auto &slot : slots_) {
-        if (slot.kind == SlotKind::Free)
-            continue;
-        for (const auto &e : slot.entries) {
-            if (!e.valid)
-                continue;
-            switch (e.stage) {
-              case Stage::WaitData:
-              case Stage::WaitMem:
-              case Stage::WaitIsect:
-                next = std::min(next, e.ready);
-                break;
-              case Stage::NeedIssue:
-                next = std::min(next, memIssue_.nextFree(lastAccounted_));
-                break;
-              default:
-                break;
-            }
-        }
-    }
-    return next;
 }
 
 bool
@@ -638,12 +653,16 @@ TreeletQueueRtUnit::onMemCommit(uint64_t now)
             continue;
 
         // Installed into a slot within the same tick: the sentinel
-        // propagated into the entry's ready cycle (installParked).
+        // propagated into the entry's ready cycle (installParked). The
+        // pending-event pointer recorded there reads kPendingReady if
+        // drained before this patch (and is skipped), so note the real
+        // wake-up here.
         for (auto &slot : slots_) {
             for (auto &e : slot.entries) {
                 if (e.valid && e.stage == Stage::WaitData &&
                     e.rayId == f.rayId && e.ready == kPendingReady) {
                     e.ready = std::max(now, ready);
+                    noteEvent(e.ready);
                     found = true;
                     break;
                 }

@@ -48,7 +48,6 @@ class TreeletQueueRtUnit : public RtUnitBase
 
     bool tryAccept(uint64_t now, TraceRequest &&req) override;
     void tick(uint64_t now) override;
-    uint64_t nextEventCycle() const override;
     bool idle() const override;
     void onMemCommit(uint64_t now) override;
     std::string debugStatus() const override;
@@ -71,6 +70,9 @@ class TreeletQueueRtUnit : public RtUnitBase
         SlotKind kind = SlotKind::Free;
         uint32_t treelet = kInvalidTreelet;
         bool draining = false; //!< Fresh warp diverged: park at next stop.
+        /** Entries were (re)installed since handlePolicy() last ran, so
+         *  the next tick pass must run it even without step progress. */
+        bool policyPending = false;
         std::vector<RayEntry> entries;
         uint32_t active = 0;
     };
@@ -101,15 +103,22 @@ class TreeletQueueRtUnit : public RtUnitBase
     void deliver(uint64_t warp_token, uint8_t lane, const HitRecord &hit);
 
     void enqueue(uint64_t now, Parked &&p, uint32_t treelet);
+    /** Fold the live table counters into the stats high-water marks
+     *  (sampled per enqueue, as the full rescan used to be). */
     void updateTableHighWater();
+    /** Incremental table-occupancy bookkeeping: called with the queue's
+     *  new size after every push / pop. */
+    void noteQueueGrew(size_t sz);
+    void noteQueueShrank(size_t sz);
 
     /** Fill free warp slots: fresh warps first, then queue dispatch. */
     void dispatch(uint64_t now);
     void dispatchFresh(uint64_t now, Slot &slot);
     void dispatchTreelet(uint64_t now, Slot &slot, uint32_t treelet);
     void dispatchGrouped(uint64_t now, Slot &slot);
-    /** Pull up to @p max rays across queues in table order. */
-    std::vector<Parked> gatherStrays(uint32_t max);
+    /** Pull up to @p max rays across queues in table order into @p out
+     *  (cleared first; callers pass the pooled strayScratch_). */
+    void gatherStrays(uint32_t max, std::vector<Parked> &out);
     /** Largest queue id, or kInvalidTreelet. */
     uint32_t largestQueue() const;
     void maybePreload(uint64_t now);
@@ -119,6 +128,48 @@ class TreeletQueueRtUnit : public RtUnitBase
     void handlePolicy(uint64_t now, Slot &slot);
     /** Distinct treelets the slot's active rays need. */
     uint32_t slotDivergence(const Slot &slot) const;
+
+    // Live treelet-table occupancy, maintained at every queue size
+    // change so the per-enqueue high-water sampling is O(1) instead of
+    // a scan of every queue.
+    uint32_t overThresholdNow_ = 0;
+    /** Sum over queues of ceil(size / warpSize). */
+    uint32_t tableEntriesNow_ = 0;
+
+    // Pooled scratch (allocation-free steady state).
+    mutable std::vector<uint32_t> divScratch_;
+    std::vector<Parked> strayScratch_;
+
+    /**
+     * Retired traversers, kept for their grown stack capacity. Every
+     * fresh ray takes one from here (tryAccept) and its buffers return
+     * when a dispatch recycles the slot entries — without this, each
+     * ray pays the full vector growth sequence of its stacks plus the
+     * matching frees, which dominates the simulator's malloc traffic.
+     */
+    std::vector<RayTraverser> travPool_;
+
+    /** Pop a pooled traverser (or a fresh one when the pool is dry). */
+    RayTraverser
+    takeTraverser()
+    {
+        if (travPool_.empty())
+            return RayTraverser();
+        RayTraverser t = std::move(travPool_.back());
+        travPool_.pop_back();
+        return t;
+    }
+
+    /** Return every entry's traverser buffers to the pool and reset the
+     *  entries; only legal on slots with no live rays. */
+    void
+    reclaimEntries(Slot &slot)
+    {
+        for (auto &e : slot.entries) {
+            travPool_.push_back(std::move(e.trav));
+            e = RayEntry{};
+        }
+    }
 
     void accountInterval(uint64_t now);
 

@@ -1,0 +1,48 @@
+#include "geom/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace trt
+{
+
+namespace
+{
+
+bool
+initSimdRuntime()
+{
+    const char *v = std::getenv("TRT_SIMD");
+    if (v && std::strcmp(v, "0") == 0)
+        return false;
+    return true;
+}
+
+} // anonymous namespace
+
+namespace detail
+{
+bool g_simdRuntime = initSimdRuntime();
+} // namespace detail
+
+bool
+simdCompiledIn()
+{
+#ifdef TRT_SIMD_SCALAR
+    return false;
+#else
+    return true;
+#endif
+}
+
+void
+setSimdEnabled(bool on)
+{
+#ifdef TRT_SIMD_SCALAR
+    (void)on;
+#else
+    detail::g_simdRuntime = on;
+#endif
+}
+
+} // namespace trt

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Portable 4-lane SIMD intersection kernels for the wide-BVH hot loop.
+ *
+ * One call tests a ray against all four children of a packed wide node
+ * (SoA child bounds, PackedBounds4) or against up to four leaf
+ * triangles (batched Möller-Trumbore). The SSE2/NEON paths replicate
+ * the scalar kernels of geom/intersect.cc operation for operation —
+ * same axis order, same left-associated dot products, IEEE-exact
+ * division, no FMA contraction (the build forces -ffp-contract=off) —
+ * so scalar and SIMD traversals produce bit-identical hit records and
+ * the simulator's determinism bar holds across builds and the runtime
+ * toggle. See DESIGN.md §6 for the full determinism policy.
+ *
+ * Backend selection is compile-time (TRT_SIMD CMake option; scalar
+ * fallback otherwise); on top of that a process-wide runtime switch
+ * (setSimdEnabled / TRT_SIMD=0 environment) lets tests flip between
+ * paths inside one binary and prove bit-equality.
+ */
+
+#ifndef TRT_GEOM_SIMD_HH
+#define TRT_GEOM_SIMD_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "geom/intersect.hh"
+#include "geom/ray.hh"
+
+#if !defined(TRT_NO_SIMD) && \
+    (defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64))
+#define TRT_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif !defined(TRT_NO_SIMD) && defined(__aarch64__) && defined(__ARM_NEON)
+#define TRT_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define TRT_SIMD_SCALAR 1
+#endif
+
+namespace trt
+{
+
+namespace detail
+{
+/** Runtime SIMD switch; initialized from TRT_SIMD (default on). */
+extern bool g_simdRuntime;
+} // namespace detail
+
+/** True when a vector backend was compiled in (TRT_SIMD build knob). */
+bool simdCompiledIn();
+
+/** Enable/disable the vector paths at runtime (no-op in scalar
+ *  builds). Results are bit-identical either way; this exists so the
+ *  determinism tests can compare both paths in one process. */
+void setSimdEnabled(bool on);
+
+/** True when intersectAabb4/mollerTrumbore4 dispatch to vector code. */
+inline bool
+simdEnabled()
+{
+#ifdef TRT_SIMD_SCALAR
+    return false;
+#else
+    return detail::g_simdRuntime;
+#endif
+}
+
+/**
+ * SoA child bounds of one wide node, the operand of intersectAabb4.
+ * lo[axis][lane] / hi[axis][lane]; lanes of Invalid children are
+ * zero-filled and masked out via validMask (a zero box still passes a
+ * slab test, so validity must be explicit).
+ */
+struct alignas(16) PackedBounds4
+{
+    float lo[3][4] = {};
+    float hi[3][4] = {};
+    uint32_t validMask = 0;  //!< Bit k set = child k is a real child.
+    uint32_t validCount = 0; //!< Popcount of validMask.
+    uint32_t pad_[2] = {};   //!< Keep sizeof a multiple of 16.
+
+    void
+    set(int lane, const Aabb &b)
+    {
+        lo[0][lane] = b.lo.x;
+        lo[1][lane] = b.lo.y;
+        lo[2][lane] = b.lo.z;
+        hi[0][lane] = b.hi.x;
+        hi[1][lane] = b.hi.y;
+        hi[2][lane] = b.hi.z;
+        validMask |= 1u << lane;
+        validCount++;
+    }
+};
+
+/**
+ * Scalar reference: the slab test of intersectAabb() applied to each
+ * valid lane. @return bitmask of lanes whose interval overlaps the
+ * ray's; tEntry[k] is the entry distance for each set lane.
+ */
+inline uint32_t
+intersectAabb4Scalar(const Ray &ray, const RayInv &inv,
+                     const PackedBounds4 &pb, float t_entry[4])
+{
+    uint32_t mask = 0;
+    for (int k = 0; k < 4; k++) {
+        if (!(pb.validMask >> k & 1u))
+            continue;
+        float tx1 = (pb.lo[0][k] - ray.orig.x) * inv.invDir.x;
+        float tx2 = (pb.hi[0][k] - ray.orig.x) * inv.invDir.x;
+        float tlo = std::min(tx1, tx2);
+        float thi = std::max(tx1, tx2);
+
+        float ty1 = (pb.lo[1][k] - ray.orig.y) * inv.invDir.y;
+        float ty2 = (pb.hi[1][k] - ray.orig.y) * inv.invDir.y;
+        tlo = std::max(tlo, std::min(ty1, ty2));
+        thi = std::min(thi, std::max(ty1, ty2));
+
+        float tz1 = (pb.lo[2][k] - ray.orig.z) * inv.invDir.z;
+        float tz2 = (pb.hi[2][k] - ray.orig.z) * inv.invDir.z;
+        tlo = std::max(tlo, std::min(tz1, tz2));
+        thi = std::min(thi, std::max(tz1, tz2));
+
+        if (thi < tlo || thi < ray.tmin || tlo > ray.tmax)
+            continue;
+        t_entry[k] = std::max(tlo, ray.tmin);
+        mask |= 1u << k;
+    }
+    return mask;
+}
+
+/**
+ * Scalar reference for the batched triangle kernel: Möller-Trumbore
+ * candidates for @p n (<= 4) triangles, everything *except* the final
+ * (tmin, tmax) range check, which the caller folds sequentially so the
+ * shrinking tmax between triangles of one leaf matches the scalar
+ * loop. Outputs t/u/v are only meaningful for set lanes.
+ */
+inline uint32_t
+mollerTrumbore4Scalar(const Ray &ray, const Triangle *tris, uint32_t n,
+                      float t[4], float u[4], float v[4])
+{
+    constexpr float kEps = 1e-9f;
+    uint32_t mask = 0;
+    for (uint32_t k = 0; k < n; k++) {
+        const Triangle &tri = tris[k];
+        Vec3 e1 = tri.v1 - tri.v0;
+        Vec3 e2 = tri.v2 - tri.v0;
+        Vec3 pvec = cross(ray.dir, e2);
+        float det = dot(e1, pvec);
+        if (std::fabs(det) < kEps)
+            continue;
+        float inv_det = 1.0f / det;
+        Vec3 tvec = ray.orig - tri.v0;
+        u[k] = dot(tvec, pvec) * inv_det;
+        if (u[k] < 0.0f || u[k] > 1.0f)
+            continue;
+        Vec3 qvec = cross(tvec, e1);
+        v[k] = dot(ray.dir, qvec) * inv_det;
+        if (v[k] < 0.0f || u[k] + v[k] > 1.0f)
+            continue;
+        t[k] = dot(e2, qvec) * inv_det;
+        mask |= 1u << k;
+    }
+    return mask;
+}
+
+#ifdef TRT_SIMD_SSE2
+
+inline uint32_t
+intersectAabb4Simd(const Ray &ray, const RayInv &inv,
+                   const PackedBounds4 &pb, float t_entry[4])
+{
+    // Same op sequence as the scalar kernel, four lanes wide: per axis
+    // t1/t2 products, min/max folds, then the three reject compares.
+    __m128 o = _mm_set1_ps(ray.orig.x);
+    __m128 i = _mm_set1_ps(inv.invDir.x);
+    __m128 t1 = _mm_mul_ps(_mm_sub_ps(_mm_load_ps(pb.lo[0]), o), i);
+    __m128 t2 = _mm_mul_ps(_mm_sub_ps(_mm_load_ps(pb.hi[0]), o), i);
+    __m128 tlo = _mm_min_ps(t1, t2);
+    __m128 thi = _mm_max_ps(t1, t2);
+
+    o = _mm_set1_ps(ray.orig.y);
+    i = _mm_set1_ps(inv.invDir.y);
+    t1 = _mm_mul_ps(_mm_sub_ps(_mm_load_ps(pb.lo[1]), o), i);
+    t2 = _mm_mul_ps(_mm_sub_ps(_mm_load_ps(pb.hi[1]), o), i);
+    tlo = _mm_max_ps(tlo, _mm_min_ps(t1, t2));
+    thi = _mm_min_ps(thi, _mm_max_ps(t1, t2));
+
+    o = _mm_set1_ps(ray.orig.z);
+    i = _mm_set1_ps(inv.invDir.z);
+    t1 = _mm_mul_ps(_mm_sub_ps(_mm_load_ps(pb.lo[2]), o), i);
+    t2 = _mm_mul_ps(_mm_sub_ps(_mm_load_ps(pb.hi[2]), o), i);
+    tlo = _mm_max_ps(tlo, _mm_min_ps(t1, t2));
+    thi = _mm_min_ps(thi, _mm_max_ps(t1, t2));
+
+    __m128 tmin = _mm_set1_ps(ray.tmin);
+    __m128 pass = _mm_and_ps(
+        _mm_cmpge_ps(thi, tlo),
+        _mm_and_ps(_mm_cmpge_ps(thi, tmin),
+                   _mm_cmple_ps(tlo, _mm_set1_ps(ray.tmax))));
+    _mm_storeu_ps(t_entry, _mm_max_ps(tlo, tmin));
+    return uint32_t(_mm_movemask_ps(pass)) & pb.validMask;
+}
+
+inline uint32_t
+mollerTrumbore4Simd(const Ray &ray, const Triangle *tris, uint32_t n,
+                    float t[4], float u[4], float v[4])
+{
+    // Pad short batches by replicating an in-range triangle; the lane
+    // mask strips the duplicates.
+    const uint32_t k1 = n > 1 ? 1 : 0;
+    const uint32_t k2 = n > 2 ? 2 : 0;
+    const uint32_t k3 = n > 3 ? 3 : 0;
+#define TRT_GATHER(vert, comp)                                          \
+    _mm_setr_ps(tris[0].vert.comp, tris[k1].vert.comp,                  \
+                tris[k2].vert.comp, tris[k3].vert.comp)
+    __m128 v0x = TRT_GATHER(v0, x), v0y = TRT_GATHER(v0, y),
+           v0z = TRT_GATHER(v0, z);
+    __m128 e1x = _mm_sub_ps(TRT_GATHER(v1, x), v0x),
+           e1y = _mm_sub_ps(TRT_GATHER(v1, y), v0y),
+           e1z = _mm_sub_ps(TRT_GATHER(v1, z), v0z);
+    __m128 e2x = _mm_sub_ps(TRT_GATHER(v2, x), v0x),
+           e2y = _mm_sub_ps(TRT_GATHER(v2, y), v0y),
+           e2z = _mm_sub_ps(TRT_GATHER(v2, z), v0z);
+#undef TRT_GATHER
+
+    const __m128 dx = _mm_set1_ps(ray.dir.x);
+    const __m128 dy = _mm_set1_ps(ray.dir.y);
+    const __m128 dz = _mm_set1_ps(ray.dir.z);
+
+    // cross(a, b) component order matches geom/vec.hh exactly.
+    __m128 px = _mm_sub_ps(_mm_mul_ps(dy, e2z), _mm_mul_ps(dz, e2y));
+    __m128 py = _mm_sub_ps(_mm_mul_ps(dz, e2x), _mm_mul_ps(dx, e2z));
+    __m128 pz = _mm_sub_ps(_mm_mul_ps(dx, e2y), _mm_mul_ps(dy, e2x));
+    // dot(a, b) is left-associated: (ax*bx + ay*by) + az*bz.
+    __m128 det = _mm_add_ps(
+        _mm_add_ps(_mm_mul_ps(e1x, px), _mm_mul_ps(e1y, py)),
+        _mm_mul_ps(e1z, pz));
+
+    const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fffffff));
+    __m128 ok = _mm_cmpge_ps(_mm_and_ps(det, abs_mask),
+                             _mm_set1_ps(1e-9f));
+    __m128 inv_det = _mm_div_ps(_mm_set1_ps(1.0f), det);
+
+    __m128 tx = _mm_sub_ps(_mm_set1_ps(ray.orig.x), v0x);
+    __m128 ty = _mm_sub_ps(_mm_set1_ps(ray.orig.y), v0y);
+    __m128 tz = _mm_sub_ps(_mm_set1_ps(ray.orig.z), v0z);
+
+    __m128 uu = _mm_mul_ps(
+        _mm_add_ps(_mm_add_ps(_mm_mul_ps(tx, px), _mm_mul_ps(ty, py)),
+                   _mm_mul_ps(tz, pz)),
+        inv_det);
+    const __m128 zero = _mm_setzero_ps();
+    const __m128 one = _mm_set1_ps(1.0f);
+    ok = _mm_and_ps(ok, _mm_and_ps(_mm_cmpge_ps(uu, zero),
+                                   _mm_cmple_ps(uu, one)));
+
+    __m128 qx = _mm_sub_ps(_mm_mul_ps(ty, e1z), _mm_mul_ps(tz, e1y));
+    __m128 qy = _mm_sub_ps(_mm_mul_ps(tz, e1x), _mm_mul_ps(tx, e1z));
+    __m128 qz = _mm_sub_ps(_mm_mul_ps(tx, e1y), _mm_mul_ps(ty, e1x));
+
+    __m128 vv = _mm_mul_ps(
+        _mm_add_ps(_mm_add_ps(_mm_mul_ps(dx, qx), _mm_mul_ps(dy, qy)),
+                   _mm_mul_ps(dz, qz)),
+        inv_det);
+    ok = _mm_and_ps(ok,
+                    _mm_and_ps(_mm_cmpge_ps(vv, zero),
+                               _mm_cmple_ps(_mm_add_ps(uu, vv), one)));
+
+    __m128 tt = _mm_mul_ps(
+        _mm_add_ps(_mm_add_ps(_mm_mul_ps(e2x, qx), _mm_mul_ps(e2y, qy)),
+                   _mm_mul_ps(e2z, qz)),
+        inv_det);
+
+    _mm_storeu_ps(t, tt);
+    _mm_storeu_ps(u, uu);
+    _mm_storeu_ps(v, vv);
+    return uint32_t(_mm_movemask_ps(ok)) & ((1u << n) - 1u);
+}
+
+#elif defined(TRT_SIMD_NEON)
+
+namespace detail
+{
+inline uint32_t
+neonMask(uint32x4_t m)
+{
+    const uint32x4_t bits = {1u, 2u, 4u, 8u};
+    return vaddvq_u32(vandq_u32(m, bits));
+}
+} // namespace detail
+
+inline uint32_t
+intersectAabb4Simd(const Ray &ray, const RayInv &inv,
+                   const PackedBounds4 &pb, float t_entry[4])
+{
+    float32x4_t o = vdupq_n_f32(ray.orig.x);
+    float32x4_t i = vdupq_n_f32(inv.invDir.x);
+    float32x4_t t1 = vmulq_f32(vsubq_f32(vld1q_f32(pb.lo[0]), o), i);
+    float32x4_t t2 = vmulq_f32(vsubq_f32(vld1q_f32(pb.hi[0]), o), i);
+    float32x4_t tlo = vminq_f32(t1, t2);
+    float32x4_t thi = vmaxq_f32(t1, t2);
+
+    o = vdupq_n_f32(ray.orig.y);
+    i = vdupq_n_f32(inv.invDir.y);
+    t1 = vmulq_f32(vsubq_f32(vld1q_f32(pb.lo[1]), o), i);
+    t2 = vmulq_f32(vsubq_f32(vld1q_f32(pb.hi[1]), o), i);
+    tlo = vmaxq_f32(tlo, vminq_f32(t1, t2));
+    thi = vminq_f32(thi, vmaxq_f32(t1, t2));
+
+    o = vdupq_n_f32(ray.orig.z);
+    i = vdupq_n_f32(inv.invDir.z);
+    t1 = vmulq_f32(vsubq_f32(vld1q_f32(pb.lo[2]), o), i);
+    t2 = vmulq_f32(vsubq_f32(vld1q_f32(pb.hi[2]), o), i);
+    tlo = vmaxq_f32(tlo, vminq_f32(t1, t2));
+    thi = vminq_f32(thi, vmaxq_f32(t1, t2));
+
+    float32x4_t tmin = vdupq_n_f32(ray.tmin);
+    uint32x4_t pass = vandq_u32(
+        vcgeq_f32(thi, tlo),
+        vandq_u32(vcgeq_f32(thi, tmin),
+                  vcleq_f32(tlo, vdupq_n_f32(ray.tmax))));
+    vst1q_f32(t_entry, vmaxq_f32(tlo, tmin));
+    return detail::neonMask(pass) & pb.validMask;
+}
+
+inline uint32_t
+mollerTrumbore4Simd(const Ray &ray, const Triangle *tris, uint32_t n,
+                    float t[4], float u[4], float v[4])
+{
+    const uint32_t k1 = n > 1 ? 1 : 0;
+    const uint32_t k2 = n > 2 ? 2 : 0;
+    const uint32_t k3 = n > 3 ? 3 : 0;
+#define TRT_GATHER(vert, comp)                                          \
+    float32x4_t                                                         \
+    {                                                                   \
+        tris[0].vert.comp, tris[k1].vert.comp, tris[k2].vert.comp,      \
+            tris[k3].vert.comp                                          \
+    }
+    float32x4_t v0x = TRT_GATHER(v0, x), v0y = TRT_GATHER(v0, y),
+                v0z = TRT_GATHER(v0, z);
+    float32x4_t e1x = vsubq_f32(TRT_GATHER(v1, x), v0x),
+                e1y = vsubq_f32(TRT_GATHER(v1, y), v0y),
+                e1z = vsubq_f32(TRT_GATHER(v1, z), v0z);
+    float32x4_t e2x = vsubq_f32(TRT_GATHER(v2, x), v0x),
+                e2y = vsubq_f32(TRT_GATHER(v2, y), v0y),
+                e2z = vsubq_f32(TRT_GATHER(v2, z), v0z);
+#undef TRT_GATHER
+
+    const float32x4_t dx = vdupq_n_f32(ray.dir.x);
+    const float32x4_t dy = vdupq_n_f32(ray.dir.y);
+    const float32x4_t dz = vdupq_n_f32(ray.dir.z);
+
+    float32x4_t px = vsubq_f32(vmulq_f32(dy, e2z), vmulq_f32(dz, e2y));
+    float32x4_t py = vsubq_f32(vmulq_f32(dz, e2x), vmulq_f32(dx, e2z));
+    float32x4_t pz = vsubq_f32(vmulq_f32(dx, e2y), vmulq_f32(dy, e2x));
+    float32x4_t det = vaddq_f32(
+        vaddq_f32(vmulq_f32(e1x, px), vmulq_f32(e1y, py)),
+        vmulq_f32(e1z, pz));
+
+    uint32x4_t ok = vcgeq_f32(vabsq_f32(det), vdupq_n_f32(1e-9f));
+    float32x4_t inv_det = vdivq_f32(vdupq_n_f32(1.0f), det);
+
+    float32x4_t tx = vsubq_f32(vdupq_n_f32(ray.orig.x), v0x);
+    float32x4_t ty = vsubq_f32(vdupq_n_f32(ray.orig.y), v0y);
+    float32x4_t tz = vsubq_f32(vdupq_n_f32(ray.orig.z), v0z);
+
+    float32x4_t uu = vmulq_f32(
+        vaddq_f32(vaddq_f32(vmulq_f32(tx, px), vmulq_f32(ty, py)),
+                  vmulq_f32(tz, pz)),
+        inv_det);
+    const float32x4_t zero = vdupq_n_f32(0.0f);
+    const float32x4_t one = vdupq_n_f32(1.0f);
+    ok = vandq_u32(ok, vandq_u32(vcgeq_f32(uu, zero),
+                                 vcleq_f32(uu, one)));
+
+    float32x4_t qx = vsubq_f32(vmulq_f32(ty, e1z), vmulq_f32(tz, e1y));
+    float32x4_t qy = vsubq_f32(vmulq_f32(tz, e1x), vmulq_f32(tx, e1z));
+    float32x4_t qz = vsubq_f32(vmulq_f32(tx, e1y), vmulq_f32(ty, e1x));
+
+    float32x4_t vv = vmulq_f32(
+        vaddq_f32(vaddq_f32(vmulq_f32(dx, qx), vmulq_f32(dy, qy)),
+                  vmulq_f32(dz, qz)),
+        inv_det);
+    ok = vandq_u32(ok, vandq_u32(vcgeq_f32(vv, zero),
+                                 vcleq_f32(vaddq_f32(uu, vv), one)));
+
+    float32x4_t tt = vmulq_f32(
+        vaddq_f32(vaddq_f32(vmulq_f32(e2x, qx), vmulq_f32(e2y, qy)),
+                  vmulq_f32(e2z, qz)),
+        inv_det);
+
+    vst1q_f32(t, tt);
+    vst1q_f32(u, uu);
+    vst1q_f32(v, vv);
+    return detail::neonMask(ok) & ((1u << n) - 1u);
+}
+
+#endif // TRT_SIMD_SSE2 / TRT_SIMD_NEON
+
+/** 4-wide slab test: dispatches to the vector backend when enabled. */
+inline uint32_t
+intersectAabb4(const Ray &ray, const RayInv &inv, const PackedBounds4 &pb,
+               float t_entry[4])
+{
+#ifndef TRT_SIMD_SCALAR
+    if (detail::g_simdRuntime)
+        return intersectAabb4Simd(ray, inv, pb, t_entry);
+#endif
+    return intersectAabb4Scalar(ray, inv, pb, t_entry);
+}
+
+/** Batched (<= 4) Möller-Trumbore: dispatches like intersectAabb4.
+ *  The caller applies the (tmin, tmax) acceptance fold per lane in
+ *  order so the shrinking tmax matches the scalar triangle loop. */
+inline uint32_t
+mollerTrumbore4(const Ray &ray, const Triangle *tris, uint32_t n,
+                float t[4], float u[4], float v[4])
+{
+#ifndef TRT_SIMD_SCALAR
+    if (detail::g_simdRuntime)
+        return mollerTrumbore4Simd(ray, tris, n, t, u, v);
+#endif
+    return mollerTrumbore4Scalar(ray, tris, n, t, u, v);
+}
+
+} // namespace trt
+
+#endif // TRT_GEOM_SIMD_HH

@@ -73,6 +73,9 @@ Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
     }
     rtNextEvent_.assign(cfg_.numSms, kNoEvent);
     pendingDone_.resize(cfg_.numSms);
+    for (auto &v : pendingDone_)
+        v.reserve(16);
+    tickList_.reserve(cfg_.numSms);
 
     uint32_t threads =
         std::min(resolveSimThreads(cfg_.simThreads), cfg_.numSms);
@@ -151,6 +154,8 @@ Gpu::scheduleAlu(uint64_t now, uint32_t cta, uint32_t warp, uint32_t instrs)
 void
 Gpu::tryLaunch(uint64_t now)
 {
+    if (launchBlocked_)
+        return; // no SM freed resources since the last failed scan
     while (!pendingCtas_.empty()) {
         uint32_t ctaIdx = pendingCtas_.front();
         CtaExec &c = ctas_[ctaIdx];
@@ -173,8 +178,10 @@ Gpu::tryLaunch(uint64_t now)
                 best_free = free;
             }
         }
-        if (best < 0)
+        if (best < 0) {
+            launchBlocked_ = true;
             return;
+        }
 
         pendingCtas_.pop_front();
         c.smId = uint32_t(best);
@@ -214,6 +221,8 @@ Gpu::tryLaunch(uint64_t now)
 void
 Gpu::tryResume(uint64_t now)
 {
+    if (resumeQueued_ == 0)
+        return;
     for (uint32_t s = 0; s < cfg_.numSms; s++) {
         SmState &sm = sms_[s];
         while (!sm.resumeQueue.empty()) {
@@ -227,6 +236,7 @@ Gpu::tryResume(uint64_t now)
                 break;
             }
             sm.resumeQueue.pop_front();
+            resumeQueued_--;
             sm.ctasResident++;
             sm.warpsUsed += warps;
             sm.regsUsed += regs;
@@ -344,6 +354,7 @@ Gpu::maybeSuspendCta(uint64_t now, uint32_t cta)
     sm.ctasResident--;
     sm.warpsUsed -= uint32_t(c.warps.size());
     sm.regsUsed -= c.threadCount * cfg_.regsPerThread;
+    launchBlocked_ = false;
     c.state = CtaState::Suspended;
     run_.ctaSaves++;
     uint32_t bytes = ctaStateBytesFor(c);
@@ -373,6 +384,7 @@ Gpu::maybeResumeReady(uint64_t now, uint32_t cta)
     // scheduler's (prioritized) resume queue via the RT unit's path.
     c.state = CtaState::ResumeQueued;
     sms_[c.smId].resumeQueue.push_back(cta);
+    resumeQueued_++;
 }
 
 void
@@ -456,6 +468,7 @@ Gpu::checkCtaFinished(uint64_t now, uint32_t cta)
     sm.ctasResident--;
     sm.warpsUsed -= uint32_t(c.warps.size());
     sm.regsUsed -= c.threadCount * cfg_.regsPerThread;
+    launchBlocked_ = false;
     c.state = CtaState::Finished;
     ctasFinished_++;
 }

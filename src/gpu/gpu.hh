@@ -208,6 +208,12 @@ class Gpu
     std::vector<CtaExec> ctas_;
     std::deque<uint32_t> pendingCtas_;
     uint32_t ctasFinished_ = 0;
+    /** Last launch scan found no SM with room; stays set (and tryLaunch
+     *  returns immediately) until some SM releases resources. */
+    bool launchBlocked_ = false;
+    /** CTAs sitting in any SM's resume queue; lets tryResume() skip its
+     *  per-SM scan on the (common) empty case. */
+    uint32_t resumeQueued_ = 0;
 
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events_;

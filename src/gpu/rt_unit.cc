@@ -92,8 +92,11 @@ RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
           case Stage::NeedIssue: {
             if (needsPolicy(e) || stop_at_issue)
                 return changed; // caller decides (done / boundary / park)
-            if (memIssue_.nextFree(now) > now)
-                return changed; // issue port exhausted this cycle
+            if (memIssue_.nextFree(now) > now) {
+                // Issue port exhausted this cycle; wake when it frees.
+                noteEvent(memIssue_.nextFree(now));
+                return changed;
+            }
             uint64_t issue_at = memIssue_.book(now);
             RayTraverser::Access acc = e.trav.currentAccess();
             // Let subclasses observe demand lines (prefetch tracking).
@@ -110,6 +113,15 @@ RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
             e.ready = kPendingReady;
             port_.read(issue_at, acc.addr, acc.bytes, cls, false,
                        &e.ready);
+            // Outside an issue phase the read resolved synchronously
+            // and e.ready is already real; otherwise the sentinel is
+            // read after commitIssuePhase() resolves it. Either way the
+            // entry stays parked in WaitMem (and its slot occupied)
+            // until then, so the recorded pointer cannot dangle.
+            if (e.ready == kPendingReady)
+                notePendingEvent(&e.ready);
+            else if (e.ready > now)
+                noteEvent(e.ready);
             e.fetchIsLeaf = acc.leaf;
             e.stage = Stage::WaitMem;
             changed = true;
@@ -125,6 +137,8 @@ RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
             e.ready = start + (e.fetchIsLeaf ? cfg_.isectTriLatency
                                              : cfg_.isectBoxLatency);
             e.stage = Stage::WaitIsect;
+            if (e.ready > now)
+                noteEvent(e.ready);
             changed = true;
             break;
           }
@@ -168,34 +182,47 @@ BaselineRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
 }
 
 void
+BaselineRtUnit::fillSlot(uint64_t now, WarpSlot &slot)
+{
+    TraceRequest req = std::move(pending_.front());
+    pending_.pop_front();
+    slot.active = true;
+    slot.token = req.token;
+    slot.hits.clear();
+    uint32_t n = uint32_t(req.lanes.size());
+    // Reuse prior entries so each ray's traverser recycles its
+    // stack allocations (resize keeps capacity either way).
+    slot.rays.resize(n);
+    slot.remaining = n;
+    for (uint32_t i = 0; i < n; i++) {
+        const LaneRay &lr = req.lanes[i];
+        RayEntry &e = slot.rays[i];
+        e.valid = true;
+        e.lane = lr.lane;
+        e.warpToken = req.token;
+        e.ctaToken = req.ctaToken;
+        e.trav.reset(&bvh_, lr.ray);
+        // Fresh rays enter the root treelet immediately in the
+        // baseline (ray-stationary) policy.
+        e.trav.enterNextTreelet();
+        onTreeletEnter(now, e.trav.currentTreelet());
+        e.stage = Stage::NeedIssue;
+        e.ready = now;
+        e.fetchIsLeaf = false;
+    }
+}
+
+void
 BaselineRtUnit::fillSlotsFromQueue(uint64_t now)
 {
     for (auto &slot : slots_) {
         if (slot.active || pending_.empty())
             continue;
-        TraceRequest req = std::move(pending_.front());
-        pending_.pop_front();
-        slot.active = true;
-        slot.token = req.token;
-        slot.hits.clear();
-        slot.rays.clear();
-        slot.rays.reserve(req.lanes.size());
-        slot.remaining = uint32_t(req.lanes.size());
-        for (auto &lr : req.lanes) {
-            RayEntry e;
-            e.valid = true;
-            e.lane = lr.lane;
-            e.warpToken = req.token;
-            e.ctaToken = req.ctaToken;
-            e.trav = RayTraverser(&bvh_, lr.ray);
-            // Fresh rays enter the root treelet immediately in the
-            // baseline (ray-stationary) policy.
-            e.trav.enterNextTreelet();
-            onTreeletEnter(now, e.trav.currentTreelet());
-            e.stage = Stage::NeedIssue;
-            e.ready = now;
-            slot.rays.push_back(std::move(e));
-        }
+        fillSlot(now, slot);
+        // Freshly filled entries can issue this very cycle; this call
+        // runs outside a tick (tryAccept), so schedule the same-cycle
+        // tick the old rescan provided.
+        noteEvent(now);
     }
 }
 
@@ -215,78 +242,69 @@ BaselineRtUnit::accountInterval(uint64_t now)
     }
 }
 
+bool
+BaselineRtUnit::stepSlot(uint64_t now, WarpSlot &slot)
+{
+    for (auto &e : slot.rays) {
+        if (!e.valid || e.stage == Stage::Done)
+            continue;
+        // Not-due waits can't progress; skip the call entirely.
+        if (e.stage != Stage::NeedIssue && e.ready > now)
+            continue;
+        stepRay(now, e, TraversalMode::RayStationary);
+        while (needsPolicy(e)) {
+            if (e.trav.done()) {
+                slot.hits.push_back({e.lane, e.trav.hit()});
+                e.stage = Stage::Done;
+                slot.remaining--;
+                stats_.raysCompleted++;
+                break;
+            }
+            // Boundary: the baseline just keeps going.
+            e.trav.enterNextTreelet();
+            stats_.boundaryCrossings++;
+            onTreeletEnter(now, e.trav.currentTreelet());
+            stepRay(now, e, TraversalMode::RayStationary);
+        }
+    }
+    if (slot.remaining == 0) {
+        if (completion_)
+            completion_(slot.token, std::move(slot.hits));
+        slot.active = false;
+        slot.hits.clear();
+        // slot.rays is kept: the next fill reuses the entries
+        // (and their traverser stacks) in place.
+        return true;
+    }
+    return false;
+}
+
 void
 BaselineRtUnit::tick(uint64_t now)
 {
     accountInterval(now);
+    // Everything due by now is handled below; drop its event records.
+    consumeEventsUpTo(now);
 
-    bool changed = true;
-    while (changed) {
-        changed = false;
+    // One pass suffices for the resident warps: stepping a ray never
+    // unblocks an already-visited one in the same cycle (issue ports
+    // only fill up and ready cycles only lie ahead), so the classic
+    // rescan-until-fixed-point only ever found new work in slots
+    // refilled from the pending queue. Refill and step those directly.
+    bool freed = false;
+    for (auto &slot : slots_) {
+        if (slot.active)
+            freed |= stepSlot(now, slot);
+    }
+    while (freed) {
+        freed = false;
         for (auto &slot : slots_) {
-            if (!slot.active)
+            if (slot.active || pending_.empty())
                 continue;
-            for (auto &e : slot.rays) {
-                if (!e.valid || e.stage == Stage::Done)
-                    continue;
-                changed |= stepRay(now, e, TraversalMode::RayStationary);
-                while (needsPolicy(e)) {
-                    if (e.trav.done()) {
-                        slot.hits.push_back({e.lane, e.trav.hit()});
-                        e.stage = Stage::Done;
-                        slot.remaining--;
-                        stats_.raysCompleted++;
-                        changed = true;
-                        break;
-                    }
-                    // Boundary: the baseline just keeps going.
-                    e.trav.enterNextTreelet();
-                    stats_.boundaryCrossings++;
-                    onTreeletEnter(now, e.trav.currentTreelet());
-                    changed |= stepRay(now, e, TraversalMode::RayStationary);
-                }
-            }
-            if (slot.remaining == 0) {
-                if (completion_)
-                    completion_(slot.token, std::move(slot.hits));
-                slot.active = false;
-                slot.hits.clear();
-                slot.rays.clear();
-                changed = true;
-            }
-        }
-        if (changed)
-            fillSlotsFromQueue(now);
-    }
-}
-
-uint64_t
-BaselineRtUnit::nextEventCycle() const
-{
-    uint64_t next = kNoEvent;
-    for (const auto &slot : slots_) {
-        if (!slot.active)
-            continue;
-        for (const auto &e : slot.rays) {
-            if (!e.valid)
-                continue;
-            switch (e.stage) {
-              case Stage::WaitData:
-              case Stage::WaitMem:
-              case Stage::WaitIsect:
-                next = std::min(next, e.ready);
-                break;
-              case Stage::NeedIssue:
-                // Only reachable when the issue port was exhausted at
-                // the last tick; it frees next cycle.
-                next = std::min(next, memIssue_.nextFree(lastAccounted_));
-                break;
-              default:
-                break;
-            }
+            fillSlot(now, slot);
+            freed |= stepSlot(now, slot);
         }
     }
-    return next;
 }
 
 bool

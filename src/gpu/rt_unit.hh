@@ -14,6 +14,7 @@
 #ifndef TRT_GPU_RT_UNIT_HH
 #define TRT_GPU_RT_UNIT_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <deque>
@@ -141,9 +142,16 @@ class RtUnitBase
     /** Advance internal state to time @p now. */
     virtual void tick(uint64_t now) = 0;
 
-    /** Earliest cycle at which tick() could make progress
-     *  (kNoEvent when idle). */
-    virtual uint64_t nextEventCycle() const = 0;
+    /**
+     * Earliest cycle at which tick() could make progress (kNoEvent when
+     * idle). Maintained incrementally: every ray/slot state transition
+     * notes its wake-up cycle into a per-unit min-heap (noteEvent), so
+     * this is O(1) amortized instead of a rescan of every slot and
+     * queue. Stale heap records (from entries that advanced or parked
+     * earlier than recorded) only cause benign extra ticks; they are
+     * lazily discarded at the next tick (consumeEventsUpTo).
+     */
+    virtual uint64_t nextEventCycle() const { return cachedNextEvent(); }
 
     /** True when no rays are in flight or queued. */
     virtual bool idle() const = 0;
@@ -209,6 +217,49 @@ class RtUnitBase
                (e.trav.done() || e.trav.atBoundary());
     }
 
+    // --- incremental next-event tracking -----------------------------
+    /** Record a future wake-up cycle (min-heap with lazy deletion). */
+    void
+    noteEvent(uint64_t cycle)
+    {
+        if (cycle == kNoEvent)
+            return;
+        eventHeap_.push_back(cycle);
+        std::push_heap(eventHeap_.begin(), eventHeap_.end(),
+                       std::greater<>{});
+    }
+
+    /**
+     * Record a wake-up whose cycle is still the kPendingReady sentinel
+     * (deferred memory request). The pointee is read — by then real —
+     * at the first nextEventCycle() after commitIssuePhase(); the Gpu
+     * refreshes every ticked SM then, before any entry referenced here
+     * can be recycled.
+     */
+    void notePendingEvent(const uint64_t *ready)
+    { pendingEventReadies_.push_back(ready); }
+
+    /** Drop event records at or before @p now; call at tick() start
+     *  (the tick processes everything ready by @p now). */
+    void
+    consumeEventsUpTo(uint64_t now)
+    {
+        drainPendingEvents();
+        while (!eventHeap_.empty() && eventHeap_.front() <= now) {
+            std::pop_heap(eventHeap_.begin(), eventHeap_.end(),
+                          std::greater<>{});
+            eventHeap_.pop_back();
+        }
+    }
+
+    /** Current earliest recorded event (kNoEvent when none). */
+    uint64_t
+    cachedNextEvent() const
+    {
+        drainPendingEvents();
+        return eventHeap_.empty() ? kNoEvent : eventHeap_.front();
+    }
+
     /** Hook: called for each demand-fetched BVH line (the treelet
      *  prefetcher tracks prefetch usefulness with this). */
     virtual void onDemandLine(uint64_t line_addr) { (void)line_addr; }
@@ -236,6 +287,28 @@ class RtUnitBase
     CompletionFn completion_;
     CtaDrainedFn ctaDrained_;
     uint64_t lastAccounted_ = 0;
+
+  private:
+    void
+    drainPendingEvents() const
+    {
+        for (const uint64_t *p : pendingEventReadies_) {
+            // A pointee still holding the sentinel belongs to a preload
+            // fixup drained before onMemCommit() patched it; the patch
+            // notes the real wake-up itself, so just skip it here.
+            if (*p == kPendingReady)
+                continue;
+            eventHeap_.push_back(*p);
+            std::push_heap(eventHeap_.begin(), eventHeap_.end(),
+                           std::greater<>{});
+        }
+        pendingEventReadies_.clear();
+    }
+
+    // Mutable: cachedNextEvent() folds resolved deferred readies into
+    // the heap from the const query path.
+    mutable std::vector<uint64_t> eventHeap_;
+    mutable std::vector<const uint64_t *> pendingEventReadies_;
 };
 
 /**
@@ -252,7 +325,6 @@ class BaselineRtUnit : public RtUnitBase
 
     bool tryAccept(uint64_t now, TraceRequest &&req) override;
     void tick(uint64_t now) override;
-    uint64_t nextEventCycle() const override;
     bool idle() const override;
     std::string debugStatus() const override;
 
@@ -268,6 +340,10 @@ class BaselineRtUnit : public RtUnitBase
 
     void accountInterval(uint64_t now);
     void fillSlotsFromQueue(uint64_t now);
+    /** Install the next pending warp into @p slot (must be inactive). */
+    void fillSlot(uint64_t now, WarpSlot &slot);
+    /** Step every due ray of @p slot; true when the warp completed. */
+    bool stepSlot(uint64_t now, WarpSlot &slot);
 
     std::vector<WarpSlot> slots_;
     std::deque<TraceRequest> pending_;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -34,6 +35,13 @@ envDouble(const char *name, double fallback)
 {
     const char *v = envStr(name);
     return v ? std::atof(v) : fallback;
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *v = envStr(name);
+    return v && *v != '\0' && std::string(v) != "0";
 }
 
 template <typename T>
@@ -289,7 +297,22 @@ runScene(const std::string &name, const GpuConfig &cfg,
     if (run_cfg.simThreads == 0)
         run_cfg.simThreads = opt.effectiveSimThreads();
     st = simulate(run_cfg, b.scene, b.bvh);
-    harnessTiming().simulateMs += msSince(t0);
+    uint64_t ms = msSince(t0);
+    harnessTiming().simulateMs += ms;
+    harnessTiming().simulatedCycles += st.cycles;
+    harnessTiming().simulatedRays += st.raysTraced;
+    if (envFlag("TRT_SIM_RATE")) {
+        // Machine-parseable per-scene rate line (key=value pairs).
+        double s = double(std::max<uint64_t>(ms, 1)) / 1000.0;
+        std::fprintf(stderr,
+                     "[harness] sim-rate scene=%s arch=%s cycles=%llu "
+                     "rays=%llu ms=%llu cyc_per_s=%.0f mrays_per_s=%.3f\n",
+                     name.c_str(), rtArchName(cfg.arch),
+                     (unsigned long long)st.cycles,
+                     (unsigned long long)st.raysTraced,
+                     (unsigned long long)ms, double(st.cycles) / s,
+                     double(st.raysTraced) / s / 1e6);
+    }
     storeCachedRun(fp, name, st);
     return st;
 }

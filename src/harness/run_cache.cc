@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <iomanip>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -127,6 +128,8 @@ resetHarnessTiming()
     HarnessTiming &t = harnessTiming();
     t.sceneBuildMs = 0;
     t.simulateMs = 0;
+    t.simulatedCycles = 0;
+    t.simulatedRays = 0;
     t.bundleCacheHits = 0;
     t.bundleCacheMisses = 0;
     t.runCacheHits = 0;
@@ -144,6 +147,12 @@ harnessTimingSummary()
        << t.simulateMs << " ms | bundle cache " << t.bundleCacheHits
        << " hit " << t.bundleCacheMisses << " miss | run cache "
        << t.runCacheHits << " hit " << t.runCacheMisses << " miss";
+    if (t.simulateMs > 0 && t.simulatedCycles > 0) {
+        double s = double(t.simulateMs) / 1000.0;
+        ss << " | sim rate " << std::fixed << std::setprecision(2)
+           << double(t.simulatedCycles) / s / 1e6 << " Mcycles/s, "
+           << double(t.simulatedRays) / s / 1e6 << " Mrays/s";
+    }
     if (t.runCachePrunedBlobs > 0) {
         ss << ", pruned " << t.runCachePrunedBlobs << " blobs ("
            << (t.runCachePrunedBytes / 1024) << " KB)";

@@ -28,7 +28,7 @@ Cache::Cache(uint64_t size_bytes, uint32_t ways, uint32_t line_bytes)
         faFree_.reserve(lines_);
         for (uint32_t i = 0; i < lines_; i++)
             faFree_.push_back(uint32_t(lines_ - 1 - i));
-        faMap_.reserve(lines_ * 2);
+        faMap_.init(lines_);
     } else {
         sets_ = lines_ / ways_;
         assert(sets_ > 0 && isPow2(sets_));
@@ -48,7 +48,7 @@ Cache::probe(uint64_t addr) const
 {
     uint64_t tag = addr / lineBytes_;
     if (ways_ == 0)
-        return faMap_.count(tag) != 0;
+        return faMap_.find(tag) != ~0u;
     uint64_t set = tag & (sets_ - 1);
     const SaWay *base = &saWays_[set * ways_];
     for (uint32_t w = 0; w < ways_; w++)
@@ -81,18 +81,8 @@ Cache::invalidateAll()
     } else {
         for (auto &w : saWays_)
             w = SaWay{};
+        saResident_ = 0;
     }
-}
-
-uint64_t
-Cache::residentLines() const
-{
-    if (ways_ == 0)
-        return faMap_.size();
-    uint64_t n = 0;
-    for (const auto &w : saWays_)
-        n += w.valid ? 1 : 0;
-    return n;
 }
 
 void
@@ -135,10 +125,10 @@ Cache::faTouch(uint32_t slot)
 bool
 Cache::faAccess(uint64_t tag, bool install_only)
 {
-    auto it = faMap_.find(tag);
-    if (it != faMap_.end()) {
+    uint32_t found = faMap_.find(tag);
+    if (found != ~0u) {
         if (!install_only)
-            faTouch(it->second);
+            faTouch(found);
         return true;
     }
 
@@ -154,7 +144,7 @@ Cache::faAccess(uint64_t tag, bool install_only)
     faSlots_[slot].tag = tag;
     faSlots_[slot].valid = true;
     faAttachFront(slot);
-    faMap_[tag] = slot;
+    faMap_.insert(tag, slot);
     return false;
 }
 
@@ -164,26 +154,31 @@ Cache::saAccess(uint64_t tag, bool install_only)
     uint64_t set = tag & (sets_ - 1);
     SaWay *base = &saWays_[set * ways_];
     stampCounter_++;
+    // Single pass: hit detection, first invalid way, and LRU victim at
+    // once. The victim matches the old two-pass scan exactly — a first
+    // invalid way wins, else the lowest-indexed minimum stamp.
+    uint32_t invalid = ~0u;
+    uint32_t lru = 0;
+    uint64_t best = ~0ull;
     for (uint32_t w = 0; w < ways_; w++) {
-        if (base[w].valid && base[w].tag == tag) {
+        if (!base[w].valid) {
+            if (invalid == ~0u)
+                invalid = w;
+            continue;
+        }
+        if (base[w].tag == tag) {
             if (!install_only)
                 base[w].stamp = stampCounter_;
             return true;
         }
-    }
-    // Miss: evict LRU (or fill an invalid way).
-    uint32_t victim = 0;
-    uint64_t best = ~0ull;
-    for (uint32_t w = 0; w < ways_; w++) {
-        if (!base[w].valid) {
-            victim = w;
-            break;
-        }
         if (base[w].stamp < best) {
             best = base[w].stamp;
-            victim = w;
+            lru = w;
         }
     }
+    uint32_t victim = invalid != ~0u ? invalid : lru;
+    if (invalid != ~0u)
+        saResident_++;
     base[victim].valid = true;
     base[victim].tag = tag;
     base[victim].stamp = stampCounter_;

@@ -9,8 +9,8 @@
 #ifndef TRT_MEMSYS_CACHE_HH
 #define TRT_MEMSYS_CACHE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace trt
@@ -50,8 +50,13 @@ class Cache
     /** Drop every line. */
     void invalidateAll();
 
-    /** Lines currently resident (diagnostics). */
-    uint64_t residentLines() const;
+    /** Lines currently resident. O(1): maintained on fill/invalidate,
+     *  not recounted by scanning the tag store. */
+    uint64_t
+    residentLines() const
+    {
+        return ways_ == 0 ? faMap_.size() : saResident_;
+    }
 
   private:
     // --- fully associative implementation: hash map + intrusive LRU ---
@@ -67,6 +72,107 @@ class Cache
     void faTouch(uint32_t slot);
     void faDetach(uint32_t slot);
     void faAttachFront(uint32_t slot);
+
+    /**
+     * tag -> slot index map: open-addressed, linear-probed, fixed
+     * power-of-two capacity >= 2x the line count (entries are bounded
+     * by the line count, so it never grows). ~0 is the empty key; a
+     * real tag of ~0 would need a ~2^70-byte address space. Erasure
+     * uses backward-shift deletion, keeping probe chains intact with
+     * no tombstones. Replaces a node-allocating hash map on the
+     * hottest path of every L1 access.
+     */
+    class FaMap
+    {
+      public:
+        void
+        init(uint64_t lines)
+        {
+            std::size_t cap = 16;
+            while (cap < lines * 2)
+                cap *= 2;
+            keys_.assign(cap, kEmpty);
+            vals_.assign(cap, 0);
+            mask_ = cap - 1;
+        }
+
+        /** Slot of @p tag, or ~0u when absent. */
+        uint32_t
+        find(uint64_t tag) const
+        {
+            std::size_t i = hashOf(tag) & mask_;
+            while (keys_[i] != kEmpty) {
+                if (keys_[i] == tag)
+                    return vals_[i];
+                i = (i + 1) & mask_;
+            }
+            return ~0u;
+        }
+
+        /** Insert @p tag (must be absent) mapping to @p slot. */
+        void
+        insert(uint64_t tag, uint32_t slot)
+        {
+            std::size_t i = hashOf(tag) & mask_;
+            while (keys_[i] != kEmpty)
+                i = (i + 1) & mask_;
+            keys_[i] = tag;
+            vals_[i] = slot;
+            size_++;
+        }
+
+        /** Erase @p tag (must be present); backward-shift compaction. */
+        void
+        erase(uint64_t tag)
+        {
+            std::size_t i = hashOf(tag) & mask_;
+            while (keys_[i] != tag)
+                i = (i + 1) & mask_;
+            keys_[i] = kEmpty;
+            size_--;
+            std::size_t j = i;
+            for (;;) {
+                j = (j + 1) & mask_;
+                if (keys_[j] == kEmpty)
+                    return;
+                std::size_t k = hashOf(keys_[j]) & mask_;
+                // Leave j in place if its home k lies cyclically in
+                // (i, j]; otherwise it probed across the new hole and
+                // must shift back into it.
+                bool reachable = (i < j) ? (k > i && k <= j)
+                                         : (k > i || k <= j);
+                if (!reachable) {
+                    keys_[i] = keys_[j];
+                    vals_[i] = vals_[j];
+                    keys_[j] = kEmpty;
+                    i = j;
+                }
+            }
+        }
+
+        void
+        clear()
+        {
+            keys_.assign(keys_.size(), kEmpty);
+            size_ = 0;
+        }
+
+        std::size_t size() const { return size_; }
+
+      private:
+        static constexpr uint64_t kEmpty = ~0ull;
+
+        static std::size_t
+        hashOf(uint64_t tag)
+        {
+            return std::size_t((tag * 0x9E3779B97F4A7C15ull) >> 32);
+        }
+
+        std::vector<uint64_t> keys_;
+        std::vector<uint32_t> vals_;
+        std::size_t mask_ = 0;
+        std::size_t size_ = 0;
+    };
 
     // --- set associative implementation: per-set arrays + stamps ------
     struct SaWay
@@ -85,7 +191,7 @@ class Cache
     uint64_t sets_ = 1;
 
     // Fully associative state.
-    std::unordered_map<uint64_t, uint32_t> faMap_;
+    FaMap faMap_;
     std::vector<FaSlot> faSlots_;
     std::vector<uint32_t> faFree_;
     uint32_t faHead_ = ~0u; //!< MRU.
@@ -94,6 +200,7 @@ class Cache
     // Set associative state.
     std::vector<SaWay> saWays_;
     uint64_t stampCounter_ = 0;
+    uint64_t saResident_ = 0; //!< Valid ways (lines never un-fill).
 };
 
 } // namespace trt

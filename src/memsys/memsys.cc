@@ -39,7 +39,12 @@ MemorySystem::MemorySystem(const MemConfig &cfg)
     for (uint32_t i = 0; i < cfg.numL1s; i++) {
         l1s_.emplace_back(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes);
         ports_.emplace_back(*this, i);
+        // Steady-state capacity so per-tick recording never allocates.
+        ports_.back().requests_.reserve(256);
+        ports_.back().flags_.reserve(512);
+        ports_.back().results_.reserve(256);
     }
+    scratchFlags_.reserve(64);
     if (cfg.l2ReservedBytes > 0) {
         // Reserved partition is fully associative: it holds a known
         // working set (ray data) and should not suffer conflict misses.
@@ -68,37 +73,26 @@ MemorySystem::dramService(uint64_t now, uint32_t bytes, MemClass cls,
 }
 
 void
-MemorySystem::notePending(std::unordered_map<uint64_t, LineFill> &map,
-                          uint64_t key, uint64_t ready)
+MemorySystem::notePending(PendingLineTable &map, uint64_t key,
+                          uint64_t ready)
 {
-    map[key] = LineFill{ready};
+    map.put(key, ready);
     if (++pendingSweep_ >= 65536) {
         pendingSweep_ = 0;
-        cleanPending(pendingL1_, ready);
-        cleanPending(pendingL2_, ready);
+        // Sweep threshold deliberately stays the just-inserted ready
+        // cycle (not "now"): entries completing before this fill does
+        // can no longer stall anyone issued after it.
+        pendingL1_.clean(ready);
+        pendingL2_.clean(ready);
     }
 }
 
 uint64_t
-MemorySystem::pendingReady(const std::unordered_map<uint64_t, LineFill> &map,
-                           uint64_t key, uint64_t now) const
+MemorySystem::pendingReady(const PendingLineTable &map, uint64_t key,
+                           uint64_t now) const
 {
-    auto it = map.find(key);
-    if (it == map.end() || it->second.readyCycle <= now)
-        return 0;
-    return it->second.readyCycle;
-}
-
-void
-MemorySystem::cleanPending(std::unordered_map<uint64_t, LineFill> &map,
-                           uint64_t now)
-{
-    for (auto it = map.begin(); it != map.end();) {
-        if (it->second.readyCycle <= now)
-            it = map.erase(it);
-        else
-            ++it;
-    }
+    uint64_t ready = map.get(key);
+    return ready > now ? ready : 0;
 }
 
 uint64_t

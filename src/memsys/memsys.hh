@@ -29,10 +29,10 @@
 #define TRT_MEMSYS_MEMSYS_HH
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "memsys/cache.hh"
@@ -242,9 +242,97 @@ class MemorySystem
     uint32_t lineBytes() const { return cfg_.lineBytes; }
 
   private:
-    struct LineFill
+    /**
+     * MSHR-style pending-fill table: open-addressed, linear-probed,
+     * power-of-two sized. Keys are simulated line addresses (optionally
+     * tagged with an SM id in the high bits) and are never 0, so 0 is
+     * the empty-slot sentinel. This sits on the hottest path of every
+     * miss, where the allocation and pointer chasing of a node-based
+     * hash map dominated the simulator profile.
+     */
+    class PendingLineTable
     {
-        uint64_t readyCycle = 0;
+      public:
+        PendingLineTable() { slots_.resize(kMinCapacity); }
+
+        /** Insert or overwrite @p key -> @p ready. */
+        void
+        put(uint64_t key, uint64_t ready)
+        {
+            assert(key != 0);
+            if ((used_ + 1) * 4 > slots_.size() * 3)
+                grow(slots_.size() * 2);
+            size_t i = hashOf(key) & (slots_.size() - 1);
+            while (slots_[i].key != 0 && slots_[i].key != key)
+                i = (i + 1) & (slots_.size() - 1);
+            if (slots_[i].key == 0) {
+                slots_[i].key = key;
+                used_++;
+            }
+            slots_[i].ready = ready;
+        }
+
+        /** Stored ready cycle of @p key, or 0 when absent. */
+        uint64_t
+        get(uint64_t key) const
+        {
+            size_t i = hashOf(key) & (slots_.size() - 1);
+            while (slots_[i].key != 0) {
+                if (slots_[i].key == key)
+                    return slots_[i].ready;
+                i = (i + 1) & (slots_.size() - 1);
+            }
+            return 0;
+        }
+
+        /** Drop every entry whose ready cycle is <= @p now (rebuild:
+         *  linear probing cannot erase in place). */
+        void
+        clean(uint64_t now)
+        {
+            size_t live = 0;
+            for (const Slot &s : slots_)
+                live += s.key != 0 && s.ready > now;
+            size_t cap = kMinCapacity;
+            while (cap * 3 < live * 4 * 2)
+                cap *= 2;
+            std::vector<Slot> old = std::move(slots_);
+            slots_.assign(cap, Slot{});
+            used_ = 0;
+            for (const Slot &s : old) {
+                if (s.key != 0 && s.ready > now)
+                    put(s.key, s.ready);
+            }
+        }
+
+      private:
+        struct Slot
+        {
+            uint64_t key = 0;
+            uint64_t ready = 0;
+        };
+
+        static constexpr size_t kMinCapacity = 1024;
+
+        static size_t
+        hashOf(uint64_t key)
+        {
+            return size_t((key * 0x9E3779B97F4A7C15ull) >> 32);
+        }
+
+        void
+        grow(size_t cap)
+        {
+            std::vector<Slot> old = std::move(slots_);
+            slots_.assign(cap, Slot{});
+            used_ = 0;
+            for (const Slot &s : old)
+                if (s.key != 0)
+                    put(s.key, s.ready);
+        }
+
+        std::vector<Slot> slots_;
+        size_t used_ = 0;
     };
 
     /** Per-line L1 tag state captured at issue time. */
@@ -278,13 +366,9 @@ class MemorySystem
     uint64_t dramService(uint64_t now, uint32_t bytes, MemClass cls,
                          bool is_write);
 
-    void notePending(std::unordered_map<uint64_t, LineFill> &map,
-                     uint64_t key, uint64_t ready);
-    uint64_t pendingReady(
-        const std::unordered_map<uint64_t, LineFill> &map, uint64_t key,
-        uint64_t now) const;
-    void cleanPending(std::unordered_map<uint64_t, LineFill> &map,
-                      uint64_t now);
+    void notePending(PendingLineTable &map, uint64_t key, uint64_t ready);
+    uint64_t pendingReady(const PendingLineTable &map, uint64_t key,
+                          uint64_t now) const;
 
     MemConfig cfg_;
     std::vector<Cache> l1s_;
@@ -297,8 +381,8 @@ class MemorySystem
     std::vector<uint8_t> scratchFlags_;
 
     /** In-flight fills keyed by (sm << 48) | line for L1, line for L2. */
-    std::unordered_map<uint64_t, LineFill> pendingL1_;
-    std::unordered_map<uint64_t, LineFill> pendingL2_;
+    PendingLineTable pendingL1_;
+    PendingLineTable pendingL2_;
     uint64_t pendingSweep_ = 0;
 
     uint64_t dramBusyUntil_ = 0;

@@ -74,13 +74,22 @@ class WindowedSeries
   public:
     explicit WindowedSeries(uint64_t window_cycles = 10000)
         : window_(window_cycles ? window_cycles : 1)
-    {}
+    {
+        // record() is on the per-access hot path; a power-of-two window
+        // (the common configuration) gets a shift instead of a divide.
+        if ((window_ & (window_ - 1)) == 0) {
+            shift_ = 0;
+            while ((uint64_t(1) << shift_) < window_)
+                shift_++;
+        }
+    }
 
     /** Record an event pair at @p cycle. */
     void
     record(uint64_t cycle, uint64_t num, uint64_t den)
     {
-        size_t idx = cycle / window_;
+        size_t idx = shift_ >= 0 ? size_t(cycle >> shift_)
+                                 : size_t(cycle / window_);
         if (idx >= numAcc_.size()) {
             numAcc_.resize(idx + 1, 0);
             denAcc_.resize(idx + 1, 0);
@@ -135,6 +144,7 @@ class WindowedSeries
 
   private:
     uint64_t window_;
+    int shift_ = -1; //!< log2(window_) when it is a power of two.
     std::vector<uint64_t> numAcc_;
     std::vector<uint64_t> denAcc_;
 };

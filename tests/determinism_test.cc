@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/arch.hh"
+#include "geom/simd.hh"
 #include "gpu/run_stats_io.hh"
 #include "harness/harness.hh"
 
@@ -113,6 +114,52 @@ TEST(Determinism, ThreadCountSweep)
     for (uint32_t t : {2u, 8u}) {
         expectIdentical(serial, runWithThreads("CRNVL", cfg, t),
                         "vtq/CRNVL 1 vs " + std::to_string(t));
+    }
+}
+
+/** Restores the process-wide SIMD toggle on scope exit. */
+struct SimdGuard
+{
+    ~SimdGuard() { setSimdEnabled(true); }
+};
+
+/** The SIMD intersection kernels are bit-identical to the scalar ones
+ *  (DESIGN.md §6), so flipping the runtime toggle — combined with any
+ *  simulator thread count — must reproduce the exact same RunStats.
+ *  Scene-parameterized; together with the arch test below this spans
+ *  {simd on, off} x {1, 4, 8 threads} x 3 scenes x 3 architectures. */
+TEST_P(DeterminismScene, SimdToggleBitIdenticalAcrossThreadCounts)
+{
+    if (!simdCompiledIn())
+        GTEST_SKIP() << "scalar-only build (TRT_SIMD=OFF)";
+    SimdGuard guard;
+    GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());
+    setSimdEnabled(true);
+    RunStats simd_on = runWithThreads(GetParam(), cfg, 1);
+    setSimdEnabled(false);
+    for (uint32_t t : {1u, 4u, 8u}) {
+        expectIdentical(simd_on, runWithThreads(GetParam(), cfg, t),
+                        std::string("vtq/") + GetParam() +
+                            " simd-on vs simd-off @" +
+                            std::to_string(t) + " threads");
+    }
+}
+
+TEST(Determinism, SimdToggleBaselineAndPrefetchArches)
+{
+    if (!simdCompiledIn())
+        GTEST_SKIP() << "scalar-only build (TRT_SIMD=OFF)";
+    SimdGuard guard;
+    for (auto make : {+[] { return GpuConfig{}; },
+                      +[] { return GpuConfig::treeletPrefetch(); }}) {
+        GpuConfig cfg = sized(make());
+        setSimdEnabled(true);
+        RunStats simd_on = runWithThreads("CRNVL", cfg, 1);
+        setSimdEnabled(false);
+        expectIdentical(simd_on, runWithThreads("CRNVL", cfg, 4),
+                        std::string(rtArchName(cfg.arch)) +
+                            "/CRNVL simd-on@1 vs simd-off@4");
+        setSimdEnabled(true);
     }
 }
 

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "geom/aabb.hh"
 #include "geom/intersect.hh"
 #include "geom/onb.hh"
 #include "geom/ray.hh"
 #include "geom/rng.hh"
+#include "geom/simd.hh"
 #include "geom/vec.hh"
 
 namespace trt
@@ -335,6 +338,147 @@ TEST(HitRecord, DefaultIsMiss)
     EXPECT_FALSE(h.hit());
     h.t = 1.0f;
     EXPECT_TRUE(h.hit());
+}
+
+// ---- 4-lane SIMD kernels vs their scalar references ------------------
+//
+// The determinism policy (DESIGN.md §6) requires the vector kernels to
+// be bit-identical to the scalar ones, not merely close: a single ULP
+// of drift changes traversal order and with it every cycle count. The
+// tests below compare raw float bits over randomized inputs.
+
+uint32_t
+bitsOf(float f)
+{
+    uint32_t u;
+    std::memcpy(&u, &f, sizeof(u));
+    return u;
+}
+
+Vec3
+randomUnitDir(Pcg32 &rng)
+{
+    // Includes axis-aligned directions (zero components -> infinite
+    // inverse) which are the historically fragile slab-test inputs.
+    if (rng.nextBounded(8) == 0) {
+        Vec3 d{0, 0, 0};
+        float *c = rng.nextBounded(2) ? &d.x
+                                      : (rng.nextBounded(2) ? &d.y : &d.z);
+        *c = rng.nextBounded(2) ? 1.0f : -1.0f;
+        return d;
+    }
+    Vec3 d{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+           rng.nextRange(-1, 1)};
+    float len = std::sqrt(dot(d, d));
+    return len > 1e-3f ? d * (1.0f / len) : Vec3{1, 0, 0};
+}
+
+TEST(Simd4, BoxKernelBitExactRandomized)
+{
+    Pcg32 rng(20260806);
+    const bool toggled = simdCompiledIn();
+    for (int iter = 0; iter < 20000; iter++) {
+        Ray ray;
+        ray.orig = Vec3{rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+                        rng.nextRange(-10, 10)};
+        ray.dir = randomUnitDir(rng);
+        // Default tmin = 1e-4 (never 0, as in the simulator) keeps the
+        // kernels away from the unobservable max(+-0, +-0) sign edge.
+        ray.tmax = rng.nextRange(0.1f, 50.0f);
+        RayInv inv(ray);
+
+        PackedBounds4 pb;
+        uint32_t lanes = 1 + rng.nextBounded(4);
+        for (uint32_t k = 0; k < lanes; k++) {
+            Vec3 a{rng.nextRange(-12, 12), rng.nextRange(-12, 12),
+                   rng.nextRange(-12, 12)};
+            // Mix volumes with flat/point boxes (zero-extent axes).
+            Vec3 ext{rng.nextRange(0, 4), rng.nextRange(0, 4),
+                     rng.nextBounded(4) == 0 ? 0.0f : rng.nextRange(0, 4)};
+            pb.set(int(k), Aabb{a, a + ext});
+        }
+
+        float ts[4] = {}, tv[4] = {};
+        uint32_t ms = intersectAabb4Scalar(ray, inv, pb, ts);
+        setSimdEnabled(true);
+        uint32_t mv = intersectAabb4(ray, inv, pb, tv);
+        ASSERT_EQ(ms, mv) << "iter " << iter;
+        for (int k = 0; k < 4; k++) {
+            if (ms >> k & 1u) {
+                ASSERT_EQ(bitsOf(ts[k]), bitsOf(tv[k]))
+                    << "iter " << iter << " lane " << k;
+            }
+        }
+        if (toggled) {
+            // The runtime toggle must reproduce the scalar bits too.
+            setSimdEnabled(false);
+            float td[4] = {};
+            uint32_t md = intersectAabb4(ray, inv, pb, td);
+            setSimdEnabled(true);
+            ASSERT_EQ(ms, md) << "iter " << iter;
+            for (int k = 0; k < 4; k++) {
+                if (ms >> k & 1u) {
+                    ASSERT_EQ(bitsOf(ts[k]), bitsOf(td[k]))
+                        << "iter " << iter << " lane " << k;
+                }
+            }
+        }
+    }
+}
+
+TEST(Simd4, TriangleKernelBitExactRandomized)
+{
+    Pcg32 rng(988);
+    for (int iter = 0; iter < 20000; iter++) {
+        Ray ray;
+        ray.orig = Vec3{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                        rng.nextRange(-5, 5)};
+        ray.dir = randomUnitDir(rng);
+
+        uint32_t n = 1 + rng.nextBounded(4);
+        Triangle tris[4];
+        for (uint32_t k = 0; k < n; k++) {
+            Vec3 v0{rng.nextRange(-6, 6), rng.nextRange(-6, 6),
+                    rng.nextRange(-6, 6)};
+            // Small triangles near the ray so a useful fraction of
+            // iterations produce candidate hits (and tiny determinants
+            // exercise the epsilon reject).
+            float s = rng.nextBounded(8) == 0 ? 1e-5f : 2.0f;
+            tris[k].v0 = v0;
+            tris[k].v1 = v0 + Vec3{rng.nextRange(-s, s),
+                                   rng.nextRange(-s, s),
+                                   rng.nextRange(-s, s)};
+            tris[k].v2 = v0 + Vec3{rng.nextRange(-s, s),
+                                   rng.nextRange(-s, s),
+                                   rng.nextRange(-s, s)};
+        }
+
+        float t0[4], u0[4], v0[4], t1[4], u1[4], v1[4];
+        uint32_t ms = mollerTrumbore4Scalar(ray, tris, n, t0, u0, v0);
+        setSimdEnabled(true);
+        uint32_t mv = mollerTrumbore4(ray, tris, n, t1, u1, v1);
+        ASSERT_EQ(ms, mv) << "iter " << iter;
+        for (uint32_t k = 0; k < n; k++) {
+            if (!(ms >> k & 1u))
+                continue;
+            ASSERT_EQ(bitsOf(t0[k]), bitsOf(t1[k])) << "iter " << iter;
+            ASSERT_EQ(bitsOf(u0[k]), bitsOf(u1[k])) << "iter " << iter;
+            ASSERT_EQ(bitsOf(v0[k]), bitsOf(v1[k])) << "iter " << iter;
+        }
+    }
+}
+
+TEST(Simd4, RuntimeToggleAndBuildKnob)
+{
+    // simdEnabled() honours the compile-time knob: a TRT_SIMD=OFF
+    // build must report (and stay) scalar regardless of the toggle.
+    bool compiled = simdCompiledIn();
+    setSimdEnabled(true);
+    EXPECT_EQ(simdEnabled(), compiled);
+    setSimdEnabled(false);
+    EXPECT_FALSE(simdEnabled());
+    setSimdEnabled(true);
+    EXPECT_EQ(simdEnabled(), compiled);
 }
 
 } // anonymous namespace

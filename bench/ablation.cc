@@ -23,10 +23,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     // Default to a representative subset; TRT_SCENES overrides. The
     // no_group / skip_treelet rows run deliberately pathological
     // regimes, so clamp the frame size (rows are normalized against a

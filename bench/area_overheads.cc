@@ -16,10 +16,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Section 6.5: area overheads", opt);
 
     GpuConfig vtq = opt.apply(GpuConfig::virtualizedTreeletQueues());

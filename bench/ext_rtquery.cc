@@ -17,10 +17,10 @@
 #include "workloads/rt_query.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Extension: RT-unit tree-traversal queries (sec 8)",
                      opt);
 

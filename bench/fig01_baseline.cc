@@ -14,10 +14,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Figure 1: baseline RT unit bottlenecks", opt);
 
     GpuConfig cfg = opt.apply(GpuConfig{});

@@ -13,10 +13,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Figure 5: analytical treelet speedup", opt);
 
     const std::vector<uint32_t> batches = {32,   64,   128,  256, 512,

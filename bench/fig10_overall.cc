@@ -15,10 +15,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader(
         "Figure 10: overall speedup (VTQ vs treelet prefetching)", opt);
 

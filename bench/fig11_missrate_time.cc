@@ -16,10 +16,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     // This figure is a single-scene time series.
     std::string scene = opt.scenes.size() == 1 ? opt.scenes[0] : "LANDS";
     printBenchHeader("Figure 11: L1 BVH miss rate over time (" + scene +

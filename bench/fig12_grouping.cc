@@ -16,10 +16,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     // The naive variant deliberately runs the pathological regime
     // (whole-treelet fetches for 1-ray queues) and is several times
     // slower than everything else in the repository; clamp this

@@ -13,10 +13,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Figure 15: intersection tests per traversal mode",
                      opt);
 

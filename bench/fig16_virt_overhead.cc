@@ -13,10 +13,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Figure 16: ray virtualization overhead", opt);
 
     GpuConfig real = opt.apply(GpuConfig::virtualizedTreeletQueues());

@@ -9,10 +9,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     GpuConfig cfg = opt.apply(GpuConfig{});
 
     printBenchHeader("Table 1: Vulkan-Sim configuration", opt);

@@ -10,10 +10,10 @@
 #include "harness/harness.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace trt;
-    HarnessOptions opt = HarnessOptions::fromEnv();
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
     printBenchHeader("Table 2: evaluation scenes", opt);
 
     Table t({"scene", "tris", "bvh_mb", "treelets", "nodes",

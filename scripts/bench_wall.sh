@@ -10,12 +10,20 @@
 #   BENCH_RUNS       repetitions, best-of is reported (default 3)
 #   BASELINE_WALL_S  optional baseline seconds; adds a "speedup" field
 #   BENCH_BIN        override the benchmark binary
-set -eu
+#   BENCH_NO_BUILD   =1: skip the rebuild and time the binary as-is
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=${1:-BENCH_simwall.json}
 runs=${BENCH_RUNS:-3}
 bin=${BENCH_BIN:-build/bench/bench_fig10_overall}
+
+# Rebuild first so we never time a stale binary; a build failure aborts
+# the benchmark instead of silently measuring yesterday's code.
+if [ "${BENCH_NO_BUILD:-0}" != "1" ]; then
+    cmake -B build -S . >/dev/null
+    cmake --build build -j"$(nproc)" --target "$(basename "$bin")" >/dev/null
+fi
 
 if [ ! -x "$bin" ]; then
     echo "bench_wall: $bin not built" >&2

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Crash-resume determinism check (CI; DESIGN.md §7).
+#
+# 1. Runs a scene to completion (cold reference CSVs).
+# 2. Reruns with periodic snapshots and a forced mid-run halt
+#    (TRT_SNAPSHOT_HALT_AT) — the deterministic stand-in for a crash.
+# 3. Resumes with --resume from the newest valid snapshot.
+# 4. Requires the resumed run's CSVs to match the reference
+#    byte-for-byte, and that the resume actually restored a snapshot
+#    rather than silently cold-starting.
+#
+# Environment:
+#   BENCH_BIN        benchmark binary (default bench_fig01_baseline)
+#   TRT_SCENES       scene subset (default CRNVL)
+#   TRT_SIM_THREADS  resume-side worker threads (default 4: the resume
+#                    deliberately uses a different thread count than
+#                    the capture to prove thread-count independence)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=${BENCH_BIN:-build/bench/bench_fig01_baseline}
+workdir=${1:-.crash_resume_ci}
+
+export TRT_FAST=1
+export TRT_RUN_CACHE=0
+export TRT_SCENES=${TRT_SCENES:-CRNVL}
+export TRT_SNAPSHOT_DIR=$workdir/snapshots
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+echo "crash_resume: cold reference run" >&2
+TRT_SIM_THREADS=1 TRT_RESULTS=$workdir/cold "$bin"
+
+echo "crash_resume: crashing mid-run (TRT_SNAPSHOT_HALT_AT)" >&2
+set +e
+TRT_SIM_THREADS=1 TRT_RESULTS=$workdir/crash \
+    TRT_SNAPSHOT_EVERY=2000 TRT_SNAPSHOT_HALT_AT=5000 \
+    "$bin" >"$workdir/crash.log" 2>&1
+status=$?
+set -e
+if [ "$status" -eq 0 ]; then
+    echo "crash_resume: FAIL - run was expected to halt mid-simulation" >&2
+    exit 1
+fi
+
+snaps=$(find "$TRT_SNAPSHOT_DIR" -name '*.trtsnap' 2>/dev/null | wc -l)
+if [ "$snaps" -eq 0 ]; then
+    echo "crash_resume: FAIL - no snapshot written before the halt" >&2
+    exit 1
+fi
+echo "crash_resume: halted with $snaps snapshot(s) on disk" >&2
+
+echo "crash_resume: resuming with --resume" >&2
+TRT_SIM_THREADS=${TRT_SIM_THREADS:-4} TRT_RESULTS=$workdir/resumed \
+    "$bin" --resume 2>"$workdir/resume.log"
+
+if ! grep -q "\[snapshot\] resuming from" "$workdir/resume.log"; then
+    echo "crash_resume: FAIL - resume did not restore a snapshot" >&2
+    cat "$workdir/resume.log" >&2
+    exit 1
+fi
+
+if ! diff -r "$workdir/cold" "$workdir/resumed"; then
+    echo "crash_resume: FAIL - resumed results differ from cold run" >&2
+    exit 1
+fi
+
+echo "crash_resume: OK - resumed run is byte-identical to the cold run" >&2

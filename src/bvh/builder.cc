@@ -28,6 +28,8 @@
 #include <cassert>
 #include <cstdlib>
 #include <queue>
+
+#include "util/env.hh"
 #include <thread>
 
 #include "bvh/parallel.hh"
@@ -482,11 +484,9 @@ resolveBuildThreads(uint32_t requested)
 {
     if (requested)
         return requested;
-    if (const char *v = std::getenv("TRT_BUILD_THREADS")) {
-        long n = std::atol(v);
-        if (n > 0)
-            return uint32_t(std::min<long>(n, 256));
-    }
+    uint64_t n = envUInt("TRT_BUILD_THREADS", 0, 256);
+    if (n > 0)
+        return uint32_t(n);
     uint32_t hw = std::thread::hardware_concurrency();
     return hw ? hw : 1;
 }

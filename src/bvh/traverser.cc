@@ -202,4 +202,46 @@ RayTraverser::advance()
     }
 }
 
+void
+RayTraverser::saveState(Serializer &s) const
+{
+    static_assert(sizeof(Entry) == 8);
+    static_assert(sizeof(PendingLeaf) == 8);
+    static_assert(sizeof(Ray) == 32);       // padding-free for pod()
+    static_assert(sizeof(HitRecord) == 16);
+    static_assert(sizeof(Counts) == 40);
+    s.beginChunk("TRAV");
+    s.pod(ray_);
+    s.u8(uint8_t(phase_));
+    s.vecPod(currentStack_);
+    s.vecPod(treeletStack_);
+    s.u32(curTreelet_);
+    s.u32(fetchNode_);
+    s.vecPod(pendingLeaves_);
+    s.pod(hitRec_);
+    s.pod(counts_);
+    s.endChunk();
+}
+
+void
+RayTraverser::loadState(Deserializer &d, const Bvh *bvh)
+{
+    d.beginChunk("TRAV");
+    bvh_ = bvh;
+    ray_ = d.pod<Ray>();
+    inv_ = RayInv(ray_);
+    uint8_t phase = d.u8();
+    if (phase > uint8_t(Phase::Done))
+        throw SnapshotError("snapshot: traverser phase out of range");
+    phase_ = Phase(phase);
+    currentStack_ = d.vecPod<Entry>();
+    treeletStack_ = d.vecPod<Entry>();
+    curTreelet_ = d.u32();
+    fetchNode_ = d.u32();
+    pendingLeaves_ = d.vecPod<PendingLeaf>();
+    hitRec_ = d.pod<HitRecord>();
+    counts_ = d.pod<Counts>();
+    d.endChunk();
+}
+
 } // namespace trt

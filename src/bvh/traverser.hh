@@ -22,6 +22,7 @@
 
 #include "bvh/bvh.hh"
 #include "geom/ray.hh"
+#include "snapshot/serializer.hh"
 
 namespace trt
 {
@@ -107,6 +108,12 @@ class RayTraverser
     /** Entries remaining across both stacks (diagnostics). */
     size_t stackDepth() const
     { return currentStack_.size() + treeletStack_.size(); }
+
+    /** Snapshot hooks. The BVH pointer is re-bound by the caller (the
+     *  restored Gpu owns the same deterministically rebuilt BVH, keyed
+     *  by the snapshot fingerprint); inv_ is recomputed from the ray. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d, const Bvh *bvh);
 
   private:
     struct Entry

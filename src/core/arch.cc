@@ -1,5 +1,7 @@
 #include "core/arch.hh"
 
+#include <cstdio>
+
 #include "core/prefetch_unit.hh"
 #include "core/treelet_queue_unit.hh"
 
@@ -39,6 +41,39 @@ simulateRays(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
     GpuConfig c = cfg;
     c.maxBounces = 0; // queries are a single trace per thread
     Gpu gpu(c, scene, bvh, makeRtUnitFactory(), &rays);
+    return gpu.run();
+}
+
+RunStats
+simulateWithSnapshots(const GpuConfig &cfg, const Scene &scene,
+                      const Bvh &bvh, const SnapshotPolicy &policy,
+                      bool resume)
+{
+    Gpu gpu(cfg, scene, bvh, makeRtUnitFactory());
+    gpu.setSnapshotPolicy(policy);
+    if (resume) {
+        auto path = findNewestValidSnapshot(policy.dir, policy.worldFp);
+        if (path) {
+            try {
+                std::vector<uint8_t> payload =
+                    readSnapshotPayload(*path, policy.worldFp);
+                Deserializer d(payload);
+                gpu.loadState(d);
+                fprintf(stderr, "[snapshot] resuming from %s (cycle %llu)\n",
+                        path->string().c_str(),
+                        (unsigned long long)gpu.restoredCycle());
+            } catch (const SnapshotError &e) {
+                fprintf(stderr,
+                        "[snapshot] %s: %s; falling back to a cold run\n",
+                        path->string().c_str(), e.what());
+                // A partial loadState leaves the Gpu inconsistent:
+                // rebuild it from scratch for the cold run.
+                Gpu cold(cfg, scene, bvh, makeRtUnitFactory());
+                cold.setSnapshotPolicy(policy);
+                return cold.run();
+            }
+        }
+    }
     return gpu.run();
 }
 

@@ -31,6 +31,18 @@ RunStats simulate(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh);
 RunStats simulateRays(const GpuConfig &cfg, const Scene &scene,
                       const Bvh &bvh, const std::vector<Ray> &rays);
 
+/**
+ * simulate() with checkpoint/restore (DESIGN.md §7): arms the Gpu with
+ * @p policy and, when @p resume is set, first looks for the newest
+ * valid snapshot of policy.worldFp under policy.dir and restores it.
+ * A corrupt, stale or missing snapshot falls back to a cold run (a
+ * warning is printed for corrupt ones). Throws SimulationHalted when
+ * policy.haltAtCycle fires.
+ */
+RunStats simulateWithSnapshots(const GpuConfig &cfg, const Scene &scene,
+                               const Bvh &bvh, const SnapshotPolicy &policy,
+                               bool resume);
+
 } // namespace trt
 
 #endif // TRT_CORE_ARCH_HH

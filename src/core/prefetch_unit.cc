@@ -85,4 +85,28 @@ TreeletPrefetchRtUnit::onDemandLine(uint64_t line_addr)
         stats_.prefetchUsedLines++;
 }
 
+void
+TreeletPrefetchRtUnit::saveState(Serializer &s) const
+{
+    BaselineRtUnit::saveState(s);
+    s.beginChunk("PREF");
+    s.u32(lastPrefetched_);
+    s.u64(nextAllowed_);
+    s.vecPod(outstanding_.sortedKeys());
+    s.endChunk();
+}
+
+void
+TreeletPrefetchRtUnit::loadState(Deserializer &d)
+{
+    BaselineRtUnit::loadState(d);
+    d.beginChunk("PREF");
+    lastPrefetched_ = d.u32();
+    nextAllowed_ = d.u64();
+    outstanding_.clear();
+    for (uint64_t key : d.vecPod<uint64_t>())
+        outstanding_.insert(key);
+    d.endChunk();
+}
+
 } // namespace trt

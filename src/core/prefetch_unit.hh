@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/line_set.hh"
 #include "gpu/rt_unit.hh"
 
 namespace trt
@@ -30,6 +31,9 @@ class TreeletPrefetchRtUnit : public BaselineRtUnit
     TreeletPrefetchRtUnit(const GpuConfig &cfg, MemorySystem &mem,
                           const Bvh &bvh, uint32_t sm_id);
 
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
+
   protected:
     void onTreeletEnter(uint64_t now, uint32_t treelet) override;
     void onDemandLine(uint64_t line_addr) override;
@@ -37,94 +41,6 @@ class TreeletPrefetchRtUnit : public BaselineRtUnit
   private:
     /** Most popular current treelet among active rays (or invalid). */
     uint32_t popularTreelet() const;
-
-    /**
-     * Open-addressed, linear-probed set of line addresses (0 = empty;
-     * simulated addresses are well above 0). A prefetch inserts ~100
-     * lines and every demand access probes it, so the node allocation
-     * and pointer chasing of a std::unordered_set are a real cost here.
-     * Erasure backward-shifts, keeping probe chains intact.
-     */
-    class LineSet
-    {
-      public:
-        LineSet() : keys_(kMinCapacity, 0), mask_(kMinCapacity - 1) {}
-
-        /** True when @p key was absent and has been added. */
-        bool
-        insert(uint64_t key)
-        {
-            std::size_t i = hashOf(key) & mask_;
-            while (keys_[i] != 0) {
-                if (keys_[i] == key)
-                    return false;
-                i = (i + 1) & mask_;
-            }
-            keys_[i] = key;
-            if (++size_ * 4 > keys_.size() * 3)
-                grow();
-            return true;
-        }
-
-        /** True when @p key was present and has been removed. */
-        bool
-        erase(uint64_t key)
-        {
-            std::size_t i = hashOf(key) & mask_;
-            while (keys_[i] != key) {
-                if (keys_[i] == 0)
-                    return false;
-                i = (i + 1) & mask_;
-            }
-            keys_[i] = 0;
-            size_--;
-            std::size_t j = i;
-            for (;;) {
-                j = (j + 1) & mask_;
-                if (keys_[j] == 0)
-                    return true;
-                std::size_t k = hashOf(keys_[j]) & mask_;
-                // Shift j back unless its home k lies cyclically in
-                // (i, j] — then the new hole doesn't break its chain.
-                bool reachable = (i < j) ? (k > i && k <= j)
-                                         : (k > i || k <= j);
-                if (!reachable) {
-                    keys_[i] = keys_[j];
-                    keys_[j] = 0;
-                    i = j;
-                }
-            }
-        }
-
-      private:
-        static constexpr std::size_t kMinCapacity = 1024;
-
-        static std::size_t
-        hashOf(uint64_t key)
-        {
-            return std::size_t((key * 0x9E3779B97F4A7C15ull) >> 32);
-        }
-
-        void
-        grow()
-        {
-            std::vector<uint64_t> old = std::move(keys_);
-            keys_.assign(old.size() * 2, 0);
-            mask_ = keys_.size() - 1;
-            for (uint64_t key : old) {
-                if (key == 0)
-                    continue;
-                std::size_t i = hashOf(key) & mask_;
-                while (keys_[i] != 0)
-                    i = (i + 1) & mask_;
-                keys_[i] = key;
-            }
-        }
-
-        std::vector<uint64_t> keys_;
-        std::size_t mask_;
-        std::size_t size_ = 0;
-    };
 
     uint32_t lastPrefetched_ = kInvalidTreelet;
     /** Earliest cycle the next prefetch may issue (cooldown). */

@@ -705,4 +705,168 @@ TreeletQueueRtUnit::debugStatus() const
     return os.str();
 }
 
+// ---- snapshot hooks ----------------------------------------------------
+
+namespace
+{
+
+constexpr uint32_t kMaxSlotKind = 3; // SlotKind::Grouped
+
+} // namespace
+
+void
+TreeletQueueRtUnit::saveState(Serializer &s) const
+{
+    if (!preloadFixups_.empty())
+        throw SnapshotError(
+            "snapshot: unresolved preload fixups (capture outside the "
+            "serial commit boundary)");
+
+    RtUnitBase::saveState(s);
+    s.beginChunk("VTQU");
+
+    auto save_parked = [&](const Parked &p) {
+        if (p.dataReadyAt == kPendingReady)
+            throw SnapshotError(
+                "snapshot: parked ray with unresolved preload ready");
+        p.trav.saveState(s);
+        s.u64(p.warpToken);
+        s.u32(p.ctaToken);
+        s.u32(p.rayId);
+        s.u8(p.lane);
+        s.u64(p.dataReadyAt);
+    };
+
+    s.u64(slots_.size());
+    for (const Slot &slot : slots_) {
+        s.u8(uint8_t(slot.kind));
+        s.u32(slot.treelet);
+        s.b(slot.draining);
+        s.b(slot.policyPending);
+        s.u64(slot.entries.size());
+        for (const RayEntry &e : slot.entries)
+            saveRayEntry(s, e);
+        s.u32(slot.active);
+    }
+
+    s.u64(pendingFresh_.size());
+    for (const std::vector<Parked> &warp : pendingFresh_) {
+        s.u64(warp.size());
+        for (const Parked &p : warp)
+            save_parked(p);
+    }
+
+    // std::map iterates key-sorted: deterministic on its own.
+    s.u64(queues_.size());
+    for (const auto &[treelet, q] : queues_) {
+        s.u32(treelet);
+        s.u64(q.size());
+        for (const Parked &p : q)
+            save_parked(p);
+    }
+    s.u64(queuedRays_);
+
+    // unordered_map iteration order is layout-dependent; persist
+    // token-sorted so identical states produce identical bytes.
+    std::vector<uint64_t> tokens;
+    tokens.reserve(warps_.size());
+    for (const auto &[token, bk] : warps_)
+        tokens.push_back(token);
+    std::sort(tokens.begin(), tokens.end());
+    s.u64(tokens.size());
+    for (uint64_t token : tokens) {
+        const WarpBk &bk = warps_.at(token);
+        s.u64(token);
+        s.u32(bk.outstanding);
+        saveLaneHits(s, bk.hits);
+    }
+
+    s.u32(raysInFlight_);
+    s.vecPod(freeRayIds_);
+    s.u32(nextRayId_);
+    s.u32(loadedTreelet_);
+    s.u32(preloadedTreelet_);
+    s.u32(overThresholdNow_);
+    s.u32(tableEntriesNow_);
+    s.endChunk();
+}
+
+void
+TreeletQueueRtUnit::loadState(Deserializer &d)
+{
+    RtUnitBase::loadState(d);
+    d.beginChunk("VTQU");
+
+    auto load_parked = [&]() {
+        Parked p;
+        p.trav.loadState(d, &bvh_);
+        p.warpToken = d.u64();
+        p.ctaToken = d.u32();
+        p.rayId = d.u32();
+        p.lane = d.u8();
+        p.dataReadyAt = d.u64();
+        return p;
+    };
+
+    if (d.u64() != slots_.size())
+        throw SnapshotError("snapshot: VTQ slot count mismatch");
+    for (Slot &slot : slots_) {
+        uint8_t kind = d.u8();
+        if (kind > kMaxSlotKind)
+            throw SnapshotError("snapshot: VTQ slot kind out of range");
+        slot.kind = SlotKind(kind);
+        slot.treelet = d.u32();
+        slot.draining = d.b();
+        slot.policyPending = d.b();
+        uint64_t n = d.u64();
+        slot.entries.assign(size_t(n), RayEntry{});
+        for (RayEntry &e : slot.entries)
+            loadRayEntry(d, e);
+        slot.active = d.u32();
+    }
+
+    pendingFresh_.clear();
+    uint64_t n_fresh = d.u64();
+    for (uint64_t i = 0; i < n_fresh; i++) {
+        std::vector<Parked> warp;
+        uint64_t n = d.u64();
+        warp.reserve(size_t(n));
+        for (uint64_t j = 0; j < n; j++)
+            warp.push_back(load_parked());
+        pendingFresh_.push_back(std::move(warp));
+    }
+
+    queues_.clear();
+    uint64_t n_queues = d.u64();
+    for (uint64_t i = 0; i < n_queues; i++) {
+        uint32_t treelet = d.u32();
+        std::deque<Parked> q;
+        uint64_t n = d.u64();
+        for (uint64_t j = 0; j < n; j++)
+            q.push_back(load_parked());
+        queues_.emplace(treelet, std::move(q));
+    }
+    queuedRays_ = d.u64();
+
+    warps_.clear();
+    uint64_t n_warps = d.u64();
+    for (uint64_t i = 0; i < n_warps; i++) {
+        uint64_t token = d.u64();
+        WarpBk bk;
+        bk.outstanding = d.u32();
+        bk.hits = loadLaneHits(d);
+        warps_.emplace(token, std::move(bk));
+    }
+
+    raysInFlight_ = d.u32();
+    freeRayIds_ = d.vecPod<uint32_t>();
+    nextRayId_ = d.u32();
+    loadedTreelet_ = d.u32();
+    preloadedTreelet_ = d.u32();
+    overThresholdNow_ = d.u32();
+    tableEntriesNow_ = d.u32();
+    preloadFixups_.clear();
+    d.endChunk();
+}
+
 } // namespace trt

@@ -55,6 +55,9 @@ class TreeletQueueRtUnit : public RtUnitBase
     /** Rays currently owned by this unit (active + parked). */
     uint32_t raysInFlight() const { return raysInFlight_; }
 
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
+
   private:
     /** What a warp slot is currently running. */
     enum class SlotKind : uint8_t

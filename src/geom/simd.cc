@@ -1,7 +1,10 @@
 #include "geom/simd.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/env.hh"
 
 namespace trt
 {
@@ -12,10 +15,14 @@ namespace
 bool
 initSimdRuntime()
 {
-    const char *v = std::getenv("TRT_SIMD");
-    if (v && std::strcmp(v, "0") == 0)
-        return false;
-    return true;
+    // Runs during static initialization: report malformed values
+    // ourselves instead of letting the exception reach terminate().
+    try {
+        return envFlag("TRT_SIMD", true);
+    } catch (const EnvError &e) {
+        std::fprintf(stderr, "fatal: %s\n", e.what());
+        std::exit(2);
+    }
 }
 
 } // anonymous namespace

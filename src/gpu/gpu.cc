@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/env.hh"
+
 namespace trt
 {
 
@@ -24,12 +26,8 @@ resolveSimThreads(uint32_t cfg_threads)
 {
     if (cfg_threads > 0)
         return cfg_threads;
-    if (const char *env = std::getenv("TRT_SIM_THREADS")) {
-        int v = std::atoi(env);
-        if (v > 0)
-            return uint32_t(v);
-    }
-    return 1;
+    uint64_t v = envUInt("TRT_SIM_THREADS", 1, 4096);
+    return v > 0 ? uint32_t(v) : 1;
 }
 
 } // anonymous namespace
@@ -516,6 +514,294 @@ Gpu::servicePass(uint64_t now)
     tryLaunch(now);
 }
 
+// ---- checkpoint / restore (DESIGN.md §7) ----------------------------
+
+void
+Gpu::setSnapshotPolicy(const SnapshotPolicy &policy)
+{
+    if (ran_)
+        throw std::logic_error(
+            "Gpu::setSnapshotPolicy must be called before run()");
+    snapPolicy_ = policy;
+}
+
+void
+Gpu::saveState(Serializer &s) const
+{
+    s.beginChunk("GPU0");
+    s.u64(cfg_.fingerprint());
+    s.u64(lastNow_);
+
+    // Mid-run RunStats subset; the rest (cycles, rt, mem, miss-rate
+    // series) is derived after the main loop and never live mid-run.
+    s.vecPod(run_.framebuffer);
+    s.u64(run_.aluLaneInstrs);
+    s.u64(run_.raysTraced);
+    s.u64(run_.ctasLaunched);
+    s.u64(run_.ctaSaves);
+    s.u64(run_.ctaRestores);
+    s.u64(run_.ctaStateBytes);
+    s.vecPod(run_.primaryHits);
+
+    s.u64(ctas_.size());
+    for (const CtaExec &c : ctas_) {
+        s.u32(c.token);
+        s.u32(c.smId);
+        s.u8(uint8_t(c.state));
+        s.u32(c.firstPixel);
+        s.u32(c.threadCount);
+        s.u64(c.warps.size());
+        for (const WarpExec &w : c.warps) {
+            s.u32(w.index);
+            s.u8(uint8_t(w.phase));
+            s.u64(w.token);
+            s.u32(w.aliveLanes);
+            s.u64(w.pendingHits.size());
+            for (const LaneHit &lh : w.pendingHits) {
+                s.u8(lh.lane);
+                s.pod(lh.hit);
+            }
+            s.u64(w.lanes.size());
+            for (const LaneCtx &lane : w.lanes) {
+                // PathState field by field: the struct has padding.
+                s.u32(lane.path.pixel);
+                s.pod(lane.path.throughput);
+                s.pod(lane.path.radiance);
+                s.u8(lane.path.bounce);
+                s.b(lane.path.alive);
+                s.pod(lane.path.ray);
+                s.pod(lane.hit);
+                s.b(lane.traced);
+            }
+        }
+    }
+
+    for (const SmState &sm : sms_) {
+        s.u32(sm.ctasResident);
+        s.u32(sm.warpsUsed);
+        s.u32(sm.regsUsed);
+        s.u64(sm.aluBusyUntil);
+        s.u64(sm.acceptQueue.size());
+        for (const auto &[cta, warp] : sm.acceptQueue) {
+            s.u32(cta);
+            s.u32(warp);
+        }
+        s.u64(sm.resumeQueue.size());
+        for (uint32_t cta : sm.resumeQueue)
+            s.u32(cta);
+    }
+
+    s.u64(pendingCtas_.size());
+    for (uint32_t c : pendingCtas_)
+        s.u32(c);
+    s.u32(ctasFinished_);
+    s.b(launchBlocked_);
+    s.u32(resumeQueued_);
+
+    // Host events: drain a copy in pop order; re-pushing on load
+    // rebuilds an equivalent priority queue (ordering is a total
+    // function of (cycle, seq), both preserved).
+    auto events = events_;
+    s.u64(events.size());
+    while (!events.empty()) {
+        const Event &e = events.top();
+        s.u64(e.cycle);
+        s.u64(e.seq);
+        s.u8(uint8_t(e.type));
+        s.u32(e.cta);
+        s.u32(e.warp);
+        events.pop();
+    }
+    s.u64(eventSeq_);
+
+    // Token map sorted by token: unordered_map iteration order is
+    // layout-dependent and must not leak into the file.
+    std::vector<std::pair<uint64_t, std::pair<uint32_t, uint32_t>>> toks(
+        tokenMap_.begin(), tokenMap_.end());
+    std::sort(toks.begin(), toks.end());
+    s.u64(toks.size());
+    for (const auto &[tok, cw] : toks) {
+        s.u64(tok);
+        s.u32(cw.first);
+        s.u32(cw.second);
+    }
+    s.u64(nextToken_);
+
+    s.vecPod(rtNextEvent_);
+    s.endChunk();
+
+    mem_.saveState(s);
+    for (const auto &unit : rtUnits_)
+        unit->saveState(s);
+}
+
+void
+Gpu::loadState(Deserializer &d)
+{
+    d.beginChunk("GPU0");
+    if (d.u64() != cfg_.fingerprint())
+        throw SnapshotError(
+            "snapshot: GpuConfig fingerprint mismatch (snapshot was "
+            "taken under a different simulation configuration)");
+    lastNow_ = d.u64();
+
+    auto fb = d.vecPod<Vec3>();
+    if (fb.size() != run_.framebuffer.size())
+        throw SnapshotError("snapshot: framebuffer size mismatch");
+    run_.framebuffer = std::move(fb);
+    run_.aluLaneInstrs = d.u64();
+    run_.raysTraced = d.u64();
+    run_.ctasLaunched = d.u64();
+    run_.ctaSaves = d.u64();
+    run_.ctaRestores = d.u64();
+    run_.ctaStateBytes = d.u64();
+    auto hits = d.vecPod<HitRecord>();
+    if (hits.size() != run_.primaryHits.size())
+        throw SnapshotError("snapshot: primaryHits size mismatch");
+    run_.primaryHits = std::move(hits);
+
+    if (d.u64() != ctas_.size())
+        throw SnapshotError("snapshot: CTA count mismatch");
+    for (CtaExec &c : ctas_) {
+        c.token = d.u32();
+        c.smId = d.u32();
+        uint8_t state = d.u8();
+        if (state > uint8_t(CtaState::Finished))
+            throw SnapshotError("snapshot: CTA state out of range");
+        c.state = CtaState(state);
+        c.firstPixel = d.u32();
+        c.threadCount = d.u32();
+        if (d.u64() != c.warps.size())
+            throw SnapshotError("snapshot: warp count mismatch");
+        for (WarpExec &w : c.warps) {
+            w.index = d.u32();
+            uint8_t phase = d.u8();
+            if (phase > uint8_t(WarpPhase::Finished))
+                throw SnapshotError("snapshot: warp phase out of range");
+            w.phase = WarpPhase(phase);
+            w.token = d.u64();
+            w.aliveLanes = d.u32();
+            w.pendingHits.clear();
+            uint64_t nhits = d.u64();
+            w.pendingHits.reserve(nhits);
+            for (uint64_t i = 0; i < nhits; i++) {
+                LaneHit lh;
+                lh.lane = d.u8();
+                lh.hit = d.pod<HitRecord>();
+                if (lh.lane >= w.lanes.size())
+                    throw SnapshotError(
+                        "snapshot: pending-hit lane out of range");
+                w.pendingHits.push_back(lh);
+            }
+            if (d.u64() != w.lanes.size())
+                throw SnapshotError("snapshot: lane count mismatch");
+            for (LaneCtx &lane : w.lanes) {
+                lane.path.pixel = d.u32();
+                lane.path.throughput = d.pod<Vec3>();
+                lane.path.radiance = d.pod<Vec3>();
+                lane.path.bounce = d.u8();
+                lane.path.alive = d.b();
+                lane.path.ray = d.pod<Ray>();
+                lane.hit = d.pod<HitRecord>();
+                lane.traced = d.b();
+            }
+        }
+    }
+
+    for (SmState &sm : sms_) {
+        sm.ctasResident = d.u32();
+        sm.warpsUsed = d.u32();
+        sm.regsUsed = d.u32();
+        sm.aluBusyUntil = d.u64();
+        sm.acceptQueue.clear();
+        uint64_t naccept = d.u64();
+        for (uint64_t i = 0; i < naccept; i++) {
+            uint32_t cta = d.u32();
+            uint32_t warp = d.u32();
+            sm.acceptQueue.push_back({cta, warp});
+        }
+        sm.resumeQueue.clear();
+        uint64_t nresume = d.u64();
+        for (uint64_t i = 0; i < nresume; i++)
+            sm.resumeQueue.push_back(d.u32());
+    }
+
+    pendingCtas_.clear();
+    uint64_t npending = d.u64();
+    for (uint64_t i = 0; i < npending; i++)
+        pendingCtas_.push_back(d.u32());
+    ctasFinished_ = d.u32();
+    launchBlocked_ = d.b();
+    resumeQueued_ = d.u32();
+
+    events_ = {};
+    uint64_t nevents = d.u64();
+    for (uint64_t i = 0; i < nevents; i++) {
+        Event e;
+        e.cycle = d.u64();
+        e.seq = d.u64();
+        uint8_t type = d.u8();
+        if (type > uint8_t(Event::CtaRestored))
+            throw SnapshotError("snapshot: event type out of range");
+        e.type = Event::Type(type);
+        e.cta = d.u32();
+        e.warp = d.u32();
+        events_.push(e);
+    }
+    eventSeq_ = d.u64();
+
+    tokenMap_.clear();
+    uint64_t ntoks = d.u64();
+    for (uint64_t i = 0; i < ntoks; i++) {
+        uint64_t tok = d.u64();
+        uint32_t cta = d.u32();
+        uint32_t warp = d.u32();
+        tokenMap_[tok] = {cta, warp};
+    }
+    nextToken_ = d.u64();
+
+    auto next = d.vecPod<uint64_t>();
+    if (next.size() != rtNextEvent_.size())
+        throw SnapshotError("snapshot: SM count mismatch");
+    rtNextEvent_ = std::move(next);
+    d.endChunk();
+
+    mem_.loadState(d);
+    for (const auto &unit : rtUnits_)
+        unit->loadState(d);
+
+    // Transients are empty at the serial commit boundary by
+    // construction; reset them in case a failed earlier load ran.
+    inTickPhase_ = false;
+    for (auto &v : pendingDone_)
+        v.clear();
+    tickList_.clear();
+
+    ran_ = false;
+    restored_ = true;
+}
+
+void
+Gpu::maybeSnapshot(uint64_t now)
+{
+    bool halt =
+        snapPolicy_.haltAtCycle != 0 && now >= snapPolicy_.haltAtCycle;
+    bool periodic =
+        snapPolicy_.everyCycles != 0 && now >= nextSnapshotAt_;
+    if (!halt && !periodic)
+        return;
+    if (snapPolicy_.everyCycles != 0)
+        nextSnapshotAt_ = (now / snapPolicy_.everyCycles + 1) *
+                          snapPolicy_.everyCycles;
+
+    Serializer s;
+    saveState(s);
+    std::filesystem::path path = writeSnapshotFile(
+        snapPolicy_.dir, snapPolicy_.worldFp, now, s.bytes());
+    if (halt)
+        throw SimulationHalted(now, path.string());
+}
+
 RunStats
 Gpu::run()
 {
@@ -523,8 +809,14 @@ Gpu::run()
         throw std::logic_error("Gpu::run() may only be called once");
     ran_ = true;
 
-    uint64_t now = 0;
-    servicePass(now);
+    // A restored run continues from the captured boundary: the saved
+    // state already reflects the servicePass that closed that cycle.
+    uint64_t now = lastNow_;
+    if (!restored_)
+        servicePass(now);
+    if (snapPolicy_.everyCycles != 0)
+        nextSnapshotAt_ = (lastNow_ / snapPolicy_.everyCycles + 1) *
+                          snapPolicy_.everyCycles;
 
     uint64_t same_cycle_iters = 0;
     uint64_t last_now = ~0ull;
@@ -608,6 +900,11 @@ Gpu::run()
                 refreshRtEvent(s);
         }
         servicePass(now);
+
+        // Serial commit boundary: every transient is quiescent here,
+        // the only legal capture point (DESIGN.md §7).
+        if (snapPolicy_.captureEnabled())
+            maybeSnapshot(now);
     }
 
     // Final tick so trailing intervals are accounted.

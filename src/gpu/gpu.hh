@@ -28,6 +28,7 @@
 #include "gpu/sim_pool.hh"
 #include "memsys/memsys.hh"
 #include "scene/scene.hh"
+#include "snapshot/snapshot.hh"
 
 namespace trt
 {
@@ -94,6 +95,30 @@ class Gpu
     RunStats run();
 
     MemorySystem &memorySystem() { return mem_; }
+
+    // ---- checkpoint / restore (DESIGN.md §7) ------------------------
+    /** Arm the snapshot scheduler; must be called before run(). A
+     *  default-constructed policy (the default) disables capture. */
+    void setSnapshotPolicy(const SnapshotPolicy &policy);
+
+    /**
+     * Serialize the complete mid-run simulator state. Only legal at
+     * the serial commit boundary (between run() loop iterations);
+     * run() calls this from its snapshot scheduler, tests may call it
+     * on a never-run or freshly restored Gpu.
+     */
+    void saveState(Serializer &s) const;
+
+    /**
+     * Restore state captured by saveState into this Gpu, which must
+     * have been constructed with the same config/scene/BVH (checked
+     * via GpuConfig::fingerprint). After loadState, run() resumes
+     * from the captured cycle and produces bit-identical RunStats.
+     */
+    void loadState(Deserializer &d);
+
+    /** Cycle the restored state was captured at (0 if not restored). */
+    uint64_t restoredCycle() const { return restored_ ? lastNow_ : 0; }
 
   private:
     // ---- shader-side structures -------------------------------------
@@ -193,6 +218,11 @@ class Gpu
      *  deadlock/livelock diagnostics. */
     std::string simStateDump(uint64_t now) const;
 
+    /** Snapshot scheduler, called at the serial commit boundary (end
+     *  of each run() loop iteration). Writes a snapshot file when due;
+     *  throws SimulationHalted when haltAtCycle fires. */
+    void maybeSnapshot(uint64_t now);
+
     GpuConfig cfg_;
     const Scene &scene_;
     const Bvh &bvh_;
@@ -225,6 +255,12 @@ class Gpu
     RunStats run_;
     bool ran_ = false;
     uint64_t lastNow_ = 0;
+
+    SnapshotPolicy snapPolicy_;
+    uint64_t nextSnapshotAt_ = 0;
+    /** loadState succeeded: run() continues from lastNow_ instead of
+     *  starting a fresh frame. */
+    bool restored_ = false;
 
     // ---- SM-parallel tick machinery ---------------------------------
     /** Worker pool for SM tick fan-out (absent when simThreads <= 1). */

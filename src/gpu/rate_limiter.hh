@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "snapshot/serializer.hh"
+
 namespace trt
 {
 
@@ -41,6 +43,21 @@ class RateLimiter
         if (cycle_ < now)
             return now;
         return used_ < width_ ? cycle_ : cycle_ + 1;
+    }
+
+    /** Snapshot hooks; width_ is ctor configuration, not state. */
+    void
+    saveState(Serializer &s) const
+    {
+        s.u64(cycle_);
+        s.u32(used_);
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        cycle_ = d.u64();
+        used_ = d.u32();
     }
 
   private:

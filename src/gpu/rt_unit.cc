@@ -341,4 +341,234 @@ BaselineRtUnit::debugStatus() const
     return os.str();
 }
 
+// ---- snapshot hooks ----------------------------------------------------
+
+void
+RtStats::saveState(Serializer &s) const
+{
+    s.beginChunk("RTST");
+    s.u64(activeLaneCycles);
+    s.u64(slotLaneCycles);
+    for (uint64_t v : modeCycles)
+        s.u64(v);
+    for (uint64_t v : isectTests)
+        s.u64(v);
+    s.u64(nodeVisits);
+    s.u64(leafVisits);
+    s.u64(raysCompleted);
+    s.u64(boundaryCrossings);
+    s.u64(raysEnqueued);
+    s.u64(treeletWarpsFormed);
+    s.u64(groupedWarpsFormed);
+    s.u64(repackEvents);
+    s.u64(repackedRays);
+    s.u32(countTableHighWater);
+    s.u32(countTableOverThresholdHW);
+    s.u32(queueTableEntriesHW);
+    s.u64(maxConcurrentRays);
+    s.u64(prefetchLines);
+    s.u64(prefetchUsedLines);
+    s.u64(prefetchIssues);
+    s.endChunk();
+}
+
+void
+RtStats::loadState(Deserializer &d)
+{
+    d.beginChunk("RTST");
+    activeLaneCycles = d.u64();
+    slotLaneCycles = d.u64();
+    for (uint64_t &v : modeCycles)
+        v = d.u64();
+    for (uint64_t &v : isectTests)
+        v = d.u64();
+    nodeVisits = d.u64();
+    leafVisits = d.u64();
+    raysCompleted = d.u64();
+    boundaryCrossings = d.u64();
+    raysEnqueued = d.u64();
+    treeletWarpsFormed = d.u64();
+    groupedWarpsFormed = d.u64();
+    repackEvents = d.u64();
+    repackedRays = d.u64();
+    countTableHighWater = d.u32();
+    countTableOverThresholdHW = d.u32();
+    queueTableEntriesHW = d.u32();
+    maxConcurrentRays = d.u64();
+    prefetchLines = d.u64();
+    prefetchUsedLines = d.u64();
+    prefetchIssues = d.u64();
+    d.endChunk();
+}
+
+void
+RtUnitBase::saveRayEntry(Serializer &s, const RayEntry &e) const
+{
+    if (e.valid && e.ready == kPendingReady)
+        throw SnapshotError(
+            "snapshot: ray entry with unresolved deferred ready "
+            "(capture outside the serial commit boundary)");
+    s.b(e.valid);
+    s.u8(e.lane);
+    s.u64(e.warpToken);
+    s.u32(e.ctaToken);
+    s.u32(e.rayId);
+    e.trav.saveState(s);
+    s.u8(uint8_t(e.stage));
+    s.u64(e.ready);
+    s.b(e.fetchIsLeaf);
+}
+
+void
+RtUnitBase::loadRayEntry(Deserializer &d, RayEntry &e)
+{
+    e.valid = d.b();
+    e.lane = d.u8();
+    e.warpToken = d.u64();
+    e.ctaToken = d.u32();
+    e.rayId = d.u32();
+    e.trav.loadState(d, &bvh_);
+    uint8_t stage = d.u8();
+    if (stage > uint8_t(Stage::Done))
+        throw SnapshotError("snapshot: ray stage out of range");
+    e.stage = Stage(stage);
+    e.ready = d.u64();
+    e.fetchIsLeaf = d.b();
+}
+
+void
+RtUnitBase::saveState(Serializer &s) const
+{
+    s.beginChunk("RTUB");
+    stats_.saveState(s);
+    s.u64(lastAccounted_);
+    memIssue_.saveState(s);
+    isect_.saveState(s);
+    // Fold any resolved deferred readies into the heap, then persist
+    // it sorted — a sorted array is a valid min-heap and the pop order
+    // of a heap of plain cycles depends only on the multiset anyway.
+    (void)cachedNextEvent();
+    std::vector<uint64_t> events = eventHeap_;
+    std::sort(events.begin(), events.end());
+    s.vecPod(events);
+    s.endChunk();
+}
+
+void
+RtUnitBase::loadState(Deserializer &d)
+{
+    d.beginChunk("RTUB");
+    stats_.loadState(d);
+    lastAccounted_ = d.u64();
+    memIssue_.loadState(d);
+    isect_.loadState(d);
+    pendingEventReadies_.clear();
+    eventHeap_ = d.vecPod<uint64_t>(); // sorted == valid min-heap
+    d.endChunk();
+}
+
+namespace
+{
+
+void
+saveTraceRequest(Serializer &s, const TraceRequest &req)
+{
+    s.u64(req.token);
+    s.u32(req.ctaToken);
+    s.u64(req.lanes.size());
+    for (const LaneRay &lr : req.lanes) {
+        s.u8(lr.lane);
+        s.pod(lr.ray);
+    }
+}
+
+TraceRequest
+loadTraceRequest(Deserializer &d)
+{
+    TraceRequest req;
+    req.token = d.u64();
+    req.ctaToken = d.u32();
+    uint64_t n = d.u64();
+    req.lanes.reserve(size_t(n));
+    for (uint64_t i = 0; i < n; i++) {
+        LaneRay lr;
+        lr.lane = d.u8();
+        lr.ray = d.pod<Ray>();
+        req.lanes.push_back(lr);
+    }
+    return req;
+}
+
+} // namespace
+
+void
+RtUnitBase::saveLaneHits(Serializer &s, const std::vector<LaneHit> &hits)
+{
+    s.u64(hits.size());
+    for (const LaneHit &h : hits) {
+        s.u8(h.lane);
+        s.pod(h.hit);
+    }
+}
+
+std::vector<LaneHit>
+RtUnitBase::loadLaneHits(Deserializer &d)
+{
+    uint64_t n = d.u64();
+    std::vector<LaneHit> hits;
+    hits.reserve(size_t(n));
+    for (uint64_t i = 0; i < n; i++) {
+        LaneHit h;
+        h.lane = d.u8();
+        h.hit = d.pod<HitRecord>();
+        hits.push_back(h);
+    }
+    return hits;
+}
+
+void
+BaselineRtUnit::saveState(Serializer &s) const
+{
+    RtUnitBase::saveState(s);
+    s.beginChunk("BASE");
+    s.u64(slots_.size());
+    for (const WarpSlot &slot : slots_) {
+        s.b(slot.active);
+        s.u64(slot.token);
+        s.u64(slot.rays.size());
+        for (const RayEntry &e : slot.rays)
+            saveRayEntry(s, e);
+        saveLaneHits(s, slot.hits);
+        s.u32(slot.remaining);
+    }
+    s.u64(pending_.size());
+    for (const TraceRequest &req : pending_)
+        saveTraceRequest(s, req);
+    s.endChunk();
+}
+
+void
+BaselineRtUnit::loadState(Deserializer &d)
+{
+    RtUnitBase::loadState(d);
+    d.beginChunk("BASE");
+    if (d.u64() != slots_.size())
+        throw SnapshotError("snapshot: warp slot count mismatch");
+    for (WarpSlot &slot : slots_) {
+        slot.active = d.b();
+        slot.token = d.u64();
+        uint64_t n = d.u64();
+        slot.rays.assign(size_t(n), RayEntry{});
+        for (RayEntry &e : slot.rays)
+            loadRayEntry(d, e);
+        slot.hits = loadLaneHits(d);
+        slot.remaining = d.u32();
+    }
+    pending_.clear();
+    uint64_t n = d.u64();
+    for (uint64_t i = 0; i < n; i++)
+        pending_.push_back(loadTraceRequest(d));
+    d.endChunk();
+}
+
 } // namespace trt

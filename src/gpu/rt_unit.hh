@@ -117,6 +117,10 @@ struct RtStats
     }
 
     void accumulate(const RtStats &o);
+
+    /** Snapshot hooks (field-by-field; the struct has padding). */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
 };
 
 /**
@@ -171,6 +175,16 @@ class RtUnitBase
 
     const RtStats &stats() const { return stats_; }
     uint32_t smId() const { return smId_; }
+
+    /**
+     * Snapshot hooks (DESIGN.md §7). Only callable at the serial
+     * commit boundary of Gpu::run, where every deferred memory ticket
+     * has been resolved — a still-pending ready sentinel in any ray
+     * entry is a SnapshotError. Subclass overrides call the base
+     * first, then append their own chunk.
+     */
+    virtual void saveState(Serializer &s) const;
+    virtual void loadState(Deserializer &d);
 
   protected:
     /** Per-ray execution stage within the RT unit pipeline. */
@@ -260,6 +274,15 @@ class RtUnitBase
         return eventHeap_.empty() ? kNoEvent : eventHeap_.front();
     }
 
+    /** Serialize one warp-buffer ray entry (traverser included). */
+    void saveRayEntry(Serializer &s, const RayEntry &e) const;
+    /** Restore one ray entry, re-binding its traverser to bvh_. */
+    void loadRayEntry(Deserializer &d, RayEntry &e);
+
+    static void saveLaneHits(Serializer &s,
+                             const std::vector<LaneHit> &hits);
+    static std::vector<LaneHit> loadLaneHits(Deserializer &d);
+
     /** Hook: called for each demand-fetched BVH line (the treelet
      *  prefetcher tracks prefetch usefulness with this). */
     virtual void onDemandLine(uint64_t line_addr) { (void)line_addr; }
@@ -327,6 +350,9 @@ class BaselineRtUnit : public RtUnitBase
     void tick(uint64_t now) override;
     bool idle() const override;
     std::string debugStatus() const override;
+
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
 
   protected:
     struct WarpSlot

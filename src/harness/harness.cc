@@ -14,6 +14,7 @@
 
 #include "bvh/io.hh"
 #include "harness/run_cache.hh"
+#include "util/env.hh"
 
 namespace trt
 {
@@ -23,26 +24,6 @@ namespace
 
 /** Bump when scene generators, BVH build or formats change. */
 constexpr uint32_t kBundleCacheVersion = 1;
-
-const char *
-envStr(const char *name)
-{
-    return std::getenv(name);
-}
-
-double
-envDouble(const char *name, double fallback)
-{
-    const char *v = envStr(name);
-    return v ? std::atof(v) : fallback;
-}
-
-bool
-envFlag(const char *name)
-{
-    const char *v = envStr(name);
-    return v && *v != '\0' && std::string(v) != "0";
-}
 
 template <typename T>
 void
@@ -155,10 +136,7 @@ saveBundleFile(const std::filesystem::path &path, const SceneBundle &b)
 std::string
 cacheRootDir()
 {
-    const char *v = envStr("TRT_CACHE");
-    if (!v)
-        return ".trt_cache";
-    std::string s = v;
+    std::string s = envString("TRT_CACHE", ".trt_cache");
     return s == "0" || s.empty() ? std::string() : s;
 }
 
@@ -166,18 +144,18 @@ HarnessOptions
 HarnessOptions::fromEnv()
 {
     HarnessOptions opt;
-    if (envStr("TRT_FAST") && std::atoi(envStr("TRT_FAST")) != 0) {
+    if (envFlag("TRT_FAST", false)) {
         opt.resolution = 64;
         opt.sceneScale = 0.15f;
     }
-    opt.resolution = uint32_t(envDouble("TRT_RES", opt.resolution));
+    opt.resolution = uint32_t(envUInt("TRT_RES", opt.resolution, 1 << 16));
     opt.sceneScale = float(envDouble("TRT_SCALE", opt.sceneScale));
-    opt.threads = uint32_t(envDouble("TRT_THREADS", 0));
-    opt.simThreads = uint32_t(envDouble("TRT_SIM_THREADS", 0));
-    if (const char *r = envStr("TRT_RESULTS"))
+    opt.threads = uint32_t(envUInt("TRT_THREADS", 0, 4096));
+    opt.simThreads = uint32_t(envUInt("TRT_SIM_THREADS", 0, 4096));
+    if (const char *r = envRaw("TRT_RESULTS"))
         opt.resultsDir = r;
 
-    if (const char *s = envStr("TRT_SCENES")) {
+    if (const char *s = envRaw("TRT_SCENES")) {
         std::stringstream ss(s);
         std::string item;
         while (std::getline(ss, item, ','))
@@ -186,6 +164,28 @@ HarnessOptions::fromEnv()
     }
     if (opt.scenes.empty())
         opt.scenes = sceneNames();
+    opt.resume = envFlag("TRT_RESUME", false);
+    return opt;
+}
+
+HarnessOptions
+HarnessOptions::fromArgs(int argc, char **argv)
+{
+    HarnessOptions opt = fromEnv();
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--resume") {
+            opt.resume = true;
+        } else {
+            std::fprintf(stderr,
+                         "%s: unknown argument '%s'\n"
+                         "usage: %s [--resume]\n"
+                         "(all other options come from TRT_* environment "
+                         "variables, see harness.hh)\n",
+                         argv[0], arg.c_str(), argv[0]);
+            std::exit(2);
+        }
+    }
     return opt;
 }
 
@@ -296,12 +296,22 @@ runScene(const std::string &name, const GpuConfig &cfg,
     GpuConfig run_cfg = cfg;
     if (run_cfg.simThreads == 0)
         run_cfg.simThreads = opt.effectiveSimThreads();
-    st = simulate(run_cfg, b.scene, b.bvh);
+    SnapshotPolicy snap = SnapshotPolicy::fromEnv(fp);
+    if (snap.captureEnabled() || opt.resume) {
+        st = simulateWithSnapshots(run_cfg, b.scene, b.bvh, snap,
+                                   opt.resume);
+        // The run completed: its snapshots are spent (resuming them
+        // would replay work already banked in the run cache).
+        if (!snap.keep)
+            removeSnapshotsFor(snap.dir, fp);
+    } else {
+        st = simulate(run_cfg, b.scene, b.bvh);
+    }
     uint64_t ms = msSince(t0);
     harnessTiming().simulateMs += ms;
     harnessTiming().simulatedCycles += st.cycles;
     harnessTiming().simulatedRays += st.raysTraced;
-    if (envFlag("TRT_SIM_RATE")) {
+    if (envFlag("TRT_SIM_RATE", false)) {
         // Machine-parseable per-scene rate line (key=value pairs).
         double s = double(std::max<uint64_t>(ms, 1)) / 1000.0;
         std::fprintf(stderr,

@@ -28,6 +28,16 @@
  *                      divides the TRT_THREADS budget across the
  *                      scenes running in parallel (see
  *                      HarnessOptions::effectiveSimThreads).
+ *   TRT_SNAPSHOT_EVERY periodic checkpoint interval in simulated
+ *                      cycles (0/unset disables; DESIGN.md §7).
+ *   TRT_SNAPSHOT_DIR   snapshot directory, default ".trt_snapshots".
+ *   TRT_SNAPSHOT_HALT_AT  write a snapshot at the first cycle boundary
+ *                      >= this cycle, then abort the run (raises
+ *                      SimulationHalted; test/CI crash stand-in).
+ *   TRT_SNAPSHOT_KEEP  =1: keep snapshots after a completed run
+ *                      (default: the harness deletes them).
+ *   TRT_RESUME         =1: resume from the newest valid snapshot
+ *                      (same as --resume).
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH
@@ -66,9 +76,16 @@ struct HarnessOptions
      *  from the thread budget, see effectiveSimThreads(). */
     uint32_t simThreads = 0;
     std::string resultsDir = "results";
+    /** Resume interrupted simulations from the newest valid snapshot
+     *  (--resume / TRT_RESUME; see DESIGN.md §7). */
+    bool resume = false;
 
     /** Read TRT_* environment variables. */
     static HarnessOptions fromEnv();
+
+    /** fromEnv() plus command-line flags (--resume). Unknown arguments
+     *  are a hard error; exits with a usage message. */
+    static HarnessOptions fromArgs(int argc, char **argv);
 
     /** Apply resolution to a GpuConfig. */
     GpuConfig apply(GpuConfig cfg) const;

@@ -16,6 +16,7 @@
 #include "geom/hash.hh"
 #include "gpu/run_stats_io.hh"
 #include "harness/harness.hh"
+#include "util/env.hh"
 
 namespace trt
 {
@@ -36,15 +37,14 @@ printSummaryAtExit()
     std::cout << harnessTimingSummary() << "\n";
 }
 
-/** Size cap for the runs directory in bytes; 0 = pruning disabled. */
+/** Size cap for the runs directory in bytes; 0 = pruning disabled.
+ *  Negative or non-numeric values are a hard error (util/env.hh). */
 uint64_t
 runCacheCapBytes()
 {
-    constexpr long kDefaultMb = 512;
-    long mb = kDefaultMb;
-    if (const char *v = std::getenv("TRT_RUN_CACHE_MAX_MB"))
-        mb = std::atol(v);
-    return mb > 0 ? uint64_t(mb) * 1024 * 1024 : 0;
+    uint64_t mb = envUInt("TRT_RUN_CACHE_MAX_MB", 512,
+                          UINT64_MAX / (1024 * 1024));
+    return mb * 1024 * 1024;
 }
 
 /**
@@ -165,10 +165,7 @@ runCacheEnabled()
 {
     if (cacheRootDir().empty())
         return false;
-    const char *v = std::getenv("TRT_RUN_CACHE");
-    if (!v)
-        return true;
-    return std::string(v) != "0" && *v != '\0';
+    return envFlag("TRT_RUN_CACHE", true);
 }
 
 uint64_t

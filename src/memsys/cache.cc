@@ -148,6 +148,58 @@ Cache::faAccess(uint64_t tag, bool install_only)
     return false;
 }
 
+void
+Cache::saveState(Serializer &s) const
+{
+    s.beginChunk("CACH");
+    s.u32(lineBytes_);
+    s.u64(lines_);
+    s.u32(ways_);
+    if (ways_ == 0) {
+        // Recency-ordered tag walk, MRU first.
+        std::vector<uint64_t> tags;
+        tags.reserve(faMap_.size());
+        for (uint32_t i = faHead_; i != ~0u; i = faSlots_[i].next)
+            tags.push_back(faSlots_[i].tag);
+        s.vecPod(tags);
+    } else {
+        s.u64(stampCounter_);
+        s.u64(saResident_);
+        for (const SaWay &w : saWays_) {
+            s.u64(w.tag);
+            s.u64(w.stamp);
+            s.b(w.valid);
+        }
+    }
+    s.endChunk();
+}
+
+void
+Cache::loadState(Deserializer &d)
+{
+    d.beginChunk("CACH");
+    if (d.u32() != lineBytes_ || d.u64() != lines_ || d.u32() != ways_)
+        throw SnapshotError("snapshot: cache geometry mismatch");
+    invalidateAll();
+    if (ways_ == 0) {
+        std::vector<uint64_t> tags = d.vecPod<uint64_t>();
+        if (tags.size() > lines_)
+            throw SnapshotError("snapshot: FA cache overfull");
+        // Install LRU-first so the rebuilt recency chain matches.
+        for (auto it = tags.rbegin(); it != tags.rend(); ++it)
+            faAccess(*it, true);
+    } else {
+        stampCounter_ = d.u64();
+        saResident_ = d.u64();
+        for (SaWay &w : saWays_) {
+            w.tag = d.u64();
+            w.stamp = d.u64();
+            w.valid = d.b();
+        }
+    }
+    d.endChunk();
+}
+
 bool
 Cache::saAccess(uint64_t tag, bool install_only)
 {

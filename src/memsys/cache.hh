@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/serializer.hh"
+
 namespace trt
 {
 
@@ -57,6 +59,17 @@ class Cache
     {
         return ways_ == 0 ? faMap_.size() : saResident_;
     }
+
+    /**
+     * Snapshot hooks (DESIGN.md §7). The FA tag store is captured as
+     * the recency-ordered tag list (MRU first) and rebuilt by
+     * installing LRU-first into an invalidated store: slot indices and
+     * free-list order may differ from the original, but hit/miss and
+     * eviction behavior — the only observable state — are identical.
+     * The SA store round-trips its ways and LRU stamps verbatim.
+     */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
 
   private:
     // --- fully associative implementation: hash map + intrusive LRU ---

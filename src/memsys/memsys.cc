@@ -412,4 +412,73 @@ MemorySystem::enableBvhSeries(uint64_t window_cycles)
     bvhSeries_ = std::make_unique<WindowedSeries>(window_cycles);
 }
 
+void
+MemorySystem::saveState(Serializer &s) const
+{
+    assert(!issuePhase_);
+    s.beginChunk("MSYS");
+    s.u32(uint32_t(l1s_.size()));
+    for (const Cache &c : l1s_)
+        c.saveState(s);
+    l2_.saveState(s);
+    s.b(l2Reserved_ != nullptr);
+    if (l2Reserved_)
+        l2Reserved_->saveState(s);
+    pendingL1_.saveState(s);
+    pendingL2_.saveState(s);
+    s.u64(pendingSweep_);
+    s.u64(dramBusyUntil_);
+    for (const MemClassStats &st : stats_) {
+        s.u64(st.l1Accesses);
+        s.u64(st.l1Misses);
+        s.u64(st.l2Accesses);
+        s.u64(st.l2Misses);
+        s.u64(st.dramAccesses);
+        s.u64(st.dramReadBytes);
+        s.u64(st.dramWriteBytes);
+        s.u64(st.writes);
+    }
+    s.b(bvhSeries_ != nullptr);
+    if (bvhSeries_)
+        bvhSeries_->saveState(s);
+    s.endChunk();
+}
+
+void
+MemorySystem::loadState(Deserializer &d)
+{
+    assert(!issuePhase_);
+    d.beginChunk("MSYS");
+    if (d.u32() != l1s_.size())
+        throw SnapshotError("snapshot: L1 count mismatch");
+    for (Cache &c : l1s_)
+        c.loadState(d);
+    l2_.loadState(d);
+    bool has_reserved = d.b();
+    if (has_reserved != (l2Reserved_ != nullptr))
+        throw SnapshotError("snapshot: reserved-L2 presence mismatch");
+    if (l2Reserved_)
+        l2Reserved_->loadState(d);
+    pendingL1_.loadState(d);
+    pendingL2_.loadState(d);
+    pendingSweep_ = d.u64();
+    dramBusyUntil_ = d.u64();
+    for (MemClassStats &st : stats_) {
+        st.l1Accesses = d.u64();
+        st.l1Misses = d.u64();
+        st.l2Accesses = d.u64();
+        st.l2Misses = d.u64();
+        st.dramAccesses = d.u64();
+        st.dramReadBytes = d.u64();
+        st.dramWriteBytes = d.u64();
+        st.writes = d.u64();
+    }
+    bool has_series = d.b();
+    if (has_series != (bvhSeries_ != nullptr))
+        throw SnapshotError("snapshot: BVH series presence mismatch");
+    if (bvhSeries_)
+        bvhSeries_->loadState(d);
+    d.endChunk();
+}
+
 } // namespace trt

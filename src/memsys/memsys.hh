@@ -28,6 +28,7 @@
 #ifndef TRT_MEMSYS_MEMSYS_HH
 #define TRT_MEMSYS_MEMSYS_HH
 
+#include <algorithm>
 #include <array>
 #include <cassert>
 #include <cstdint>
@@ -241,6 +242,16 @@ class MemorySystem
 
     uint32_t lineBytes() const { return cfg_.lineBytes; }
 
+    /**
+     * Snapshot hooks (DESIGN.md §7). Must be called outside an issue
+     * phase — SmPort tickets are per-phase transients and are not
+     * captured. Covers every cache tag store, the MSHR pending-fill
+     * tables, the DRAM bandwidth clock, per-class counters and the
+     * Fig. 11 windowed series.
+     */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+
   private:
     /**
      * MSHR-style pending-fill table: open-addressed, linear-probed,
@@ -283,6 +294,48 @@ class MemorySystem
                 i = (i + 1) & (slots_.size() - 1);
             }
             return 0;
+        }
+
+        /** Snapshot hooks: the table is captured as key-sorted
+         *  (key, ready) pairs and rebuilt by re-insertion — probe
+         *  layout may differ, the key->ready mapping (the only
+         *  observable state) is identical. */
+        void
+        saveState(Serializer &s) const
+        {
+            std::vector<Slot> live;
+            live.reserve(used_);
+            for (const Slot &sl : slots_)
+                if (sl.key != 0)
+                    live.push_back(sl);
+            std::sort(live.begin(), live.end(),
+                      [](const Slot &a, const Slot &b) {
+                          return a.key < b.key;
+                      });
+            s.beginChunk("PLTB");
+            s.u64(live.size());
+            for (const Slot &sl : live) {
+                s.u64(sl.key);
+                s.u64(sl.ready);
+            }
+            s.endChunk();
+        }
+
+        void
+        loadState(Deserializer &d)
+        {
+            d.beginChunk("PLTB");
+            uint64_t n = d.u64();
+            slots_.assign(kMinCapacity, Slot{});
+            used_ = 0;
+            for (uint64_t i = 0; i < n; i++) {
+                uint64_t key = d.u64();
+                uint64_t ready = d.u64();
+                if (key == 0)
+                    throw SnapshotError("snapshot: null MSHR key");
+                put(key, ready);
+            }
+            d.endChunk();
         }
 
         /** Drop every entry whose ready cycle is <= @p now (rebuild:

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Versioned, chunked, CRC-guarded binary serialization for simulator
+ * snapshots (DESIGN.md §7).
+ *
+ * The format is a flat byte stream of nested chunks. A chunk is a
+ * 4-byte ASCII tag + u64 payload size + payload; sizes are backpatched
+ * by endChunk(). The Deserializer verifies the tag on entry and the
+ * exact end position on exit, so any drift between a component's
+ * saveState and loadState (a field added on one side only) fails
+ * loudly at the owning chunk instead of corrupting everything after
+ * it. All integers are little-endian host order — snapshots are
+ * same-machine artifacts keyed by a config+scene+build fingerprint,
+ * not an interchange format.
+ */
+
+#ifndef TRT_SNAPSHOT_SERIALIZER_HH
+#define TRT_SNAPSHOT_SERIALIZER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace trt
+{
+
+/** Any snapshot capture/restore failure: CRC mismatch, truncation,
+ *  tag/version/fingerprint mismatch, schema drift. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial, as zlib) over @p size bytes. */
+uint32_t crc32(const void *data, size_t size, uint32_t seed = 0);
+
+/** Append-only binary writer with nested size-backpatched chunks. */
+class Serializer
+{
+  public:
+    void
+    u8(uint8_t v)
+    {
+        buf_.push_back(v);
+    }
+
+    void
+    b(bool v)
+    {
+        u8(v ? 1 : 0);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        pod(v);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        pod(v);
+    }
+
+    void
+    f32(float v)
+    {
+        pod(v);
+    }
+
+    /** Raw bytes of any trivially-copyable, padding-free value. */
+    template <typename T>
+    void
+    pod(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto *p = reinterpret_cast<const uint8_t *>(&v);
+        buf_.insert(buf_.end(), p, p + sizeof(T));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    /** Length-prefixed vector of padding-free PODs. */
+    template <typename T>
+    void
+    vecPod(const std::vector<T> &v)
+    {
+        u64(v.size());
+        for (const T &e : v)
+            pod(e);
+    }
+
+    /** Open a chunk; @p tag must be exactly 4 ASCII characters. */
+    void beginChunk(const char *tag);
+    /** Close the innermost chunk, backpatching its size. */
+    void endChunk();
+
+    const std::vector<uint8_t> &
+    bytes() const
+    {
+        return buf_;
+    }
+
+    std::vector<uint8_t>
+    take()
+    {
+        return std::move(buf_);
+    }
+
+  private:
+    std::vector<uint8_t> buf_;
+    std::vector<size_t> chunkStack_; //!< Offsets of open size fields.
+};
+
+/** Bounds- and schema-checked reader for Serializer output. */
+class Deserializer
+{
+  public:
+    Deserializer(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    explicit Deserializer(const std::vector<uint8_t> &buf)
+        : Deserializer(buf.data(), buf.size())
+    {
+    }
+
+    uint8_t
+    u8()
+    {
+        uint8_t v;
+        raw(&v, 1);
+        return v;
+    }
+
+    bool
+    b()
+    {
+        uint8_t v = u8();
+        if (v > 1)
+            throw SnapshotError("snapshot: bool field out of range");
+        return v != 0;
+    }
+
+    uint32_t
+    u32()
+    {
+        return pod<uint32_t>();
+    }
+
+    uint64_t
+    u64()
+    {
+        return pod<uint64_t>();
+    }
+
+    float
+    f32()
+    {
+        return pod<float>();
+    }
+
+    template <typename T>
+    T
+    pod()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v;
+        raw(&v, sizeof(T));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        uint64_t n = u64();
+        if (n > remaining())
+            throw SnapshotError("snapshot: truncated string");
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      size_t(n));
+        pos_ += size_t(n);
+        return s;
+    }
+
+    template <typename T>
+    std::vector<T>
+    vecPod()
+    {
+        uint64_t n = u64();
+        if (n > remaining() / sizeof(T))
+            throw SnapshotError("snapshot: truncated vector");
+        std::vector<T> v;
+        v.reserve(size_t(n));
+        for (uint64_t i = 0; i < n; i++)
+            v.push_back(pod<T>());
+        return v;
+    }
+
+    /** Enter a chunk, verifying its tag. */
+    void beginChunk(const char *tag);
+    /** Leave the innermost chunk, verifying every byte was consumed. */
+    void endChunk();
+
+    size_t
+    remaining() const
+    {
+        return size_ - pos_;
+    }
+
+    bool
+    atEnd() const
+    {
+        return pos_ == size_;
+    }
+
+  private:
+    void
+    raw(void *out, size_t n)
+    {
+        if (n > remaining())
+            throw SnapshotError("snapshot: truncated stream");
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+    }
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    std::vector<size_t> chunkEnds_; //!< Expected end offsets.
+};
+
+} // namespace trt
+
+#endif // TRT_SNAPSHOT_SERIALIZER_HH

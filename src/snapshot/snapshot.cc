@@ -1,0 +1,236 @@
+#include "snapshot/snapshot.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "util/env.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+constexpr uint32_t kMagic = 0x54525453u; // 'TRTS' (LE "STRT" on disk)
+
+struct SnapshotHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t worldFp;
+    uint64_t cycle;
+    uint64_t payloadBytes;
+    uint32_t payloadCrc;
+    uint32_t headerCrc;
+};
+static_assert(sizeof(SnapshotHeader) == 40);
+
+std::string
+fpHex(uint64_t fp)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)fp);
+    return buf;
+}
+
+/** Parse "snap_<hexfp>_c<cycle>.trtsnap"; false if not a snapshot of
+ *  @p worldFp. */
+bool
+parseSnapshotName(const std::string &name, uint64_t worldFp,
+                  uint64_t &cycleOut)
+{
+    const std::string prefix = "snap_" + fpHex(worldFp) + "_c";
+    const std::string suffix = ".trtsnap";
+    if (name.size() <= prefix.size() + suffix.size())
+        return false;
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0)
+        return false;
+    std::string digits = name.substr(
+        prefix.size(), name.size() - prefix.size() - suffix.size());
+    if (digits.empty())
+        return false;
+    uint64_t c = 0;
+    for (char ch : digits) {
+        if (ch < '0' || ch > '9')
+            return false;
+        c = c * 10 + uint64_t(ch - '0');
+    }
+    cycleOut = c;
+    return true;
+}
+
+} // namespace
+
+SnapshotPolicy
+SnapshotPolicy::fromEnv(uint64_t worldFp)
+{
+    SnapshotPolicy p;
+    p.everyCycles = envUInt("TRT_SNAPSHOT_EVERY", 0);
+    p.haltAtCycle = envUInt("TRT_SNAPSHOT_HALT_AT", 0);
+    p.dir = envString("TRT_SNAPSHOT_DIR", p.dir);
+    p.keep = envFlag("TRT_SNAPSHOT_KEEP", false);
+    p.worldFp = worldFp;
+    return p;
+}
+
+std::string
+snapshotFileName(uint64_t worldFp, uint64_t cycle)
+{
+    std::ostringstream ss;
+    ss << "snap_" << fpHex(worldFp) << "_c" << cycle << ".trtsnap";
+    return ss.str();
+}
+
+std::filesystem::path
+writeSnapshotFile(const std::string &dir, uint64_t worldFp, uint64_t cycle,
+                  const std::vector<uint8_t> &payload)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir, ec); // best effort; open() reports failure
+
+    SnapshotHeader h{};
+    h.magic = kMagic;
+    h.version = kSnapshotVersion;
+    h.worldFp = worldFp;
+    h.cycle = cycle;
+    h.payloadBytes = payload.size();
+    h.payloadCrc = crc32(payload.data(), payload.size());
+    h.headerCrc = crc32(&h, offsetof(SnapshotHeader, headerCrc));
+
+    fs::path final_path = fs::path(dir) / snapshotFileName(worldFp, cycle);
+    fs::path tmp_path =
+        final_path.string() + ".tmp." + std::to_string(getpid());
+    {
+        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw SnapshotError("snapshot: cannot open " +
+                                tmp_path.string() + " for writing");
+        os.write(reinterpret_cast<const char *>(&h), sizeof(h));
+        os.write(reinterpret_cast<const char *>(payload.data()),
+                 std::streamsize(payload.size()));
+        os.flush();
+        if (!os) {
+            os.close();
+            fs::remove(tmp_path, ec);
+            throw SnapshotError("snapshot: short write to " +
+                                tmp_path.string());
+        }
+    }
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        fs::remove(tmp_path, ec);
+        throw SnapshotError("snapshot: rename to " + final_path.string() +
+                            " failed");
+    }
+    return final_path;
+}
+
+std::vector<uint8_t>
+readSnapshotPayload(const std::filesystem::path &path,
+                    uint64_t expectedWorldFp)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw SnapshotError("snapshot: cannot open " + path.string());
+
+    SnapshotHeader h{};
+    is.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!is || is.gcount() != sizeof(h))
+        throw SnapshotError("snapshot: truncated header in " +
+                            path.string());
+    if (h.magic != kMagic)
+        throw SnapshotError("snapshot: bad magic in " + path.string());
+    if (crc32(&h, offsetof(SnapshotHeader, headerCrc)) != h.headerCrc)
+        throw SnapshotError("snapshot: header CRC mismatch in " +
+                            path.string());
+    if (h.version != kSnapshotVersion)
+        throw SnapshotError("snapshot: version " +
+                            std::to_string(h.version) + " != " +
+                            std::to_string(kSnapshotVersion) + " in " +
+                            path.string());
+    if (h.worldFp != expectedWorldFp)
+        throw SnapshotError("snapshot: fingerprint mismatch in " +
+                            path.string() + " (snapshot " +
+                            fpHex(h.worldFp) + ", world " +
+                            fpHex(expectedWorldFp) + ")");
+    if (h.payloadBytes > (1ull << 34))
+        throw SnapshotError("snapshot: implausible payload size in " +
+                            path.string());
+
+    std::vector<uint8_t> payload(size_t(h.payloadBytes));
+    is.read(reinterpret_cast<char *>(payload.data()),
+            std::streamsize(payload.size()));
+    if (!is || size_t(is.gcount()) != payload.size())
+        throw SnapshotError("snapshot: truncated payload in " +
+                            path.string());
+    if (crc32(payload.data(), payload.size()) != h.payloadCrc)
+        throw SnapshotError("snapshot: payload CRC mismatch in " +
+                            path.string());
+    return payload;
+}
+
+std::optional<std::filesystem::path>
+findNewestValidSnapshot(const std::string &dir, uint64_t worldFp)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return std::nullopt;
+
+    // Collect candidates sorted newest-first, then take the first one
+    // that passes full validation (corrupt files are skipped, so a
+    // torn newest snapshot falls back to the previous one).
+    std::vector<std::pair<uint64_t, fs::path>> candidates;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        uint64_t cycle = 0;
+        if (parseSnapshotName(entry.path().filename().string(), worldFp,
+                              cycle))
+            candidates.emplace_back(cycle, entry.path());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first != b.first ? a.first > b.first
+                                            : a.second < b.second;
+              });
+    for (const auto &[cycle, path] : candidates) {
+        try {
+            (void)readSnapshotPayload(path, worldFp);
+            return path;
+        } catch (const SnapshotError &e) {
+            std::fprintf(stderr, "[snapshot] skipping %s: %s\n",
+                         path.string().c_str(), e.what());
+        }
+    }
+    return std::nullopt;
+}
+
+size_t
+removeSnapshotsFor(const std::string &dir, uint64_t worldFp)
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec))
+        return 0;
+    size_t removed = 0;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        uint64_t cycle = 0;
+        if (parseSnapshotName(entry.path().filename().string(), worldFp,
+                              cycle)) {
+            std::error_code rec;
+            if (fs::remove(entry.path(), rec))
+                removed++;
+        }
+    }
+    return removed;
+}
+
+} // namespace trt

@@ -13,6 +13,8 @@
 #include <limits>
 #include <vector>
 
+#include "snapshot/serializer.hh"
+
 namespace trt
 {
 
@@ -140,6 +142,29 @@ class WindowedSeries
             out.push_back(d ? double(n) / double(d) : 0.0);
         }
         return out;
+    }
+
+    /** Snapshot hooks; window_/shift_ are ctor-derived and only
+     *  validated, the accumulators round-trip verbatim. */
+    void
+    saveState(Serializer &s) const
+    {
+        s.beginChunk("WSER");
+        s.u64(window_);
+        s.vecPod(numAcc_);
+        s.vecPod(denAcc_);
+        s.endChunk();
+    }
+
+    void
+    loadState(Deserializer &d)
+    {
+        d.beginChunk("WSER");
+        if (d.u64() != window_)
+            throw SnapshotError("snapshot: WindowedSeries window mismatch");
+        numAcc_ = d.vecPod<uint64_t>();
+        denAcc_ = d.vecPod<uint64_t>();
+        d.endChunk();
     }
 
   private:

@@ -1,0 +1,116 @@
+#include "util/env.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace trt
+{
+
+namespace
+{
+
+[[noreturn]] void
+fail(const char *name, const char *value, const char *expected)
+{
+    throw EnvError(std::string(name) + "=\"" + value + "\": expected " +
+                   expected);
+}
+
+} // namespace
+
+const char *
+envRaw(const char *name)
+{
+    return std::getenv(name);
+}
+
+bool
+envSet(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v && *v;
+}
+
+std::string
+envString(const char *name, const std::string &defaultValue)
+{
+    const char *v = std::getenv(name);
+    return v ? std::string(v) : defaultValue;
+}
+
+bool
+envFlag(const char *name, bool defaultValue)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return defaultValue;
+    std::string s(v);
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s.empty() || s == "0" || s == "false" || s == "off" || s == "no")
+        return false;
+    if (s == "1" || s == "true" || s == "on" || s == "yes")
+        return true;
+    fail(name, v, "a boolean (0/1/true/false/on/off/yes/no)");
+}
+
+int64_t
+envInt(const char *name, int64_t defaultValue, int64_t minValue,
+       int64_t maxValue)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return defaultValue;
+    errno = 0;
+    char *end = nullptr;
+    long long parsed = std::strtoll(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE)
+        fail(name, v, "an integer");
+    if (parsed < minValue || parsed > maxValue)
+        fail(name, v,
+             ("an integer in [" + std::to_string(minValue) + ", " +
+              std::to_string(maxValue) + "]")
+                 .c_str());
+    return parsed;
+}
+
+uint64_t
+envUInt(const char *name, uint64_t defaultValue, uint64_t maxValue)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return defaultValue;
+    // Reject a leading '-' explicitly: strtoull would silently wrap it.
+    const char *p = v;
+    while (*p && std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '-')
+        fail(name, v, "a non-negative integer");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE)
+        fail(name, v, "a non-negative integer");
+    if (parsed > maxValue)
+        fail(name, v,
+             ("an integer <= " + std::to_string(maxValue)).c_str());
+    return parsed;
+}
+
+double
+envDouble(const char *name, double defaultValue)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return defaultValue;
+    errno = 0;
+    char *end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0' || errno == ERANGE)
+        fail(name, v, "a number");
+    return parsed;
+}
+
+} // namespace trt

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Strict environment-knob parsing. Every TRT_* knob goes through these
+ * helpers so a malformed value (`TRT_SIM_THREADS=abc`, a negative size
+ * cap, trailing garbage) aborts with the knob name and the offending
+ * text instead of silently falling back to a default mid-sweep.
+ */
+
+#ifndef TRT_UTIL_ENV_HH
+#define TRT_UTIL_ENV_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace trt
+{
+
+/** Thrown on a malformed environment knob; .what() names the knob and
+ *  echoes the offending value. */
+class EnvError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Raw lookup: nullptr when unset. */
+const char *envRaw(const char *name);
+
+/** True when the knob is set and non-empty. */
+bool envSet(const char *name);
+
+/** String knob with default for unset. */
+std::string envString(const char *name, const std::string &defaultValue);
+
+/**
+ * Boolean knob: unset -> defaultValue; "0", "" , "false", "off", "no"
+ * -> false; "1", "true", "on", "yes" -> true; anything else throws.
+ */
+bool envFlag(const char *name, bool defaultValue);
+
+/** Signed integer knob; throws EnvError on non-numeric or trailing
+ *  garbage, and on values outside [minValue, maxValue]. */
+int64_t envInt(const char *name, int64_t defaultValue,
+               int64_t minValue = INT64_MIN, int64_t maxValue = INT64_MAX);
+
+/** Unsigned integer knob; rejects negatives with the knob name. */
+uint64_t envUInt(const char *name, uint64_t defaultValue,
+                 uint64_t maxValue = UINT64_MAX);
+
+/** Floating-point knob; throws EnvError on malformed input. */
+double envDouble(const char *name, double defaultValue);
+
+} // namespace trt
+
+#endif // TRT_UTIL_ENV_HH

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "core/arch.hh"
+#include "core/line_set.hh"
 #include "gpu/shader.hh"
 #include "scene/registry.hh"
 
@@ -274,6 +277,83 @@ TEST(Factory, DispatchesOnArch)
     cfg.arch = RtArch::TreeletQueues;
     auto tq = factory(cfg, mem, f.bvh, 0);
     EXPECT_TRUE(tq->idle());
+}
+
+
+// ---- LineSet (open-addressed line-address set, PR 3) ---------------
+
+TEST(LineSet, InsertEraseContains)
+{
+    LineSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_TRUE(s.insert(0x1000));
+    EXPECT_FALSE(s.insert(0x1000)); // duplicate
+    EXPECT_TRUE(s.insert(0x2000));
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_TRUE(s.contains(0x1000));
+    EXPECT_FALSE(s.contains(0x3000));
+    EXPECT_TRUE(s.erase(0x1000));
+    EXPECT_FALSE(s.erase(0x1000)); // already gone
+    EXPECT_FALSE(s.contains(0x1000));
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_EQ(s.sortedKeys(), (std::vector<uint64_t>{0x2000}));
+}
+
+TEST(LineSet, GrowsAndRehashesPastInitialCapacity)
+{
+    LineSet s;
+    std::size_t cap0 = s.capacity();
+    // Push well past the 3/4 load-factor trigger of the initial table.
+    const uint64_t n = 4096;
+    for (uint64_t i = 1; i <= n; i++)
+        ASSERT_TRUE(s.insert(i * 64));
+    EXPECT_EQ(s.size(), n);
+    EXPECT_GT(s.capacity(), cap0);
+    for (uint64_t i = 1; i <= n; i++)
+        EXPECT_TRUE(s.contains(i * 64)) << i;
+    EXPECT_FALSE(s.contains((n + 1) * 64));
+    EXPECT_EQ(s.sortedKeys().size(), n);
+}
+
+TEST(LineSet, ClearKeepsCapacityAndDropsKeys)
+{
+    LineSet s;
+    for (uint64_t i = 1; i <= 2000; i++)
+        s.insert(i * 64);
+    std::size_t cap = s.capacity();
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.capacity(), cap);
+    EXPECT_FALSE(s.contains(64));
+    EXPECT_TRUE(s.insert(64)); // reusable after clear
+}
+
+/** Backward-shift deletion under heavy collisions: keys engineered to
+ *  share probe chains, erased in an order that forces shifts, checked
+ *  against a reference std::set at every step. */
+TEST(LineSet, CollisionHeavyEraseKeepsProbeChainsIntact)
+{
+    LineSet s;
+    std::set<uint64_t> ref;
+    // The multiply-shift hash uses the high 32 bits, so keys differing
+    // only in a high-bit stride collide to nearby buckets frequently.
+    auto key = [](uint64_t i) { return (i % 7 + 1) + ((i / 7) << 33); };
+    for (uint64_t i = 0; i < 3000; i++) {
+        uint64_t k = key(i);
+        EXPECT_EQ(s.insert(k), ref.insert(k).second) << i;
+    }
+    // Erase every third key, then verify every key's membership.
+    for (uint64_t i = 0; i < 3000; i += 3) {
+        uint64_t k = key(i);
+        EXPECT_EQ(s.erase(k), ref.erase(k) > 0) << i;
+    }
+    EXPECT_EQ(s.size(), ref.size());
+    for (uint64_t i = 0; i < 3000; i++) {
+        uint64_t k = key(i);
+        EXPECT_EQ(s.contains(k), ref.count(k) > 0) << i;
+    }
+    std::vector<uint64_t> want(ref.begin(), ref.end());
+    EXPECT_EQ(s.sortedKeys(), want);
 }
 
 } // anonymous namespace

@@ -14,6 +14,7 @@
 
 #include "gpu/run_stats_io.hh"
 #include "harness/harness.hh"
+#include "util/env.hh"
 #include "harness/run_cache.hh"
 
 namespace trt
@@ -83,6 +84,69 @@ TEST(HarnessOptions, FastMode)
     HarnessOptions opt = HarnessOptions::fromEnv();
     EXPECT_EQ(opt.resolution, 64u);
     EXPECT_LT(opt.sceneScale, 0.5f);
+}
+
+// ---- strict environment-knob parsing (util/env.hh) -----------------
+
+TEST(EnvKnobs, MalformedIntegerIsAHardError)
+{
+    EnvGuard r("TRT_RES", "abc");
+    EXPECT_THROW(HarnessOptions::fromEnv(), EnvError);
+}
+
+TEST(EnvKnobs, TrailingGarbageIsAHardError)
+{
+    EnvGuard r("TRT_RES", "64junk");
+    EXPECT_THROW(HarnessOptions::fromEnv(), EnvError);
+}
+
+TEST(EnvKnobs, NegativeUnsignedKnobIsAHardError)
+{
+    EnvGuard t("TRT_THREADS", "-2");
+    EXPECT_THROW(HarnessOptions::fromEnv(), EnvError);
+}
+
+TEST(EnvKnobs, MalformedFloatIsAHardError)
+{
+    EnvGuard sc("TRT_SCALE", "0.5x");
+    EXPECT_THROW(HarnessOptions::fromEnv(), EnvError);
+}
+
+TEST(EnvKnobs, MalformedFlagIsAHardError)
+{
+    EnvGuard f("TRT_FAST", "maybe");
+    EXPECT_THROW(HarnessOptions::fromEnv(), EnvError);
+}
+
+TEST(EnvKnobs, ErrorNamesKnobAndOffendingValue)
+{
+    EnvGuard r("TRT_RES", "12junk");
+    try {
+        HarnessOptions::fromEnv();
+        FAIL() << "expected EnvError";
+    } catch (const EnvError &e) {
+        std::string msg = e.what();
+        EXPECT_NE(msg.find("TRT_RES"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("12junk"), std::string::npos) << msg;
+    }
+}
+
+TEST(EnvKnobs, FlagSpellings)
+{
+    for (const char *v : {"1", "true", "on", "yes"}) {
+        EnvGuard f("TRT_FAST", v);
+        EXPECT_TRUE(envFlag("TRT_FAST", false)) << v;
+    }
+    for (const char *v : {"0", "false", "off", "no"}) {
+        EnvGuard f("TRT_FAST", v);
+        EXPECT_FALSE(envFlag("TRT_FAST", true)) << v;
+    }
+}
+
+TEST(EnvKnobs, RangeViolationIsAHardError)
+{
+    EnvGuard r("TRT_RES", "100000"); // above the 1<<16 cap
+    EXPECT_THROW(HarnessOptions::fromEnv(), EnvError);
 }
 
 TEST(HarnessOptions, ApplySetsResolution)

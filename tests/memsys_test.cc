@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "memsys/cache.hh"
 #include "memsys/memsys.hh"
 
@@ -103,6 +105,52 @@ TEST(Cache, ResidentLinesCapped)
     }
     EXPECT_EQ(fa.residentLines(), 8u);
     EXPECT_LE(sa.residentLines(), 8u);
+}
+
+/** residentLines() is maintained incrementally on fill/evict/invalid-
+ *  ate (PR 3); it must always equal a probe count of every address the
+ *  cache has ever seen, for both FA and SA organizations. */
+TEST(Cache, ResidentLinesStaysInSyncWithTagStore)
+{
+    Cache fa(16 * 64, 0, 64);
+    Cache sa(16 * 64, 4, 64);
+    std::vector<uint64_t> touched;
+    auto recount = [&](const Cache &c) {
+        uint64_t n = 0;
+        for (uint64_t a : touched)
+            n += c.probe(a) ? 1 : 0;
+        return n;
+    };
+    // Deterministic mixed access/install stream with reuse: LCG over a
+    // 64-line working set against 16-line caches forces evictions.
+    uint64_t x = 12345;
+    for (int step = 0; step < 2000; step++) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        uint64_t addr = ((x >> 33) % 64) * 64;
+        if (std::find(touched.begin(), touched.end(), addr) ==
+            touched.end())
+            touched.push_back(addr);
+        if (step % 7 == 3) {
+            fa.install(addr);
+            sa.install(addr);
+        } else {
+            fa.access(addr);
+            sa.access(addr);
+        }
+        if (step % 500 == 499) {
+            EXPECT_EQ(fa.residentLines(), recount(fa)) << step;
+            EXPECT_EQ(sa.residentLines(), recount(sa)) << step;
+        }
+    }
+    EXPECT_EQ(fa.residentLines(), recount(fa));
+    EXPECT_EQ(sa.residentLines(), recount(sa));
+    EXPECT_EQ(fa.residentLines(), 16u); // full after heavy traffic
+    fa.invalidateAll();
+    sa.invalidateAll();
+    EXPECT_EQ(fa.residentLines(), 0u);
+    EXPECT_EQ(sa.residentLines(), 0u);
+    EXPECT_EQ(recount(fa), 0u);
+    EXPECT_EQ(recount(sa), 0u);
 }
 
 MemConfig

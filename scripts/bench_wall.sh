@@ -3,18 +3,25 @@
 #
 # Times build/bench/bench_fig10_overall (the headline figure: all three
 # architectures over the scene suite) at smoke scale with the run cache
-# disabled, so every run is a full cycle-level simulation. Writes the
-# result as JSON to BENCH_simwall.json (or $1).
+# disabled, so every run is a full cycle-level simulation. Appends the
+# result as one JSON-lines entry to BENCH_simwall.jsonl (or $1), so the
+# file accumulates a history across commits instead of keeping only the
+# latest number; each entry records whether it timed the full detailed
+# simulator or the sampled one ("mode": "full" | "sampled").
 #
 # Environment:
 #   BENCH_RUNS       repetitions, best-of is reported (default 3)
+#   BENCH_SAMPLED    =1: time the sampled simulator (TRT_SAMPLE=1)
+#   BENCH_SCALE_ENV  extra env overrides recorded verbatim in the entry
+#                    (e.g. "TRT_FAST=0 TRT_SCENES=CRNVL TRT_RES=512");
+#                    default is the TRT_FAST smoke configuration
 #   BASELINE_WALL_S  optional baseline seconds; adds a "speedup" field
 #   BENCH_BIN        override the benchmark binary
 #   BENCH_NO_BUILD   =1: skip the rebuild and time the binary as-is
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_simwall.json}
+out=${1:-BENCH_simwall.jsonl}
 runs=${BENCH_RUNS:-3}
 bin=${BENCH_BIN:-build/bench/bench_fig10_overall}
 
@@ -30,8 +37,21 @@ if [ ! -x "$bin" ]; then
     exit 1
 fi
 
+env_desc="TRT_FAST=1 TRT_RUN_CACHE=0"
 export TRT_FAST=1
 export TRT_RUN_CACHE=0
+mode=full
+if [ "${BENCH_SAMPLED:-0}" = "1" ]; then
+    export TRT_SAMPLE=1
+    mode=sampled
+    env_desc="$env_desc TRT_SAMPLE=1"
+fi
+if [ -n "${BENCH_SCALE_ENV:-}" ]; then
+    # Word-splitting is intentional: each item is a KEY=VALUE override.
+    # shellcheck disable=SC2086
+    export $BENCH_SCALE_ENV
+    env_desc="$env_desc $BENCH_SCALE_ENV"
+fi
 
 best_real=""
 best_sim_ms=""
@@ -52,22 +72,21 @@ for i in $(seq 1 "$runs"); do
     fi
 done
 
-{
-    echo "{"
-    echo "  \"bench\": \"$(basename "$bin")\","
-    echo "  \"mode\": \"TRT_FAST=1 TRT_RUN_CACHE=0\","
-    echo "  \"runs\": [$all_real],"
-    echo "  \"best_real_s\": $best_real,"
-    echo "  \"best_simulate_ms\": ${best_sim_ms:-0},"
-    if [ -n "${BASELINE_WALL_S:-}" ]; then
-        speedup=$(echo "$BASELINE_WALL_S $best_real" |
-                  awk '{printf "%.3f", $1 / $2}')
-        echo "  \"baseline_wall_s\": $BASELINE_WALL_S,"
-        echo "  \"speedup\": $speedup,"
-    fi
-    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\""
-    echo "}"
-} > "$out"
+entry="{\"bench\": \"$(basename "$bin")\""
+entry="$entry, \"mode\": \"$mode\""
+entry="$entry, \"env\": \"$env_desc\""
+entry="$entry, \"runs\": [$all_real]"
+entry="$entry, \"best_real_s\": $best_real"
+entry="$entry, \"best_simulate_ms\": ${best_sim_ms:-0}"
+if [ -n "${BASELINE_WALL_S:-}" ]; then
+    speedup=$(echo "$BASELINE_WALL_S $best_real" |
+              awk '{printf "%.3f", $1 / $2}')
+    entry="$entry, \"baseline_wall_s\": $BASELINE_WALL_S"
+    entry="$entry, \"speedup\": $speedup"
+fi
+entry="$entry, \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\"}"
 
-echo "bench_wall: wrote $out" >&2
-cat "$out"
+printf '%s\n' "$entry" >> "$out"
+
+echo "bench_wall: appended to $out" >&2
+tail -1 "$out"

@@ -148,6 +148,25 @@ class RayTraverser
     Counts counts_;
 };
 
+/**
+ * Run @p t to completion without any timing model: every outstanding
+ * access completes immediately and treelet boundaries are crossed
+ * ray-stationary. Traversal order — and therefore the closest hit and
+ * every per-ray count — is bit-identical to what any RT-unit timing
+ * model produces, which is what lets the sampled-simulation
+ * fast-forward executor advance architectural state exactly.
+ */
+inline void
+finishTraversal(RayTraverser &t)
+{
+    while (!t.done()) {
+        if (t.atBoundary())
+            t.enterNextTreelet();
+        else
+            t.complete();
+    }
+}
+
 } // namespace trt
 
 #endif // TRT_BVH_TRAVERSER_HH

@@ -77,4 +77,37 @@ simulateWithSnapshots(const GpuConfig &cfg, const Scene &scene,
     return gpu.run();
 }
 
+RunStats
+simulateSampled(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
+                const SampleConfig &sample, const SnapshotPolicy &policy,
+                bool resume)
+{
+    Gpu gpu(cfg, scene, bvh, makeRtUnitFactory());
+    gpu.setSnapshotPolicy(policy);
+    if (resume) {
+        auto path = findNewestValidSnapshot(policy.dir, policy.worldFp);
+        if (path) {
+            try {
+                std::vector<uint8_t> payload =
+                    readSnapshotPayload(*path, policy.worldFp);
+                Deserializer d(payload);
+                gpu.loadState(d);
+                fprintf(stderr,
+                        "[snapshot] resuming sampled run from %s "
+                        "(cycle %llu)\n",
+                        path->string().c_str(),
+                        (unsigned long long)gpu.restoredCycle());
+            } catch (const SnapshotError &e) {
+                fprintf(stderr,
+                        "[snapshot] %s: %s; falling back to a cold run\n",
+                        path->string().c_str(), e.what());
+                Gpu cold(cfg, scene, bvh, makeRtUnitFactory());
+                cold.setSnapshotPolicy(policy);
+                return cold.runSampled(sample);
+            }
+        }
+    }
+    return gpu.runSampled(sample);
+}
+
 } // namespace trt

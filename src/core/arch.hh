@@ -43,6 +43,18 @@ RunStats simulateWithSnapshots(const GpuConfig &cfg, const Scene &scene,
                                const Bvh &bvh, const SnapshotPolicy &policy,
                                bool resume);
 
+/**
+ * Sampled simulation (DESIGN.md §8): Gpu::runSampled under @p sample,
+ * with optional snapshot capture/resume exactly as
+ * simulateWithSnapshots (pass a default SnapshotPolicy and
+ * resume=false to disable). RunStats comes back extrapolated, with
+ * confidence intervals in RunStats::sampled.
+ */
+RunStats simulateSampled(const GpuConfig &cfg, const Scene &scene,
+                         const Bvh &bvh, const SampleConfig &sample,
+                         const SnapshotPolicy &policy = {},
+                         bool resume = false);
+
 } // namespace trt
 
 #endif // TRT_CORE_ARCH_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <stdexcept>
 
 namespace trt
 {
@@ -630,6 +631,23 @@ TreeletQueueRtUnit::idle() const
     return raysInFlight_ == 0 && pendingFresh_.empty();
 }
 
+uint64_t
+TreeletQueueRtUnit::raysHeld() const
+{
+    // Recovery metric for the sampler's warm-up (RtUnitBase::raysHeld):
+    // population alone recovers quickly after a drain, but fresh rays
+    // all enter near the root treelet and serve with far better
+    // locality than the steady state, where rays are spread across
+    // many queues and every queue switch costs a treelet fetch. Weight
+    // population by the number of distinct occupied queues so the
+    // warm-up waits for the *spread* to rebuild too.
+    uint64_t spread = 0;
+    for (const auto &q : queues_)
+        if (!q.second.empty())
+            spread++;
+    return uint64_t(raysInFlight_) * std::max<uint64_t>(1, spread);
+}
+
 void
 TreeletQueueRtUnit::onMemCommit(uint64_t now)
 {
@@ -674,6 +692,71 @@ TreeletQueueRtUnit::onMemCommit(uint64_t now)
         (void)found;
     }
     preloadFixups_.clear();
+}
+
+void
+TreeletQueueRtUnit::drainFunctional(uint64_t now)
+{
+    // Same contract as saveState: the serial commit boundary, where
+    // every preload ticket has been resolved by onMemCommit().
+    if (!preloadFixups_.empty())
+        throw std::logic_error(
+            "drainFunctional: unresolved preload fixups (must be called "
+            "at the serial commit boundary)");
+    accountInterval(now);
+
+    // Live slot entries first: finish each in place and deliver via the
+    // normal path so per-warp bookkeeping (warps_) stays consistent.
+    for (auto &slot : slots_) {
+        if (slot.kind == SlotKind::Free)
+            continue;
+        for (auto &e : slot.entries) {
+            if (!e.valid)
+                continue;
+            finishTraversal(e.trav);
+            finishEntry(slot, e);
+        }
+        reclaimEntries(slot);
+        slot.kind = SlotKind::Free;
+        slot.treelet = kInvalidTreelet;
+        slot.draining = false;
+        slot.policyPending = false;
+    }
+
+    // Parked rays: pending fresh warps (still at the root boundary),
+    // then every treelet queue in table order.
+    auto drainParked = [&](Parked &p) {
+        finishTraversal(p.trav);
+        deliver(p.warpToken, p.lane, p.trav.hit());
+        releaseRayId(p.rayId);
+        travPool_.push_back(std::move(p.trav));
+        raysInFlight_--;
+        stats_.raysCompleted++;
+    };
+    while (!pendingFresh_.empty()) {
+        for (Parked &p : pendingFresh_.front())
+            drainParked(p);
+        pendingFresh_.pop_front();
+    }
+    for (auto &kv : queues_)
+        for (Parked &p : kv.second)
+            drainParked(p);
+    queues_.clear();
+    queuedRays_ = 0;
+    overThresholdNow_ = 0;
+    tableEntriesNow_ = 0;
+    loadedTreelet_ = kInvalidTreelet;
+    preloadedTreelet_ = kInvalidTreelet;
+
+    if (raysInFlight_ != 0 || !warps_.empty())
+        throw std::logic_error(
+            "drainFunctional: rays or warps left after drain");
+    // All ray ids are free again; restart the id space so post-drain
+    // allocation (and the ray-data addresses derived from it) is
+    // independent of pre-drain history.
+    freeRayIds_.clear();
+    nextRayId_ = 0;
+    clearEventRecords();
 }
 
 std::string

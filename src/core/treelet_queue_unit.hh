@@ -49,8 +49,10 @@ class TreeletQueueRtUnit : public RtUnitBase
     bool tryAccept(uint64_t now, TraceRequest &&req) override;
     void tick(uint64_t now) override;
     bool idle() const override;
+    uint64_t raysHeld() const override;
     void onMemCommit(uint64_t now) override;
     std::string debugStatus() const override;
+    void drainFunctional(uint64_t now) override;
 
     /** Rays currently owned by this unit (active + parked). */
     uint32_t raysInFlight() const { return raysInFlight_; }

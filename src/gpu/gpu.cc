@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
@@ -139,13 +140,19 @@ void
 Gpu::scheduleAlu(uint64_t now, uint32_t cta, uint32_t warp, uint32_t instrs)
 {
     CtaExec &c = ctas_[cta];
+    c.warps[warp].phase = WarpPhase::Alu;
+    run_.aluLaneInstrs +=
+        uint64_t(instrs) * std::max(1u, c.warps[warp].aliveLanes);
+    if (functionalMode_) {
+        // Zero latency, and no core-occupancy booking: aluBusyUntil
+        // would leak frozen-clock time into the next detailed phase.
+        pushEvent(now, Event::AluDone, cta, warp);
+        return;
+    }
     SmState &sm = sms_[c.smId];
     uint64_t start = std::max(now, sm.aluBusyUntil);
     uint64_t done = start + instrs;
     sm.aluBusyUntil = done;
-    c.warps[warp].phase = WarpPhase::Alu;
-    run_.aluLaneInstrs +=
-        uint64_t(instrs) * std::max(1u, c.warps[warp].aliveLanes);
     pushEvent(done, Event::AluDone, cta, warp);
 }
 
@@ -244,7 +251,9 @@ Gpu::tryResume(uint64_t now)
             uint64_t ready = now;
             uint32_t bytes = ctaStateBytesFor(c);
             run_.ctaStateBytes += bytes;
-            if (!cfg_.virtualizationFree) {
+            // Functional mode keeps the save/restore counters (they are
+            // architectural work) but skips the timed state read.
+            if (!cfg_.virtualizationFree && !functionalMode_) {
                 // Serial phase: the port resolves immediately.
                 mem_.port(s).read(now,
                                   kCtaStateBase +
@@ -260,6 +269,10 @@ Gpu::tryResume(uint64_t now)
 void
 Gpu::issueTrace(uint64_t now, uint32_t cta, uint32_t warp)
 {
+    if (functionalMode_) {
+        traceWarpFunctional(now, cta, warp);
+        return;
+    }
     CtaExec &c = ctas_[cta];
     WarpExec &w = c.warps[warp];
 
@@ -431,6 +444,7 @@ Gpu::shadeWarp(uint64_t now, uint32_t cta, uint32_t warp)
 void
 Gpu::onAluDone(uint64_t now, uint32_t cta, uint32_t warp)
 {
+    aluRounds_++;
     CtaExec &c = ctas_[cta];
     WarpExec &w = c.warps[warp];
     assert(w.phase == WarpPhase::Alu);
@@ -630,6 +644,32 @@ Gpu::saveState(Serializer &s) const
     s.vecPod(rtNextEvent_);
     s.endChunk();
 
+    // Sampler bookkeeping (inert — all defaults — for full runs).
+    // Snapshots are only captured from detailed phases; a fast-forward
+    // leg never reaches the capture point, so functionalMode_ is not
+    // serialized.
+    s.beginChunk("SMPL");
+    s.b(samp_.active);
+    s.u8(uint8_t(samp_.phase));
+    s.b(samp_.inInterval);
+    s.u64(samp_.phaseEndCycle);
+    s.u64(samp_.workEndTarget);
+    s.u64(samp_.intervalStartCycle);
+    s.u64(samp_.startWork);
+    s.u64(samp_.startRounds);
+    s.u64(samp_.lastIvRounds);
+    s.u64(samp_.lastIvCycles);
+    s.u64(samp_.backlogTarget);
+    s.u64(samp_.warmupMinCycle);
+    s.u64(samp_.stratumStartRounds);
+    s.u64(samp_.gapStartRounds);
+    s.u64(aluRounds_);
+    s.vecPod(samp_.startCounters);
+    s.u64(samp_.ffRaysTotal);
+    s.u64(samp_.cfgFp);
+    samp_.acc.saveState(s);
+    s.endChunk();
+
     mem_.saveState(s);
     for (const auto &unit : rtUnits_)
         unit->saveState(s);
@@ -766,6 +806,33 @@ Gpu::loadState(Deserializer &d)
     rtNextEvent_ = std::move(next);
     d.endChunk();
 
+    d.beginChunk("SMPL");
+    samp_.active = d.b();
+    uint8_t phase = d.u8();
+    if (phase > uint8_t(SamplePhase::Warmup))
+        throw SnapshotError("snapshot: sample phase out of range");
+    samp_.phase = SamplePhase(phase);
+    samp_.inInterval = d.b();
+    samp_.phaseEndCycle = d.u64();
+    samp_.workEndTarget = d.u64();
+    samp_.intervalStartCycle = d.u64();
+    samp_.startWork = d.u64();
+    samp_.startRounds = d.u64();
+    samp_.lastIvRounds = d.u64();
+    samp_.lastIvCycles = d.u64();
+    samp_.backlogTarget = d.u64();
+    samp_.warmupMinCycle = d.u64();
+    samp_.stratumStartRounds = d.u64();
+    samp_.gapStartRounds = d.u64();
+    aluRounds_ = d.u64();
+    samp_.startCounters = d.vecPod<uint64_t>();
+    samp_.ffRaysTotal = d.u64();
+    samp_.cfgFp = d.u64();
+    samp_.acc.loadState(d);
+    d.endChunk();
+    functionalMode_ = false;
+    ffLegTraced_ = 0;
+
     mem_.loadState(d);
     for (const auto &unit : rtUnits_)
         unit->loadState(d);
@@ -807,17 +874,30 @@ Gpu::run()
 {
     if (ran_)
         throw std::logic_error("Gpu::run() may only be called once");
+    if (samp_.active)
+        throw std::logic_error(
+            "Gpu::run(): restored snapshot belongs to a sampled run; "
+            "resume with runSampled() under the same TRT_SAMPLE_* "
+            "parameters");
     ran_ = true;
 
     // A restored run continues from the captured boundary: the saved
     // state already reflects the servicePass that closed that cycle.
-    uint64_t now = lastNow_;
     if (!restored_)
-        servicePass(now);
+        servicePass(lastNow_);
     if (snapPolicy_.everyCycles != 0)
         nextSnapshotAt_ = (lastNow_ / snapPolicy_.everyCycles + 1) *
                           snapPolicy_.everyCycles;
 
+    detailedLoop(kNoEvent);
+    finalizeStats();
+    return run_;
+}
+
+bool
+Gpu::detailedLoop(uint64_t stopAtCycle)
+{
+    uint64_t now = lastNow_;
     uint64_t same_cycle_iters = 0;
     uint64_t last_now = ~0ull;
 
@@ -905,13 +985,36 @@ Gpu::run()
         // the only legal capture point (DESIGN.md §7).
         if (snapPolicy_.captureEnabled())
             maybeSnapshot(now);
+        if (now >= stopAtCycle)
+            return false;
+        // Fixed-work measured intervals (sampled mode): close the
+        // interval once the target number of CTAs has retired.
+        if (samp_.workEndTarget != 0 &&
+            ctasFinished_ >= samp_.workEndTarget)
+            return false;
+        // Condition-based warm-up end (sampled mode): the fast-forward
+        // drain emptied the RT units; measurement may start once their
+        // ray population has rebuilt to the pre-drain level (and the
+        // respread window has passed).
+        if (samp_.backlogTarget != 0 && now >= samp_.warmupMinCycle &&
+            rtBacklog() >= samp_.backlogTarget)
+            return false;
+        // The backlog can never rebuild once the machine enters its
+        // final wave; stop warming up and let the exact tail run.
+        if (samp_.backlogTarget != 0 && inFinalWave())
+            return false;
     }
+    return true;
+}
 
+void
+Gpu::finalizeStats()
+{
     // Final tick so trailing intervals are accounted.
     for (uint32_t s = 0; s < cfg_.numSms; s++)
-        rtUnits_[s]->tick(now);
+        rtUnits_[s]->tick(lastNow_);
 
-    run_.cycles = now;
+    run_.cycles = lastNow_;
     for (const auto &u : rtUnits_)
         run_.rt.accumulate(u->stats());
     for (size_t c = 0; c < run_.mem.size(); c++)
@@ -919,7 +1022,6 @@ Gpu::run()
     run_.bvhL1MissRate = mem_.bvhL1MissRate();
     if (mem_.bvhSeries())
         run_.bvhMissSeries = mem_.bvhSeries()->resampled(64);
-    return run_;
 }
 
 } // namespace trt

@@ -24,11 +24,13 @@
 #include "bvh/bvh.hh"
 #include "gpu/config.hh"
 #include "gpu/rt_unit.hh"
+#include "gpu/sampled.hh"
 #include "gpu/shader.hh"
 #include "gpu/sim_pool.hh"
 #include "memsys/memsys.hh"
 #include "scene/scene.hh"
 #include "snapshot/snapshot.hh"
+#include "stats/sampling.hh"
 
 namespace trt
 {
@@ -55,6 +57,9 @@ struct RunStats
     /** First-trace hit per pixel; only filled for custom-ray runs
      *  (general tree-traversal workloads, see workloads/rt_query.hh). */
     std::vector<HitRecord> primaryHits;
+
+    /** Sampling metadata; enabled=false (all zeros) for full runs. */
+    SampleSummary sampled;
 
     double simtEfficiency() const { return rt.simtEfficiency(); }
 
@@ -93,6 +98,18 @@ class Gpu
 
     /** Simulate the full frame. */
     RunStats run();
+
+    /**
+     * Sampled simulation (DESIGN.md §8): alternate detailed measured
+     * intervals with functional fast-forward legs and extrapolate
+     * whole-run RunStats (with confidence intervals in .sampled) from
+     * the measured intervals. The frame itself — framebuffer,
+     * primaryHits, total rays — is architecturally exact; timing and
+     * memory counters are estimates. Like run(), callable exactly
+     * once; resumes from a restored snapshot of a sampled run with the
+     * same SampleConfig (mismatch throws SnapshotError).
+     */
+    RunStats runSampled(const SampleConfig &sc);
 
     MemorySystem &memorySystem() { return mem_; }
 
@@ -192,6 +209,118 @@ class Gpu
         }
     };
 
+    // ---- sampled simulation (DESIGN.md §8) ---------------------------
+    enum class SamplePhase : uint8_t
+    {
+        Measure, //!< Detailed, counters feed the current interval.
+        Warmup,  //!< Detailed, results discarded (post-ff cache refill).
+    };
+
+    /** Mid-run sampler bookkeeping; serialized as the SMPL chunk. */
+    struct SamplerState
+    {
+        bool active = false;
+        SamplePhase phase = SamplePhase::Measure;
+        bool inInterval = false;
+        uint64_t phaseEndCycle = 0;      //!< Absolute end of the phase.
+        /** ctasFinished_ at which the current measured interval closes
+         *  (fixed-work intervals); 0 when no work bound is active. */
+        uint64_t workEndTarget = 0;
+        uint64_t intervalStartCycle = 0;
+        uint64_t startWork = 0;          //!< ctasFinished_ at interval start.
+        uint64_t startRounds = 0;        //!< aluRounds_ at interval start.
+        /** Warp shade rounds / detailed cycles of the last closed
+         *  interval; the respread rate after the next fast-forward leg
+         *  (see respreadEvents()). */
+        uint64_t lastIvRounds = 0;
+        uint64_t lastIvCycles = 0;
+        /** RT-unit ray population the warm-up must rebuild before
+         *  measurement may start (7/8 of the pre-drain level); 0 when
+         *  no condition-based warm-up is active. */
+        uint64_t backlogTarget = 0;
+        /** Earliest cycle the warm-up may end (the respread horizon),
+         *  regardless of backlog recovery. */
+        uint64_t warmupMinCycle = 0;
+        /** aluRounds_ at the start of the current interval's stratum;
+         *  the next beginMeasure (or end of run) closes the stratum,
+         *  the weight of that interval's rate in the stratified
+         *  estimator (stats/sampling.hh). Strata split each
+         *  inter-interval gap (leg + warm-up rounds) evenly between
+         *  the two neighboring intervals: the regime drifts across the
+         *  gap, so assigning it wholly to either side biases the
+         *  weighting toward that side's rate. */
+        uint64_t stratumStartRounds = 0;
+        /** aluRounds_ when the last interval closed (the gap between
+         *  intervals starts here). */
+        uint64_t gapStartRounds = 0;
+        std::vector<uint64_t> startCounters;
+        uint64_t ffRaysTotal = 0;        //!< Rays completed by ff legs.
+        /** SampleConfig::fingerprint() of the run that produced this
+         *  state; resume validates the caller's config against it. */
+        uint64_t cfgFp = 0;
+        SampleAccumulator acc;
+    };
+
+    /** Detailed event loop shared by run()/runSampled(): simulate until
+     *  the frame finishes (true) or lastNow_ reaches @p stopAtCycle at
+     *  the serial commit boundary (false). */
+    bool detailedLoop(uint64_t stopAtCycle);
+    /** Final RT-unit tick + raw stat aggregation into run_. */
+    void finalizeStats();
+
+    /** Switch to functional mode: drain every RT unit (completing all
+     *  in-flight rays exactly) and absorb the queued-warp backlog. */
+    void enterFunctional();
+    /** Functionally retire rays until @p rayQuantum rays complete
+     *  (when nonzero), ctasFinished_ reaches @p ctaTarget (when
+     *  nonzero), the final wave starts, or the frame finishes (returns
+     *  true then). Clock does not advance. */
+    bool functionalAdvance(uint64_t rayQuantum, uint32_t ctaTarget);
+    /** True when @p cta has reached the target completed-path fraction
+     *  of the current leg's staggered progress profile (fully retired
+     *  below @p newFinished, linearly less advanced across the
+     *  resident window of @p capacity CTAs above it). */
+    bool ffReachedTarget(uint32_t cta, uint32_t newFinished,
+                         uint32_t capacity) const;
+    /** issueTrace() body in functional mode: trace + shade inline. */
+    void traceWarpFunctional(uint64_t now, uint32_t cta, uint32_t warp);
+    /** Deliver functional results to a warp already counted as traced
+     *  (drained accept-queue backlog). */
+    void completeWarpFunctional(uint64_t now, uint32_t cta, uint32_t warp);
+
+    void beginMeasure();
+    void endMeasure();
+    /** Start the discarded warm-up phase. It ends when the RT-unit ray
+     *  population has rebuilt to the pre-drain level recorded by
+     *  enterFunctional() (but no earlier than @p respreadEnd, the last
+     *  respread event), capped at warmupCycles as a hard bound. */
+    void beginWarmup(uint64_t respreadEnd);
+    /** Rays held across all RT units (queued + parked + stepping). */
+    uint64_t rtBacklog() const;
+    /** Re-stagger the event heap after a fast-forward leg: a leg
+     *  completes with every resident warp's next event booked at the
+     *  frozen clock, which would retire them as one synchronized convoy
+     *  and make the following interval measure an unrepresentative
+     *  refill burst. Spread the events at (2x) the warp-round rate the
+     *  previous interval measured, so work re-arrives at steady pace
+     *  and the warm-up rebuilds a plausibly staggered machine. Returns
+     *  the cycle of the last respread event (the warm-up horizon). */
+    uint64_t respreadEvents();
+    /** At most one CTA per SM left (serialized endgame): the sampled
+     *  driver stops fast-forwarding and measures the tail in detail. */
+    bool inFinalWave() const;
+    /** ctasFinished_ value at which the current fast-forward leg ends
+     *  (one CTA stratum ahead); 0 when a fixed ray quantum is set. */
+    uint32_t ffCtaTarget() const;
+    /** Live values of every extrapolated counter, in
+     *  sampleCounterNames() order. */
+    std::vector<uint64_t> sampleCounters() const;
+    /** Rays completed across all RT units (the sampler's work unit). */
+    uint64_t totalRaysCompleted() const;
+    /** Overwrite run_'s counters with the extrapolated whole-run
+     *  estimates and fill run_.sampled. */
+    void applySampleEstimates();
+
     // ---- helpers -----------------------------------------------------
     void buildCtas();
     void servicePass(uint64_t now);
@@ -255,6 +384,33 @@ class Gpu
     RunStats run_;
     bool ran_ = false;
     uint64_t lastNow_ = 0;
+
+    // ---- sampled-mode state -----------------------------------------
+    /** True while a fast-forward leg runs: issueTrace/scheduleAlu/
+     *  tryResume take their zero-latency functional paths. */
+    bool functionalMode_ = false;
+    /** Rays completed by the current fast-forward leg. */
+    uint64_t ffLegTraced_ = 0;
+    /** rtBacklog() sampled by enterFunctional() just before the drain;
+     *  beginWarmup() turns it into the rebuild target. Transient within
+     *  one driver step (never live at a snapshot boundary). */
+    uint64_t ffPreDrainBacklog_ = 0;
+    /** Scene too small to sample: fewer CTAs than one full sampling
+     *  schedule (measureCtas * targetIntervals), so fast-forward gains
+     *  nothing and the run stays entirely detailed — one interval
+     *  covering the whole frame, exact results with zero CI. Derived
+     *  from scene + config in runSampled() (never serialized). */
+    bool sampleAllDetailed_ = false;
+    /** Pooled traverser for functional tracing. */
+    RayTraverser ffTrav_;
+    SampleConfig sampleCfg_;
+    SamplerState samp_;
+    /** Warp shade rounds completed (onAluDone count) — the sampler's
+     *  work metric. Accrues in both the detailed path and functional
+     *  fast-forward (shared onAluDone), so the end-of-run total is the
+     *  exact whole-frame work; interval deltas give the measured
+     *  cycles-per-round ratio and pace respreadEvents(). */
+    uint64_t aluRounds_ = 0;
 
     SnapshotPolicy snapPolicy_;
     uint64_t nextSnapshotAt_ = 0;

@@ -307,6 +307,53 @@ BaselineRtUnit::tick(uint64_t now)
     }
 }
 
+void
+BaselineRtUnit::drainFunctional(uint64_t now)
+{
+    // Charge lane-occupancy up to the boundary, then finish every ray
+    // functionally. Mode-cycle/isect attribution for drained work is
+    // deliberately not modeled: the sampler ends its measured interval
+    // before draining, so these counters are only read as deltas inside
+    // intervals and the drain burst is invisible to the estimates.
+    accountInterval(now);
+    for (auto &slot : slots_) {
+        if (!slot.active)
+            continue;
+        for (auto &e : slot.rays) {
+            if (!e.valid || e.stage == Stage::Done)
+                continue;
+            finishTraversal(e.trav);
+            slot.hits.push_back({e.lane, e.trav.hit()});
+            e.stage = Stage::Done;
+            slot.remaining--;
+            stats_.raysCompleted++;
+        }
+        if (completion_)
+            completion_(slot.token, std::move(slot.hits));
+        slot.active = false;
+        slot.hits.clear();
+    }
+    // Queued warps never entered a slot; traverse them with a scratch
+    // traverser (fresh rays sit at the root boundary until
+    // finishTraversal crosses it, exactly as fillSlot would).
+    RayTraverser scratch;
+    while (!pending_.empty()) {
+        TraceRequest req = std::move(pending_.front());
+        pending_.pop_front();
+        std::vector<LaneHit> hits;
+        hits.reserve(req.lanes.size());
+        for (const LaneRay &lr : req.lanes) {
+            scratch.reset(&bvh_, lr.ray);
+            finishTraversal(scratch);
+            hits.push_back({lr.lane, scratch.hit()});
+            stats_.raysCompleted++;
+        }
+        if (completion_)
+            completion_(req.token, std::move(hits));
+    }
+    clearEventRecords();
+}
+
 bool
 BaselineRtUnit::idle() const
 {
@@ -316,6 +363,18 @@ BaselineRtUnit::idle() const
         if (slot.active)
             return false;
     return true;
+}
+
+uint64_t
+BaselineRtUnit::raysHeld() const
+{
+    uint64_t held = 0;
+    for (const auto &req : pending_)
+        held += req.lanes.size();
+    for (const auto &slot : slots_)
+        if (slot.active)
+            held += slot.remaining;
+    return held;
 }
 
 std::string

@@ -161,6 +161,18 @@ class RtUnitBase
     virtual bool idle() const = 0;
 
     /**
+     * Warm-up recovery metric: how much drained state the unit holds.
+     * The sampler records this before a fast-forward drain and holds
+     * the post-leg warm-up until it has rebuilt to the pre-drain
+     * level — queue state is what the drain destroys, and measuring
+     * before it recovers reads rounds serviced against empty queues.
+     * The base semantic is rays held (queued, parked or stepping);
+     * subclasses may weight it by whatever else the drain cost them
+     * (the VTQ unit folds in its treelet-queue spread).
+     */
+    virtual uint64_t raysHeld() const = 0;
+
+    /**
      * Called once per cycle after commitIssuePhase(), in SM order.
      * Units that recorded deferred requests whose destination may have
      * moved (see TreeletQueueRtUnit's preload fixups) resolve them here.
@@ -169,6 +181,18 @@ class RtUnitBase
 
     /** One-line occupancy/state summary for stall diagnostics. */
     virtual std::string debugStatus() const { return {}; }
+
+    /**
+     * Sampled-simulation fast-forward entry (DESIGN.md §8): complete
+     * every ray this unit owns — in flight or queued — functionally
+     * (finishTraversal), fire the normal completion callbacks so warp
+     * state stays consistent, and leave the unit idle() with no pending
+     * events. Counters keep accumulating; the sampler only reads
+     * counter deltas inside measured intervals, so drain-time increments
+     * never pollute an estimate. Only callable at the serial commit
+     * boundary (same contract as saveState).
+     */
+    virtual void drainFunctional(uint64_t now) = 0;
 
     void setCompletion(CompletionFn fn) { completion_ = std::move(fn); }
     void setCtaDrained(CtaDrainedFn fn) { ctaDrained_ = std::move(fn); }
@@ -274,6 +298,17 @@ class RtUnitBase
         return eventHeap_.empty() ? kNoEvent : eventHeap_.front();
     }
 
+    /** Forget every recorded wake-up (drainFunctional leaves no rays
+     *  that could be woken; stale records would only cost spurious
+     *  ticks, but dropping them keeps nextEventCycle() exactly
+     *  kNoEvent, which the sampled driver asserts). */
+    void
+    clearEventRecords()
+    {
+        eventHeap_.clear();
+        pendingEventReadies_.clear();
+    }
+
     /** Serialize one warp-buffer ray entry (traverser included). */
     void saveRayEntry(Serializer &s, const RayEntry &e) const;
     /** Restore one ray entry, re-binding its traverser to bvh_. */
@@ -349,7 +384,9 @@ class BaselineRtUnit : public RtUnitBase
     bool tryAccept(uint64_t now, TraceRequest &&req) override;
     void tick(uint64_t now) override;
     bool idle() const override;
+    uint64_t raysHeld() const override;
     std::string debugStatus() const override;
+    void drainFunctional(uint64_t now) override;
 
     void saveState(Serializer &s) const override;
     void loadState(Deserializer &d) override;

@@ -130,6 +130,16 @@ RunStatsIo::save(std::ostream &os, const RunStats &st)
     writePod(os, st.ctaRestores);
     writePod(os, st.ctaStateBytes);
     writeVec(os, st.primaryHits);
+
+    // v2: sampled-run summary (all zeros for full runs).
+    writePod(os, uint8_t(st.sampled.enabled ? 1 : 0));
+    writePod(os, st.sampled.intervals);
+    writePod(os, st.sampled.measuredCycles);
+    writePod(os, st.sampled.measuredRounds);
+    writePod(os, st.sampled.totalRays);
+    writePod(os, st.sampled.ffRays);
+    writePod(os, st.sampled.cyclesCi95);
+    writeVec(os, st.sampled.counterCi95);
 }
 
 bool
@@ -149,6 +159,18 @@ RunStatsIo::load(std::istream &is, RunStats &st)
           readPod(is, st.ctaRestores) && readPod(is, st.ctaStateBytes) &&
           readVec(is, st.primaryHits)))
         return false;
+
+    uint8_t sampled_enabled = 0;
+    if (!(readPod(is, sampled_enabled) &&
+          readPod(is, st.sampled.intervals) &&
+          readPod(is, st.sampled.measuredCycles) &&
+          readPod(is, st.sampled.measuredRounds) &&
+          readPod(is, st.sampled.totalRays) &&
+          readPod(is, st.sampled.ffRays) &&
+          readPod(is, st.sampled.cyclesCi95) &&
+          readVec(is, st.sampled.counterCi95)))
+        return false;
+    st.sampled.enabled = sampled_enabled != 0;
 
     // The blob must end exactly here; trailing bytes mean a schema skew
     // that kVersion failed to catch.

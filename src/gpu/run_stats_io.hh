@@ -18,7 +18,7 @@ namespace trt
 struct RunStatsIo
 {
     /** Bump on any RunStats/RtStats/MemClassStats layout change. */
-    static constexpr uint32_t kVersion = 1;
+    static constexpr uint32_t kVersion = 2; //!< v2: + sampled summary
 
     static void save(std::ostream &os, const RunStats &st);
 

@@ -144,6 +144,9 @@ HarnessOptions
 HarnessOptions::fromEnv()
 {
     HarnessOptions opt;
+    // TRT_FAST lowers the *defaults* only; the explicit knobs below
+    // read it as their fallback, so "TRT_FAST=1 TRT_SCALE=0.5" runs at
+    // 64x64 with scale 0.5 (see the precedence note in harness.hh).
     if (envFlag("TRT_FAST", false)) {
         opt.resolution = 64;
         opt.sceneScale = 0.15f;
@@ -283,8 +286,12 @@ runScene(const std::string &name, const GpuConfig &cfg,
          const HarnessOptions &opt)
 {
     // Consult the run cache before touching the scene bundle: a warm
-    // cache skips scene generation and the BVH build as well.
-    uint64_t fp = runFingerprint(cfg, name, opt.sceneScale);
+    // cache skips scene generation and the BVH build as well. Sampled
+    // runs fold their SampleConfig into the fingerprint so full and
+    // sampled (or differently-sampled) results never alias.
+    SampleConfig sample = SampleConfig::fromEnv();
+    uint64_t fp = runFingerprint(cfg, name, opt.sceneScale,
+                                 sample.enabled ? sample.fingerprint() : 0);
     RunStats st;
     if (loadCachedRun(fp, name, st))
         return st;
@@ -297,7 +304,12 @@ runScene(const std::string &name, const GpuConfig &cfg,
     if (run_cfg.simThreads == 0)
         run_cfg.simThreads = opt.effectiveSimThreads();
     SnapshotPolicy snap = SnapshotPolicy::fromEnv(fp);
-    if (snap.captureEnabled() || opt.resume) {
+    if (sample.enabled) {
+        st = simulateSampled(run_cfg, b.scene, b.bvh, sample, snap,
+                             opt.resume);
+        if ((snap.captureEnabled() || opt.resume) && !snap.keep)
+            removeSnapshotsFor(snap.dir, fp);
+    } else if (snap.captureEnabled() || opt.resume) {
         st = simulateWithSnapshots(run_cfg, b.scene, b.bvh, snap,
                                    opt.resume);
         // The run completed: its snapshots are spent (resuming them

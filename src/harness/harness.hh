@@ -8,7 +8,11 @@
  *   TRT_RES            image resolution (square), default 256 (paper).
  *   TRT_SCALE          scene triangle-budget multiplier, default 1.0.
  *   TRT_SCENES         comma-separated subset of scene names.
- *   TRT_FAST           =1: resolution 64, scale 0.15 (smoke runs).
+ *   TRT_FAST           =1: default resolution 64, scale 0.15 (smoke
+ *                      runs). Precedence: TRT_FAST only supplies
+ *                      *defaults* — an explicit TRT_RES or TRT_SCALE
+ *                      always wins, so "TRT_FAST=1 TRT_SCALE=0.5"
+ *                      runs 64x64 at scale 0.5.
  *   TRT_THREADS        max parallel scene simulations (default: hw).
  *   TRT_RESULTS        directory for CSV dumps, default "results".
  *   TRT_CACHE          cache root, default ".trt_cache"; =0 disables
@@ -38,6 +42,32 @@
  *                      (default: the harness deletes them).
  *   TRT_RESUME         =1: resume from the newest valid snapshot
  *                      (same as --resume).
+ *   TRT_SAMPLE         =1: sampled simulation (DESIGN.md §8) — detailed
+ *                      measured intervals separated by functional
+ *                      fast-forward + discarded warm-up; RunStats is
+ *                      extrapolated with confidence intervals in
+ *                      RunStats::sampled. Sampled and full results
+ *                      never share run-cache entries.
+ *   TRT_SAMPLE_MEASURE measured-interval length in retired CTAs
+ *                      (default 32; must be > 0). Fixed-work intervals
+ *                      keep the sampling fraction uniform across the
+ *                      frame (see gpu/sampled.hh); longer intervals
+ *                      shrink extrapolation error at wall-clock cost.
+ *   TRT_SAMPLE_WARMUP  hard cap on the discarded detailed warm-up
+ *                      after each fast-forward leg (default 100000
+ *                      cycles; 0 skips warm-up). Warm-up normally
+ *                      exits earlier: when the RT backlog rebuilds to
+ *                      its pre-drain level, or at the final wave.
+ *   TRT_SAMPLE_INTERVALS  target measured-interval count (default 8;
+ *                      must be > 0): each fast-forward leg skips
+ *                      ~totalCtas/target finished CTAs, spreading the
+ *                      intervals uniformly across the frame's work.
+ *                      Scenes with fewer CTAs than one schedule
+ *                      (MEASURE x INTERVALS) run all-detailed (exact).
+ *   TRT_SAMPLE_FF_RAYS fixed fast-forward quantum in rays; overrides
+ *                      the CTA-stratum leg sizing when set.
+ *   TRT_SAMPLE_DEBUG   =1: per-interval rate/strata trace and an
+ *                      extrapolation summary on stderr.
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH

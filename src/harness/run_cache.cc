@@ -169,13 +169,18 @@ runCacheEnabled()
 }
 
 uint64_t
-runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale)
+runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale,
+               uint64_t modeFp)
 {
     Fnv1a h;
     h.pod(uint32_t(0x52554E01)); // schema tag
     h.pod(cfg.fingerprint());
     h.str(scene);
     h.pod(scale);
+    // Execution-mode fingerprint (sampled vs full, and the sampling
+    // parameters themselves). Hashed unconditionally so full runs
+    // (modeFp == 0) key differently from any sampled run.
+    h.pod(modeFp);
     // The harness builds bundles with default BVH parameters; a change
     // there changes simulated addresses and must invalidate runs.
     h.pod(BvhConfig{}.fingerprint());

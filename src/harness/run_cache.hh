@@ -67,9 +67,15 @@ bool runCacheEnabled();
  * (resolution and bounce count live there), the scene identity, the
  * BVH build parameters, the blob schema version and a build stamp of
  * the simulator code, so results can never be served stale.
+ *
+ * @p modeFp distinguishes execution modes that change the *numbers*
+ * without changing the config: a sampled run (TRT_SAMPLE) passes
+ * SampleConfig::fingerprint() here so its extrapolated stats can never
+ * be served for a full run or vice versa, and different sampling
+ * parameters never share a blob. Full runs pass 0 (the default).
  */
 uint64_t runFingerprint(const GpuConfig &cfg, const std::string &scene,
-                        float scale);
+                        float scale, uint64_t modeFp = 0);
 
 /**
  * Try to load the memoized result for @p fp. Counts a hit or miss in

@@ -109,12 +109,12 @@ MemorySystem::finishLine(uint64_t now, uint32_t sm, uint64_t line_addr,
             // If the line's fill is still in flight, wait for it.
             uint64_t pend = pendingReady(pendingL1_, l1_key, now);
             uint64_t ready = std::max(now + cfg_.l1HitLatency, pend);
-            if (bvh && bvhSeries_)
+            if (bvh && bvhSeries_ && bvhSeriesRecording_)
                 bvhSeries_->record(now, 0, 1);
             return ready;
         }
         st.l1Misses++;
-        if (bvh && bvhSeries_)
+        if (bvh && bvhSeries_ && bvhSeriesRecording_)
             bvhSeries_->record(now, 1, 1);
     }
 

@@ -240,6 +240,17 @@ class MemorySystem
     void enableBvhSeries(uint64_t window_cycles);
     const WindowedSeries *bvhSeries() const { return bvhSeries_.get(); }
 
+    /**
+     * Sampled-simulation phase hook: while false, BVH accesses stop
+     * feeding the Fig. 11 windowed series (the counters themselves keep
+     * counting — the sampler extrapolates those from interval deltas,
+     * but the series has no per-window extrapolation, so warm-up and
+     * drain traffic must not dilute its measured windows). Full runs
+     * never touch this; it defaults to recording. Not serialized: the
+     * sampled driver re-derives it from the restored phase.
+     */
+    void setBvhSeriesRecording(bool on) { bvhSeriesRecording_ = on; }
+
     uint32_t lineBytes() const { return cfg_.lineBytes; }
 
     /**
@@ -443,6 +454,7 @@ class MemorySystem
 
     std::array<MemClassStats, size_t(MemClass::NumClasses)> stats_{};
     std::unique_ptr<WindowedSeries> bvhSeries_;
+    bool bvhSeriesRecording_ = true;
 };
 
 } // namespace trt

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Interval-sampling accumulation and extrapolation (SMARTS-style).
+ *
+ * A sampled run alternates detailed "measure" intervals with functional
+ * fast-forward legs. Each measure interval contributes one
+ * SampleInterval: the detailed cycles it spanned, the architectural
+ * work it executed (warp rounds), and the delta of every sampled
+ * hardware counter. Whole-run estimates are *stratified*: interval i
+ * represents the stratum of work from its own start to the start of
+ * interval i+1 (through the fast-forward leg and warm-up between
+ * them), and contributes its observed per-work rate scaled by that
+ * stratum's work:
+ *
+ *     X-hat = sum_i (x_i / w_i) * S_i,      sum_i S_i = W
+ *
+ * where W is the architecturally exact whole-run work. This matters
+ * because the rate varies systematically across a frame (the coherent
+ * primary-ray head is an order of magnitude cheaper per round than the
+ * divergent tail) and early intervals observe far more rounds than
+ * their share of the frame: the pooled ratio-of-sums estimator would
+ * weight each observed rate by rounds *measured* instead of rounds
+ * *represented* and over-weight the cheap head severely. When the
+ * strata exactly coincide with the measured work (an all-detailed run)
+ * the estimate degenerates to the exact measured sum with a zero CI.
+ *
+ * Confidence intervals treat the per-interval rates as draws from a
+ * common rate distribution (one observation per stratum admits no
+ * unbiased per-stratum variance): ci = t95(n-1) * sd(rate) *
+ * sqrt(sum S_i^2).
+ *
+ * All arithmetic is in a fixed interval order over IEEE doubles, so
+ * extrapolated results are bit-identical across TRT_SIM_THREADS and
+ * TRT_SIMD (the inputs are integer counters that are themselves
+ * deterministic).
+ */
+
+#ifndef TRT_STATS_SAMPLING_HH
+#define TRT_STATS_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "snapshot/serializer.hh"
+
+namespace trt
+{
+
+/** One detailed measured interval of a sampled run. */
+struct SampleInterval
+{
+    uint64_t cycles = 0; //!< Detailed cycles spanned by the interval.
+    uint64_t work = 0;   //!< Work executed inside the interval.
+    /** Whole-run work of the stratum this interval represents: from
+     *  this interval's start to the next interval's start (or the end
+     *  of the run), including the fast-forward leg and warm-up between
+     *  them. Filled by SampleAccumulator::closeStratum. */
+    uint64_t stratumWork = 0;
+    std::vector<uint64_t> deltas; //!< Per-counter deltas (fixed order).
+};
+
+/** Point estimate plus a 95% confidence half-width (same units). */
+struct Estimate
+{
+    double value = 0.0;
+    double ci95 = 0.0;
+};
+
+/** Two-sided 95% Student-t critical value for @p df degrees of
+ *  freedom; the normal 1.96 beyond the tabulated range. */
+double studentT95(size_t df);
+
+/**
+ * Stratified ratio extrapolation: interval i observed numerator
+ * @p xs [i] over work @p ws [i] and represents @p strata [i] units of
+ * whole-run work. Returns sum_i (x_i/w_i) * S_i; intervals with zero
+ * observed work fall back to the pooled rate for their stratum. When
+ * no work was observed at all (sum w == 0) the estimate degenerates to
+ * the raw measured sum with a zero CI; when the strata coincide with
+ * the measured work (sum S == sum w, an all-detailed run) the result
+ * is the exact measured sum and the CI is 0.
+ */
+Estimate stratifiedExtrapolate(const std::vector<uint64_t> &xs,
+                               const std::vector<uint64_t> &ws,
+                               const std::vector<uint64_t> &strata,
+                               uint64_t residualWork = 0);
+
+/**
+ * Accumulates measured intervals during a sampled run and extrapolates
+ * whole-run totals once the run finishes. counterCount is fixed by the
+ * first interval; later intervals must match.
+ */
+class SampleAccumulator
+{
+  public:
+    void add(SampleInterval iv);
+
+    /** Record the whole-run work represented by the most recently
+     *  added interval (its stratum: own start through the following
+     *  leg and warm-up). No-op when no interval has been added. */
+    void closeStratum(uint64_t stratumWork);
+
+    /** Work not represented by any interval (e.g. a frame-ending
+     *  warm-up after the last interval closed); extrapolated at the
+     *  pooled rate rather than any single interval's. */
+    void setResidualWork(uint64_t work) { residualWork_ = work; }
+    uint64_t residualWork() const { return residualWork_; }
+
+    size_t intervals() const { return intervals_.size(); }
+    size_t counterCount() const { return counterCount_; }
+    const std::vector<SampleInterval> &samples() const
+    { return intervals_; }
+
+    uint64_t measuredCycles() const { return measuredCycles_; }
+    uint64_t measuredWork() const { return measuredWork_; }
+
+    /** Whole-run cycle estimate over the recorded strata. */
+    Estimate extrapolateCycles() const;
+
+    /** Whole-run estimate of every sampled counter, in the order the
+     *  deltas were recorded. */
+    std::vector<Estimate> extrapolateCounters() const;
+
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+
+  private:
+    std::vector<uint64_t> strata() const;
+
+    std::vector<SampleInterval> intervals_;
+    size_t counterCount_ = 0;
+    uint64_t measuredCycles_ = 0;
+    uint64_t measuredWork_ = 0;
+    uint64_t residualWork_ = 0;
+};
+
+} // namespace trt
+
+#endif // TRT_STATS_SAMPLING_HH

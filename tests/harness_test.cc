@@ -86,6 +86,24 @@ TEST(HarnessOptions, FastMode)
     EXPECT_LT(opt.sceneScale, 0.5f);
 }
 
+/** TRT_FAST only lowers the *defaults*: an explicit TRT_SCALE (or
+ *  TRT_RES) wins over the smoke-mode values regardless of the order
+ *  the knobs are read (precedence note in harness.hh). */
+TEST(HarnessOptions, ExplicitScaleWinsOverFastMode)
+{
+    EnvGuard f("TRT_FAST", "1");
+    EnvGuard s("TRT_SCALE", "0.5");
+    unsetenv("TRT_RES");
+    HarnessOptions opt = HarnessOptions::fromEnv();
+    EXPECT_EQ(opt.resolution, 64u); // fast default still applies
+    EXPECT_FLOAT_EQ(opt.sceneScale, 0.5f);
+
+    EnvGuard r("TRT_RES", "512");
+    opt = HarnessOptions::fromEnv();
+    EXPECT_EQ(opt.resolution, 512u);
+    EXPECT_FLOAT_EQ(opt.sceneScale, 0.5f);
+}
+
 // ---- strict environment-knob parsing (util/env.hh) -----------------
 
 TEST(EnvKnobs, MalformedIntegerIsAHardError)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Dispatch-policy ablation (DESIGN.md §9): baseline FIFO vs the
+ * paper's virtualized treelet queues vs Morton ray reordering vs
+ * hash-based path prediction, per figure scene. Reports cycles and
+ * speedup over FIFO, SIMT efficiency, BVH L1/L2 miss rates, and the
+ * predictor hit rate — and fails hard if any policy renders a
+ * different frame, since policies only move *when* rays run and
+ * *where* traversal starts, never what a ray hits.
+ */
+
+#include <array>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "harness/harness.hh"
+
+namespace
+{
+
+using namespace trt;
+
+/** Combined miss rate of the BVH traffic (nodes + triangle blocks). */
+double
+bvhMissRate(const RunStats &st, bool l2)
+{
+    const MemClassStats &n = st.memClass(MemClass::BvhNode);
+    const MemClassStats &t = st.memClass(MemClass::Triangle);
+    uint64_t acc = l2 ? n.l2Accesses + t.l2Accesses
+                      : n.l1Accesses + t.l1Accesses;
+    uint64_t miss = l2 ? n.l2Misses + t.l2Misses
+                       : n.l1Misses + t.l1Misses;
+    return acc ? double(miss) / double(acc) : 0.0;
+}
+
+bool
+sameFrame(const RunStats &a, const RunStats &b)
+{
+    return a.framebuffer.size() == b.framebuffer.size() &&
+           (a.framebuffer.empty() ||
+            std::memcmp(a.framebuffer.data(), b.framebuffer.data(),
+                        a.framebuffer.size() * sizeof(Vec3)) == 0);
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
+    printBenchHeader(
+        "Dispatch-policy ablation (fifo / vtq / reorder / predict)", opt);
+
+    // This bench sweeps the policy axis itself; a TRT_POLICY override
+    // would collapse all four configurations into one.
+    HarnessOptions sweep = opt;
+    sweep.policyName.clear();
+
+    constexpr DispatchPolicyKind kKinds[] = {
+        DispatchPolicyKind::Fifo,
+        DispatchPolicyKind::Vtq,
+        DispatchPolicyKind::Reorder,
+        DispatchPolicyKind::Predict,
+    };
+    constexpr size_t kNum = sizeof(kKinds) / sizeof(kKinds[0]);
+
+    std::vector<std::array<RunStats, kNum>> runs(opt.scenes.size());
+    parallelForScenes(opt, [&](size_t i, const std::string &name) {
+        for (size_t k = 0; k < kNum; k++) {
+            runs[i][k] = runScene(
+                name, sweep.apply(GpuConfig::forPolicy(kKinds[k])), sweep);
+        }
+    });
+
+    Table t({"scene", "policy", "cycles", "speedup_vs_fifo", "simt_eff",
+             "bvh_l1_miss", "bvh_l2_miss", "predict_hit_rate",
+             "reorder_batches"});
+    bool frames_ok = true;
+    std::array<std::vector<double>, kNum> speedups;
+    for (size_t i = 0; i < opt.scenes.size(); i++) {
+        const RunStats &fifo = runs[i][0];
+        for (size_t k = 0; k < kNum; k++) {
+            const RunStats &st = runs[i][k];
+            if (!sameFrame(fifo, st)) {
+                std::cerr << "FRAME MISMATCH: scene " << opt.scenes[i]
+                          << " policy "
+                          << dispatchPolicyName(kKinds[k])
+                          << " differs from fifo\n";
+                frames_ok = false;
+            }
+            double speedup = double(fifo.cycles) / double(st.cycles);
+            speedups[k].push_back(speedup);
+            t.row()
+                .cell(opt.scenes[i])
+                .cell(dispatchPolicyName(kKinds[k]))
+                .cell(st.cycles)
+                .cell(speedup, 3)
+                .cell(st.simtEfficiency(), 3)
+                .cell(bvhMissRate(st, false), 4)
+                .cell(bvhMissRate(st, true), 4)
+                .cell(st.rt.predictHitRate(), 3)
+                .cell(st.rt.reorderBatches);
+        }
+    }
+    for (size_t k = 0; k < kNum; k++) {
+        t.row()
+            .cell("GEOMEAN")
+            .cell(dispatchPolicyName(kKinds[k]))
+            .cell("")
+            .cell(geomean(speedups[k]), 3)
+            .cell("")
+            .cell("")
+            .cell("")
+            .cell("")
+            .cell("");
+    }
+    t.print(std::cout);
+    writeCsv(opt, t, "policy_compare.csv");
+
+    if (!frames_ok) {
+        std::cerr << "\npolicy ablation FAILED: rendered frames differ "
+                     "across policies\n";
+        return 1;
+    }
+    std::cout << "\nframes identical across all " << kNum
+              << " policies on every scene\n";
+    return 0;
+}

@@ -74,6 +74,10 @@ done
 
 entry="{\"bench\": \"$(basename "$bin")\""
 entry="$entry, \"mode\": \"$mode\""
+# Active dispatch policy (DESIGN.md §9): a TRT_POLICY override changes
+# what the timed hot loop does, so the history entry must record it —
+# "baseline" when unset (each bench config's own policy).
+entry="$entry, \"policy\": \"${TRT_POLICY:-baseline}\""
 entry="$entry, \"env\": \"$env_desc\""
 entry="$entry, \"runs\": [$all_real]"
 entry="$entry, \"best_real_s\": $best_real"

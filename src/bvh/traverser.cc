@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace trt
 {
@@ -24,6 +25,12 @@ RayTraverser::reset(const Bvh *bvh, const Ray &ray)
     fetchNode_ = kInvalidNode;
     hitRec_ = HitRecord{};
     counts_ = Counts{};
+    specPrimed_ = false;
+    specPending_ = false;
+    specValid_ = false;
+    specT_ = 0.0f;
+    hitBlockFirst_ = 0;
+    hitBlockCount_ = 0;
     // The ray conceptually starts outside any treelet with the root on
     // its treelet stack, so even the first step is a boundary crossing
     // into the root treelet. This is exactly how the paper's treelet
@@ -34,10 +41,66 @@ RayTraverser::reset(const Bvh *bvh, const Ray &ray)
 }
 
 void
+RayTraverser::primeSpeculation(uint32_t first_tri, uint32_t count)
+{
+    // Only a freshly reset traversal can be primed: the root is the
+    // sole stack entry and nothing has been fetched yet.
+    assert(phase_ == Phase::AtBoundary && currentStack_.empty() &&
+           treeletStack_.size() == 1 && pendingLeaves_.empty() &&
+           count > 0);
+    pendingLeaves_.push_back({first_tri, count});
+    phase_ = Phase::FetchLeaf;
+    specPrimed_ = true;
+    specPending_ = true;
+}
+
+namespace
+{
+
+/**
+ * Node-culling bound derived from the speculative candidate distance.
+ * Triangle t (Möller-Trumbore) and box entry t (slab test) come from
+ * different float expressions, so near a triangle lying on its node's
+ * boundary plane the computed box entry can exceed the exact hit t by
+ * a few ulps; culling boxes at the raw specT_ would then prune the
+ * very node that holds the closest hit (observed on axis-aligned
+ * Cornell walls). Padding the *culling* bound — never the acceptance
+ * bound, whose equal-t tie-break is bit-exact — keeps that node alive
+ * at the price of visiting a handful of nodes the unprimed traversal
+ * visits anyway (pre-hit it traverses with the full ray extent).
+ */
+inline float
+specCullBound(float spec_t)
+{
+    return spec_t + (std::fabs(spec_t) * 1e-4f + 1e-6f);
+}
+
+} // anonymous namespace
+
+RayTraverser::SpecOutcome
+RayTraverser::specOutcome() const
+{
+    if (!specPrimed_)
+        return SpecOutcome::None;
+    // Correct iff the speculative block produced the final hit
+    // distance; equal-t means the block held a closest-hit triangle
+    // even if the in-order tie-break later picked another.
+    return (specValid_ && hitRec_.hit() && hitRec_.t == specT_)
+               ? SpecOutcome::Correct
+               : SpecOutcome::Wrong;
+}
+
+void
 RayTraverser::pruneStacks()
 {
+    // Until a real hit exists, the speculative candidate distance
+    // prunes nearly as hard (padded against float noise, see
+    // specCullBound); entries near the bound survive because an
+    // equal-t triangle may still be the tie-break winner.
     auto dead = [this](const Entry &e) {
-        return hitRec_.hit() && e.t > hitRec_.t;
+        if (hitRec_.hit())
+            return e.t > hitRec_.t;
+        return specValid_ && e.t > specCullBound(specT_);
     };
     while (!currentStack_.empty() && dead(currentStack_.back()))
         currentStack_.pop_back();
@@ -94,10 +157,15 @@ RayTraverser::complete()
         counts_.nodeFetches++;
         const WideNode &n = bvh_->nodes()[fetchNode_];
 
-        // Shrink the ray interval to the best hit so far.
+        // Shrink the ray interval to the best hit so far — or, before
+        // the first real hit, to the speculative candidate distance
+        // padded against slab-vs-triangle float noise so nodes holding
+        // an equal-t closest triangle are never culled.
         Ray r = ray_;
         if (hitRec_.hit())
             r.tmax = hitRec_.t;
+        else if (specValid_)
+            r.tmax = specCullBound(specT_);
 
         struct ChildHit
         {
@@ -154,25 +222,61 @@ RayTraverser::complete()
         pendingLeaves_.pop_back();
 
         Ray r = ray_;
-        if (hitRec_.hit())
+        // Before the first real acceptance the speculative candidate
+        // only *bounds* the search; a triangle matching it exactly is
+        // accepted once, so the ordinary first-in-traversal-order
+        // tie-break still decides the final hit (see
+        // primeSpeculation()).
+        bool allow_eq = false;
+        if (hitRec_.hit()) {
             r.tmax = hitRec_.t;
+        } else if (specValid_) {
+            r.tmax = specT_;
+            allow_eq = true;
+        }
         // Batched Möller-Trumbore candidates; the acceptance fold runs
         // per lane in order so r.tmax shrinks between triangles of the
         // leaf exactly as the scalar loop's did.
         const Triangle *tris = &bvh_->triangles()[pl.firstTri];
-        for (uint32_t k0 = 0; k0 < pl.count; k0 += 4) {
-            uint32_t cnt = std::min(pl.count - k0, 4u);
-            float t[4], u[4], v[4];
-            uint32_t m = mollerTrumbore4(r, tris + k0, cnt, t, u, v);
-            for (uint32_t k = 0; k < cnt; k++) {
-                if (!(m >> k & 1u))
-                    continue;
-                if (t[k] > r.tmin && t[k] < r.tmax) {
-                    hitRec_.t = t[k];
-                    hitRec_.u = u[k];
-                    hitRec_.v = v[k];
-                    hitRec_.triIndex = pl.firstTri + k0 + k;
-                    r.tmax = t[k];
+        if (specPending_) {
+            // The primed block: record only the closest valid candidate
+            // distance. hit() stays untouched — the fallback traversal
+            // (which always follows) re-derives the actual hit record.
+            specPending_ = false;
+            for (uint32_t k0 = 0; k0 < pl.count; k0 += 4) {
+                uint32_t cnt = std::min(pl.count - k0, 4u);
+                float t[4], u[4], v[4];
+                uint32_t m = mollerTrumbore4(r, tris + k0, cnt, t, u, v);
+                for (uint32_t k = 0; k < cnt; k++) {
+                    if (!(m >> k & 1u))
+                        continue;
+                    if (t[k] > r.tmin && t[k] < r.tmax) {
+                        specT_ = t[k];
+                        specValid_ = true;
+                        r.tmax = t[k];
+                    }
+                }
+            }
+        } else {
+            for (uint32_t k0 = 0; k0 < pl.count; k0 += 4) {
+                uint32_t cnt = std::min(pl.count - k0, 4u);
+                float t[4], u[4], v[4];
+                uint32_t m = mollerTrumbore4(r, tris + k0, cnt, t, u, v);
+                for (uint32_t k = 0; k < cnt; k++) {
+                    if (!(m >> k & 1u))
+                        continue;
+                    if (t[k] > r.tmin &&
+                        (t[k] < r.tmax ||
+                         (allow_eq && t[k] == r.tmax))) {
+                        hitRec_.t = t[k];
+                        hitRec_.u = u[k];
+                        hitRec_.v = v[k];
+                        hitRec_.triIndex = pl.firstTri + k0 + k;
+                        hitBlockFirst_ = pl.firstTri;
+                        hitBlockCount_ = pl.count;
+                        r.tmax = t[k];
+                        allow_eq = false;
+                    }
                 }
             }
         }
@@ -220,6 +324,12 @@ RayTraverser::saveState(Serializer &s) const
     s.vecPod(pendingLeaves_);
     s.pod(hitRec_);
     s.pod(counts_);
+    s.b(specPrimed_);
+    s.b(specPending_);
+    s.b(specValid_);
+    s.f32(specT_);
+    s.u32(hitBlockFirst_);
+    s.u32(hitBlockCount_);
     s.endChunk();
 }
 
@@ -241,6 +351,12 @@ RayTraverser::loadState(Deserializer &d, const Bvh *bvh)
     pendingLeaves_ = d.vecPod<PendingLeaf>();
     hitRec_ = d.pod<HitRecord>();
     counts_ = d.pod<Counts>();
+    specPrimed_ = d.b();
+    specPending_ = d.b();
+    specValid_ = d.b();
+    specT_ = d.f32();
+    hitBlockFirst_ = d.u32();
+    hitBlockCount_ = d.u32();
     d.endChunk();
 }
 

@@ -69,6 +69,34 @@ class RayTraverser
      *  whatever this traverser ran before (hot-loop pooling). */
     void reset(const Bvh *bvh, const Ray &ray);
 
+    /** Outcome of a speculative leaf-block entry (path prediction). */
+    enum class SpecOutcome : uint8_t
+    {
+        None,    //!< Traversal was not primed.
+        Correct, //!< The predicted block contained the closest hit.
+        Wrong,   //!< It did not; root fallback found (or confirmed) it.
+    };
+
+    /**
+     * Prime a freshly reset() traversal with a predicted leaf block
+     * (hash-based path prediction, DESIGN.md §9): the block's triangles
+     * are fetched and tested *first*, before any node of the tree. The
+     * speculative result is never committed to hit() directly — its
+     * closest valid t only tightens the traversal cull bound, and a
+     * triangle matching that bound exactly is accepted once during the
+     * root fallback that always follows. The final hit is therefore
+     * bit-identical to an unprimed traversal whether the prediction was
+     * right, partially right, or wrong (the misprediction fallback *is*
+     * the normal root traversal); a correct prediction merely prunes
+     * most of it. Only legal immediately after reset().
+     */
+    void primeSpeculation(uint32_t first_tri, uint32_t count);
+
+    /** Whether this traversal was primed with a prediction. */
+    bool specPrimed() const { return specPrimed_; }
+    /** Prediction outcome; final once done(). */
+    SpecOutcome specOutcome() const;
+
     Phase phase() const { return phase_; }
     bool done() const { return phase_ == Phase::Done; }
 
@@ -104,6 +132,12 @@ class RayTraverser
     const HitRecord &hit() const { return hitRec_; }
     const Counts &counts() const { return counts_; }
     const Ray &ray() const { return ray_; }
+
+    /** Leaf block (firstTri, count) whose triangle produced the current
+     *  hit(); count is 0 while there is no hit. Predictor training
+     *  reads these at completion. */
+    uint32_t hitBlockFirst() const { return hitBlockFirst_; }
+    uint32_t hitBlockCount() const { return hitBlockCount_; }
 
     /** Entries remaining across both stacks (diagnostics). */
     size_t stackDepth() const
@@ -146,6 +180,16 @@ class RayTraverser
 
     HitRecord hitRec_;
     Counts counts_;
+
+    // Speculative-entry state (primeSpeculation). specT_ is the closest
+    // valid t found in the predicted block; it bounds the fallback
+    // traversal until the first real acceptance re-derives the hit.
+    bool specPrimed_ = false;  //!< Traversal was primed at reset.
+    bool specPending_ = false; //!< The primed block fetch is in flight.
+    bool specValid_ = false;   //!< specT_ holds a valid candidate t.
+    float specT_ = 0.0f;
+    uint32_t hitBlockFirst_ = 0;
+    uint32_t hitBlockCount_ = 0;
 };
 
 /**

@@ -25,6 +25,7 @@ TreeletQueueRtUnit::TreeletQueueRtUnit(const GpuConfig &cfg,
     slots_.resize(cfg.warpBufferSize);
     for (auto &s : slots_)
         s.entries.resize(cfg.warpSize);
+    policy_ = makeDispatchPolicy(cfg, bvh, stats_);
 }
 
 TraversalMode
@@ -232,20 +233,6 @@ TreeletQueueRtUnit::installParked(uint64_t now, Slot &slot, Parked &&p)
         return;
     }
     assert(false && "no free entry in slot");
-}
-
-uint32_t
-TreeletQueueRtUnit::largestQueue() const
-{
-    uint32_t best = kInvalidTreelet;
-    size_t best_size = 0;
-    for (const auto &[t, q] : queues_) {
-        if (q.size() > best_size) {
-            best = t;
-            best_size = q.size();
-        }
-    }
-    return best;
 }
 
 void
@@ -465,8 +452,7 @@ TreeletQueueRtUnit::handlePolicy(uint64_t now, Slot &slot)
             }
             if (!e.trav.atBoundary())
                 continue; // issue-port limited; retried next cycle
-            if (cfg_.skipTreeletPhase ||
-                slotDivergence(slot) > cfg_.initialDivergeThreshold) {
+            if (policy_->endInitialPhase(slotDivergence(slot))) {
                 slot.draining = true;
                 parkEntry(now, slot, e);
             } else {
@@ -536,25 +522,18 @@ TreeletQueueRtUnit::dispatch(uint64_t now)
         if (queuedRays_ == 0)
             continue;
 
-        // Empty the current treelet queue before switching (3.2).
-        if (!cfg_.skipTreeletPhase && loadedTreelet_ != kInvalidTreelet) {
-            auto it = queues_.find(loadedTreelet_);
-            if (it != queues_.end() && !it->second.empty()) {
-                dispatchTreelet(now, slot, loadedTreelet_);
-                continue;
-            }
-        }
-
-        uint32_t lq = largestQueue();
-        if (lq == kInvalidTreelet)
-            continue;
-        size_t size = queues_.at(lq).size();
-        bool treelet_eligible =
-            !cfg_.skipTreeletPhase &&
-            (size >= cfg_.queueThreshold || !cfg_.groupUnderpopulated);
-        if (treelet_eligible)
-            dispatchTreelet(now, slot, lq);
-        else if (cfg_.groupUnderpopulated || cfg_.skipTreeletPhase)
+        // Present the non-empty queues in table order and let the
+        // policy choose (DESIGN.md §9); acting on the choice — treelet
+        // load, ray-data fetches, preloading — stays in this unit.
+        queueScratch_.clear();
+        for (const auto &[t, q] : queues_)
+            if (!q.empty())
+                queueScratch_.push_back({t, uint32_t(q.size())});
+        DispatchPolicy::DispatchChoice choice =
+            policy_->chooseDispatch(queueScratch_, loadedTreelet_);
+        if (choice.kind == DispatchPolicy::WarpKind::Treelet)
+            dispatchTreelet(now, slot, choice.treelet);
+        else if (choice.kind == DispatchPolicy::WarpKind::Grouped)
             dispatchGrouped(now, slot);
     }
 }
@@ -571,7 +550,7 @@ TreeletQueueRtUnit::accountInterval(uint64_t now)
             continue;
         stats_.activeLaneCycles += uint64_t(slot.active) * dt;
         stats_.slotLaneCycles += uint64_t(cfg_.warpSize) * dt;
-        stats_.modeCycles[size_t(modeOf(slot.kind))] += dt;
+        stats_.modeCycles[modeIndex(modeOf(slot.kind))] += dt;
     }
 }
 
@@ -635,17 +614,21 @@ uint64_t
 TreeletQueueRtUnit::raysHeld() const
 {
     // Recovery metric for the sampler's warm-up (RtUnitBase::raysHeld):
-    // population alone recovers quickly after a drain, but fresh rays
-    // all enter near the root treelet and serve with far better
-    // locality than the steady state, where rays are spread across
-    // many queues and every queue switch costs a treelet fetch. Weight
-    // population by the number of distinct occupied queues so the
-    // warm-up waits for the *spread* to rebuild too.
-    uint64_t spread = 0;
+    // population alone recovers quickly after a drain, but what the
+    // drain really destroys is the queue *contents* — in steady state
+    // rays are spread over many queues at meaningful depths, and
+    // serving rounds against freshly refilled shallow queues looks
+    // nothing like it. Count the stepping/fresh rays plus each queue's
+    // depth capped at twice the dispatch threshold, so depth has to
+    // rebuild queue by queue and one giant root queue (the post-drain
+    // shape) cannot stand in for the steady-state spread. The previous
+    // population-x-spread product over-weighted exactly that shape; see
+    // the re-measured error table in DESIGN.md §8.
+    uint64_t cap = 2 * std::max<uint64_t>(1, cfg_.queueThreshold);
+    uint64_t held = uint64_t(raysInFlight_) - queuedRays_;
     for (const auto &q : queues_)
-        if (!q.second.empty())
-            spread++;
-    return uint64_t(raysInFlight_) * std::max<uint64_t>(1, spread);
+        held += std::min<uint64_t>(q.second.size(), cap);
+    return held;
 }
 
 void

@@ -32,8 +32,10 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
+#include "gpu/dispatch_policy.hh"
 #include "gpu/rt_unit.hh"
 
 namespace trt
@@ -124,8 +126,6 @@ class TreeletQueueRtUnit : public RtUnitBase
     /** Pull up to @p max rays across queues in table order into @p out
      *  (cleared first; callers pass the pooled strayScratch_). */
     void gatherStrays(uint32_t max, std::vector<Parked> &out);
-    /** Largest queue id, or kInvalidTreelet. */
-    uint32_t largestQueue() const;
     void maybePreload(uint64_t now);
     void installParked(uint64_t now, Slot &slot, Parked &&p);
 
@@ -144,6 +144,12 @@ class TreeletQueueRtUnit : public RtUnitBase
     // Pooled scratch (allocation-free steady state).
     mutable std::vector<uint32_t> divScratch_;
     std::vector<Parked> strayScratch_;
+    std::vector<DispatchPolicy::QueueView> queueScratch_;
+
+    /** Scheduling decisions (initial-phase termination, queue
+     *  selection) extracted behind the DispatchPolicy interface
+     *  (DESIGN.md §9); the timing of acting on them stays here. */
+    std::unique_ptr<DispatchPolicy> policy_;
 
     /**
      * Retired traversers, kept for their grown stack capacity. Every

@@ -13,11 +13,54 @@
 namespace trt
 {
 
+const char *
+dispatchPolicyName(DispatchPolicyKind k)
+{
+    switch (k) {
+      case DispatchPolicyKind::Fifo:
+        return "fifo";
+      case DispatchPolicyKind::Vtq:
+        return "vtq";
+      case DispatchPolicyKind::Reorder:
+        return "reorder";
+      case DispatchPolicyKind::Predict:
+        return "predict";
+      default:
+        return "unknown";
+    }
+}
+
+bool
+parseDispatchPolicy(const std::string &name, DispatchPolicyKind &out)
+{
+    if (name == "baseline" || name == "fifo")
+        out = DispatchPolicyKind::Fifo;
+    else if (name == "vtq")
+        out = DispatchPolicyKind::Vtq;
+    else if (name == "reorder")
+        out = DispatchPolicyKind::Reorder;
+    else if (name == "predict")
+        out = DispatchPolicyKind::Predict;
+    else
+        return false;
+    return true;
+}
+
+GpuConfig
+GpuConfig::forPolicy(DispatchPolicyKind kind)
+{
+    if (kind == DispatchPolicyKind::Vtq)
+        return virtualizedTreeletQueues();
+    GpuConfig c;
+    c.policy = kind;
+    return c;
+}
+
 uint64_t
 GpuConfig::fingerprint() const
 {
     Fnv1a h;
-    h.pod(uint32_t(0x6C0F0001)); // schema tag
+    h.pod(uint32_t(0x6C0F0002)); // schema tag
 
     h.pod(numSms);
     h.pod(maxWarpsPerSm);
@@ -65,6 +108,10 @@ GpuConfig::fingerprint() const
     h.pod(uint8_t(preloadEnabled));
     h.pod(initialDivergeThreshold);
     h.pod(uint8_t(skipTreeletPhase));
+
+    h.pod(policy);
+    h.pod(reorderBinBits);
+    h.pod(predictTableBits);
 
     h.pod(prefetchCooldown);
     h.pod(prefetchMinRays);

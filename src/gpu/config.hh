@@ -9,6 +9,7 @@
 #define TRT_GPU_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "memsys/memsys.hh"
 
@@ -24,6 +25,28 @@ enum class RtArch : uint8_t
 };
 
 const char *rtArchName(RtArch a);
+
+/**
+ * Dispatch policy: which ray runs next, in which warp, starting at
+ * which node (DESIGN.md §9). The policy object owns the RT unit's
+ * pending-ray pool and the scheduling decisions; the unit keeps the
+ * pipeline/timing machinery. Every policy produces bit-identical
+ * rendered frames — policies only move *when* rays run and *where*
+ * traversal starts, never what a ray finally hits.
+ */
+enum class DispatchPolicyKind : uint8_t
+{
+    Fifo,    //!< Arrival order, warps kept intact (the seed baseline).
+    Vtq,     //!< The paper's virtualized-treelet-queue heuristics.
+    Reorder, //!< Morton/octant-binned ray reordering (Meister et al.).
+    Predict, //!< Hash-based path prediction (Demoullin/Gubran/Aamodt).
+};
+
+const char *dispatchPolicyName(DispatchPolicyKind k);
+
+/** Parse a TRT_POLICY value ("baseline"/"fifo", "vtq", "reorder",
+ *  "predict"); false on unknown names. */
+bool parseDispatchPolicy(const std::string &name, DispatchPolicyKind &out);
 
 /** Full simulation configuration. */
 struct GpuConfig
@@ -95,6 +118,20 @@ struct GpuConfig
      *  "treelet queue threshold of zero" experiment). */
     bool skipTreeletPhase = false;
 
+    // ------ Dispatch policy (DESIGN.md §9) ----------------------------
+    /** Strategy object the RT units consult for warp formation and
+     *  scheduling decisions. Fifo reproduces the seed baseline timing
+     *  exactly; Vtq holds the paper's treelet-queue heuristics and is
+     *  what virtualizedTreeletQueues() selects. */
+    DispatchPolicyKind policy = DispatchPolicyKind::Fifo;
+    /** Reorder policy: bits per axis of the Morton origin grid over the
+     *  scene bounds (bin key = 3*bits morton + 3 direction-octant
+     *  bits). More bits = finer bins = stronger sorting. */
+    uint32_t reorderBinBits = 6;
+    /** Predict policy: log2 of the per-RT-unit direct-mapped
+     *  prediction-table entries (quantized ray hash -> leaf block). */
+    uint32_t predictTableBits = 12;
+
     // ------ Treelet prefetching baseline (Chou et al.) ----------------
     /** Min cycles between prefetch issues (keeps the prefetcher from
      *  thrashing when the popular treelet flips every few cycles). */
@@ -115,6 +152,7 @@ struct GpuConfig
     {
         GpuConfig c;
         c.arch = RtArch::TreeletQueues;
+        c.policy = DispatchPolicyKind::Vtq;
         c.rayVirtualization = true;
         c.mem.l2ReservedBytes = 64 * 1024;
         return c;
@@ -128,6 +166,14 @@ struct GpuConfig
         c.arch = RtArch::TreeletPrefetch;
         return c;
     }
+
+    /**
+     * Canonical configuration for a dispatch policy: Vtq implies the
+     * full proposed architecture (treelet queues + ray virtualization);
+     * Fifo/Reorder/Predict run on the baseline ray-stationary unit.
+     * This is what TRT_POLICY and bench_policy select.
+     */
+    static GpuConfig forPolicy(DispatchPolicyKind kind);
 
     /**
      * Hash of every simulation-affecting field (including the embedded

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Dispatch policies (DESIGN.md §9): the strategy objects that decide
+ * *which ray runs next, in which warp, starting at which node*, kept
+ * separate from the RT units' pipeline/timing machinery.
+ *
+ * A policy owns the unit's pending-ray pool (enqueue / formWarp), gets
+ * per-ray hooks (speculate / onRayComplete), and — for the treelet-
+ * queue architecture — the warp-scheduling decisions extracted from
+ * TreeletQueueRtUnit (endInitialPhase / chooseDispatch). All policy
+ * state is per-RT-unit and mutated only inside that SM's tick or the
+ * serial phases, so every policy is bit-identical across
+ * TRT_SIM_THREADS and TRT_SIMD. Policies only move *when* rays run and
+ * *where* traversal starts; the rendered frame is identical across all
+ * of them (the Predict policy's speculative entry is frame-exact by
+ * construction — see RayTraverser::primeSpeculation).
+ *
+ * Policies:
+ *  - Fifo:    arrival order, warps kept intact. Reproduces the seed
+ *             baseline cycle-for-cycle.
+ *  - Vtq:     the paper's virtualized-treelet-queue heuristics
+ *             (sections 4.3-4.4), used by the TreeletQueues arch.
+ *  - Reorder: Morton/octant-binned ray reordering before warp
+ *             formation (Meister et al.'s reordering line): pending
+ *             rays are binned by a quantized origin Morton code plus
+ *             the direction octant and drained in key order, so each
+ *             formed warp is spatially coherent.
+ *  - Predict: hash-based path prediction (Demoullin/Gubran/Aamodt):
+ *             a per-unit direct-mapped table maps a quantized
+ *             origin/direction hash to the leaf block that resolved
+ *             the last such ray; predicted rays enter traversal at
+ *             that block, with misprediction detection and root
+ *             fallback built into the traverser.
+ */
+
+#ifndef TRT_GPU_DISPATCH_POLICY_HH
+#define TRT_GPU_DISPATCH_POLICY_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gpu/rt_unit.hh"
+
+namespace trt
+{
+
+/** Strategy interface; see the file comment. PendingRay (the pool
+ *  element type) is declared next to its owner in rt_unit.hh. */
+class DispatchPolicy
+{
+  public:
+    /** A predicted leaf block to enter traversal at (Predict only). */
+    struct Speculation
+    {
+        uint32_t firstTri = 0;
+        uint32_t count = 0;
+        bool valid = false;
+    };
+
+    /** One treelet queue as the scheduling decision sees it. */
+    struct QueueView
+    {
+        uint32_t treelet;
+        uint32_t size;
+    };
+
+    /** What chooseDispatch() wants a free warp slot to run. */
+    enum class WarpKind : uint8_t
+    {
+        None,    //!< Leave the slot free this cycle.
+        Treelet, //!< Treelet-stationary warp from the chosen queue.
+        Grouped, //!< Ray-stationary warp of gathered queue strays.
+    };
+
+    struct DispatchChoice
+    {
+        WarpKind kind = WarpKind::None;
+        uint32_t treelet = kInvalidTreelet;
+    };
+
+    DispatchPolicy(const GpuConfig &cfg, const Bvh &bvh, RtStats &stats)
+        : cfg_(cfg), bvh_(bvh), stats_(stats)
+    {
+    }
+    virtual ~DispatchPolicy() = default;
+
+    virtual DispatchPolicyKind kind() const = 0;
+
+    // ---- pending-ray pool (baseline-arch warp formation) -------------
+    /** Hand over one warp's rays (a group; policies may keep or break
+     *  the grouping). */
+    virtual void enqueue(std::vector<PendingRay> &&group) = 0;
+    /** Fill @p out (cleared first) with up to @p warp_size rays forming
+     *  the next warp; empty = nothing to dispatch. */
+    virtual void formWarp(uint32_t warp_size,
+                          std::vector<PendingRay> &out) = 0;
+    virtual bool hasPending() const = 0;
+    virtual uint64_t pendingRays() const = 0;
+    /** Move out *every* pending ray in deterministic order
+     *  (drainFunctional). */
+    virtual void takePending(std::vector<PendingRay> &out) = 0;
+
+    // ---- per-ray traversal hooks -------------------------------------
+    /** Consulted once per ray at slot install; a valid result primes
+     *  the traverser (RayTraverser::primeSpeculation). */
+    virtual Speculation
+    speculate(const Ray &ray)
+    {
+        (void)ray;
+        return {};
+    }
+    /** Called when a ray's traversal completes (timing or functional
+     *  drain); Predict trains its table and scores the outcome here. */
+    virtual void
+    onRayComplete(const RayTraverser &trav)
+    {
+        (void)trav;
+    }
+
+    // ---- treelet-queue scheduling decisions (TreeletQueues arch) -----
+    // One canonical implementation — the paper's heuristics, extracted
+    // verbatim from TreeletQueueRtUnit — lives in the base class and is
+    // tagged by VtqPolicy; alternative treelet schedulers override.
+
+    /** Should a fresh warp's initial ray-stationary phase end, given
+     *  the warp's current treelet divergence? (Section 3.2 step 1.) */
+    virtual bool endInitialPhase(uint32_t divergence) const;
+
+    /**
+     * Pick what a free warp slot should run next. @p queues lists the
+     * non-empty treelet queues in table order (ascending treelet id,
+     * the order the hardware table is scanned in); @p loaded_treelet is
+     * the treelet currently resident in the L1 (kInvalidTreelet if
+     * none). Sections 4.3-4.4: drain the loaded treelet first, then the
+     * largest queue if it meets the threshold, else group strays.
+     */
+    virtual DispatchChoice
+    chooseDispatch(const std::vector<QueueView> &queues,
+                   uint32_t loaded_treelet) const;
+
+    // ---- snapshot ----------------------------------------------------
+    /** Persist pool + table state ("DPOL"/"PRED" chunks). */
+    virtual void saveState(Serializer &s) const = 0;
+    virtual void loadState(Deserializer &d) = 0;
+
+  protected:
+    const GpuConfig &cfg_;
+    const Bvh &bvh_;
+    RtStats &stats_;
+};
+
+/** Arrival-order pool; warps stay intact. Timing-identical to the
+ *  pre-policy baseline unit. */
+class FifoPolicy : public DispatchPolicy
+{
+  public:
+    using DispatchPolicy::DispatchPolicy;
+
+    DispatchPolicyKind
+    kind() const override
+    {
+        return DispatchPolicyKind::Fifo;
+    }
+
+    void enqueue(std::vector<PendingRay> &&group) override;
+    void formWarp(uint32_t warp_size,
+                  std::vector<PendingRay> &out) override;
+    bool hasPending() const override { return !groups_.empty(); }
+    uint64_t pendingRays() const override { return count_; }
+    void takePending(std::vector<PendingRay> &out) override;
+
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
+
+  protected:
+    std::deque<std::vector<PendingRay>> groups_;
+    uint64_t count_ = 0;
+};
+
+/** The paper's treelet-queue heuristics (the base-class decision
+ *  defaults); the pool behaves FIFO for the fresh-warp queue. */
+class VtqPolicy : public FifoPolicy
+{
+  public:
+    using FifoPolicy::FifoPolicy;
+
+    DispatchPolicyKind
+    kind() const override
+    {
+        return DispatchPolicyKind::Vtq;
+    }
+};
+
+/** Morton/octant-binned ray reordering (DESIGN.md §9). */
+class ReorderPolicy : public DispatchPolicy
+{
+  public:
+    ReorderPolicy(const GpuConfig &cfg, const Bvh &bvh, RtStats &stats);
+
+    DispatchPolicyKind
+    kind() const override
+    {
+        return DispatchPolicyKind::Reorder;
+    }
+
+    void enqueue(std::vector<PendingRay> &&group) override;
+    void formWarp(uint32_t warp_size,
+                  std::vector<PendingRay> &out) override;
+    bool hasPending() const override { return count_ > 0; }
+    uint64_t pendingRays() const override { return count_; }
+    void takePending(std::vector<PendingRay> &out) override;
+
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
+
+    /** Bin key: 3*reorderBinBits Morton bits of the quantized origin,
+     *  then the 3 direction-sign octant bits (exposed for tests). */
+    uint64_t binKey(const Ray &ray) const;
+
+  private:
+    /** std::map: deterministic ascending-key drain order. */
+    std::map<uint64_t, std::deque<PendingRay>> bins_;
+    uint64_t count_ = 0;
+};
+
+/** Hash-based path prediction (DESIGN.md §9). FIFO warp formation;
+ *  the table only changes where each ray *starts* traversing. */
+class PredictPolicy : public FifoPolicy
+{
+  public:
+    PredictPolicy(const GpuConfig &cfg, const Bvh &bvh, RtStats &stats);
+
+    DispatchPolicyKind
+    kind() const override
+    {
+        return DispatchPolicyKind::Predict;
+    }
+
+    Speculation speculate(const Ray &ray) override;
+    void onRayComplete(const RayTraverser &trav) override;
+
+    void saveState(Serializer &s) const override;
+    void loadState(Deserializer &d) override;
+
+    /** Quantized origin/direction hash (exposed for tests). */
+    uint64_t rayHash(const Ray &ray) const;
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        uint32_t firstTri = 0;
+        uint32_t count = 0; //!< 0 = empty.
+    };
+
+    std::vector<Entry> table_;
+    uint64_t mask_ = 0;
+};
+
+/** Construct the policy @p cfg.policy names, bound to @p stats (the
+ *  owning unit's counters). */
+std::unique_ptr<DispatchPolicy>
+makeDispatchPolicy(const GpuConfig &cfg, const Bvh &bvh, RtStats &stats);
+
+} // namespace trt
+
+#endif // TRT_GPU_DISPATCH_POLICY_HH

@@ -91,6 +91,11 @@ forEachSampleCounter(RS &r, Fn &&fn)
     fn("rt.prefetchLines", r.rt.prefetchLines);
     fn("rt.prefetchUsedLines", r.rt.prefetchUsedLines);
     fn("rt.prefetchIssues", r.rt.prefetchIssues);
+    fn("rt.reorderBatches", r.rt.reorderBatches);
+    fn("rt.predictLookups", r.rt.predictLookups);
+    fn("rt.predictHits", r.rt.predictHits);
+    fn("rt.predictMisses", r.rt.predictMisses);
+    fn("rt.predictInserts", r.rt.predictInserts);
     for (size_t c = 0; c < r.mem.size(); c++) {
         std::string cls = std::string("mem.") + memClassName(MemClass(c));
         auto &m = r.mem[c];

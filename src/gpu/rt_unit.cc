@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "gpu/dispatch_policy.hh"
+
 namespace trt
 {
 
@@ -65,6 +67,11 @@ RtStats::accumulate(const RtStats &o)
     prefetchLines += o.prefetchLines;
     prefetchUsedLines += o.prefetchUsedLines;
     prefetchIssues += o.prefetchIssues;
+    reorderBatches += o.reorderBatches;
+    predictLookups += o.predictLookups;
+    predictHits += o.predictHits;
+    predictMisses += o.predictMisses;
+    predictInserts += o.predictInserts;
 }
 
 RtUnitBase::RtUnitBase(const GpuConfig &cfg, MemorySystem &mem,
@@ -147,7 +154,7 @@ RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
             if (e.ready > now)
                 return changed;
             uint32_t tests = e.trav.complete();
-            stats_.isectTests[size_t(mode)] += tests;
+            stats_.isectTests[modeIndex(mode)] += tests;
             if (e.fetchIsLeaf)
                 stats_.leafVisits++;
             else
@@ -168,57 +175,100 @@ BaselineRtUnit::BaselineRtUnit(const GpuConfig &cfg, MemorySystem &mem,
     : RtUnitBase(cfg, mem, bvh, sm_id)
 {
     slots_.resize(cfg.warpBufferSize);
+    policy_ = makeDispatchPolicy(cfg, bvh, stats_);
 }
+
+BaselineRtUnit::~BaselineRtUnit() = default;
 
 bool
 BaselineRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
 {
-    // The baseline warp stalls at traceRayEXT() either way; queueing
-    // here is timing-equivalent to stalling in the SM and keeps the SM
-    // model simple.
-    pending_.push_back(std::move(req));
+    // The shader warp stalls at traceRayEXT() either way; pooling the
+    // rays here is timing-equivalent to stalling in the SM and keeps
+    // the SM model simple. Completion bookkeeping is registered up
+    // front because a policy may spread the warp's rays over several
+    // RT warps; the trace completes when its last ray delivers.
+    WarpBk &bk = warps_[req.token];
+    bk.outstanding = uint32_t(req.lanes.size());
+    bk.hits.clear();
+    if (bk.outstanding == 0) {
+        warps_.erase(req.token);
+        if (completion_)
+            completion_(req.token, {});
+        return true;
+    }
+    std::vector<PendingRay> group;
+    group.reserve(req.lanes.size());
+    for (const LaneRay &lr : req.lanes)
+        group.push_back({lr.ray, req.token, req.ctaToken, lr.lane});
+    policy_->enqueue(std::move(group));
     fillSlotsFromQueue(now);
     return true;
 }
 
 void
+BaselineRtUnit::deliver(uint64_t warp_token, uint8_t lane,
+                        const HitRecord &hit)
+{
+    auto it = warps_.find(warp_token);
+    assert(it != warps_.end() && it->second.outstanding > 0);
+    WarpBk &bk = it->second;
+    bk.hits.push_back({lane, hit});
+    if (--bk.outstanding == 0) {
+        std::vector<LaneHit> hits = std::move(bk.hits);
+        warps_.erase(it);
+        if (completion_)
+            completion_(warp_token, std::move(hits));
+    }
+}
+
+bool
 BaselineRtUnit::fillSlot(uint64_t now, WarpSlot &slot)
 {
-    TraceRequest req = std::move(pending_.front());
-    pending_.pop_front();
+    policy_->formWarp(cfg_.warpSize, warpScratch_);
+    if (warpScratch_.empty())
+        return false;
     slot.active = true;
-    slot.token = req.token;
-    slot.hits.clear();
-    uint32_t n = uint32_t(req.lanes.size());
+    uint32_t n = uint32_t(warpScratch_.size());
     // Reuse prior entries so each ray's traverser recycles its
     // stack allocations (resize keeps capacity either way).
     slot.rays.resize(n);
     slot.remaining = n;
     for (uint32_t i = 0; i < n; i++) {
-        const LaneRay &lr = req.lanes[i];
+        const PendingRay &pr = warpScratch_[i];
         RayEntry &e = slot.rays[i];
         e.valid = true;
-        e.lane = lr.lane;
-        e.warpToken = req.token;
-        e.ctaToken = req.ctaToken;
-        e.trav.reset(&bvh_, lr.ray);
-        // Fresh rays enter the root treelet immediately in the
-        // baseline (ray-stationary) policy.
-        e.trav.enterNextTreelet();
-        onTreeletEnter(now, e.trav.currentTreelet());
+        e.lane = pr.lane;
+        e.warpToken = pr.warpToken;
+        e.ctaToken = pr.ctaToken;
+        e.trav.reset(&bvh_, pr.ray);
+        DispatchPolicy::Speculation spec = policy_->speculate(pr.ray);
+        if (spec.valid) {
+            // Predicted rays start at the predicted leaf block; the
+            // root fallback that always follows re-enters the treelet
+            // path through the ordinary boundary handling.
+            e.trav.primeSpeculation(spec.firstTri, spec.count);
+        } else {
+            // Fresh rays enter the root treelet immediately in the
+            // baseline (ray-stationary) policy.
+            e.trav.enterNextTreelet();
+            onTreeletEnter(now, e.trav.currentTreelet());
+        }
         e.stage = Stage::NeedIssue;
         e.ready = now;
         e.fetchIsLeaf = false;
     }
+    return true;
 }
 
 void
 BaselineRtUnit::fillSlotsFromQueue(uint64_t now)
 {
     for (auto &slot : slots_) {
-        if (slot.active || pending_.empty())
+        if (slot.active)
             continue;
-        fillSlot(now, slot);
+        if (!fillSlot(now, slot))
+            break;
         // Freshly filled entries can issue this very cycle; this call
         // runs outside a tick (tryAccept), so schedule the same-cycle
         // tick the old rescan provided.
@@ -238,7 +288,7 @@ BaselineRtUnit::accountInterval(uint64_t now)
             continue;
         stats_.activeLaneCycles += uint64_t(slot.remaining) * dt;
         stats_.slotLaneCycles += uint64_t(cfg_.warpSize) * dt;
-        stats_.modeCycles[size_t(TraversalMode::RayStationary)] += dt;
+        stats_.modeCycles[modeIndex(TraversalMode::RayStationary)] += dt;
     }
 }
 
@@ -254,7 +304,8 @@ BaselineRtUnit::stepSlot(uint64_t now, WarpSlot &slot)
         stepRay(now, e, TraversalMode::RayStationary);
         while (needsPolicy(e)) {
             if (e.trav.done()) {
-                slot.hits.push_back({e.lane, e.trav.hit()});
+                policy_->onRayComplete(e.trav);
+                deliver(e.warpToken, e.lane, e.trav.hit());
                 e.stage = Stage::Done;
                 slot.remaining--;
                 stats_.raysCompleted++;
@@ -268,10 +319,7 @@ BaselineRtUnit::stepSlot(uint64_t now, WarpSlot &slot)
         }
     }
     if (slot.remaining == 0) {
-        if (completion_)
-            completion_(slot.token, std::move(slot.hits));
         slot.active = false;
-        slot.hits.clear();
         // slot.rays is kept: the next fill reuses the entries
         // (and their traverser stacks) in place.
         return true;
@@ -299,9 +347,8 @@ BaselineRtUnit::tick(uint64_t now)
     while (freed) {
         freed = false;
         for (auto &slot : slots_) {
-            if (slot.active || pending_.empty())
+            if (slot.active || !fillSlot(now, slot))
                 continue;
-            fillSlot(now, slot);
             freed |= stepSlot(now, slot);
         }
     }
@@ -323,41 +370,37 @@ BaselineRtUnit::drainFunctional(uint64_t now)
             if (!e.valid || e.stage == Stage::Done)
                 continue;
             finishTraversal(e.trav);
-            slot.hits.push_back({e.lane, e.trav.hit()});
+            policy_->onRayComplete(e.trav);
+            deliver(e.warpToken, e.lane, e.trav.hit());
             e.stage = Stage::Done;
             slot.remaining--;
             stats_.raysCompleted++;
         }
-        if (completion_)
-            completion_(slot.token, std::move(slot.hits));
         slot.active = false;
-        slot.hits.clear();
     }
-    // Queued warps never entered a slot; traverse them with a scratch
+    // Pooled rays never entered a slot; traverse them with a scratch
     // traverser (fresh rays sit at the root boundary until
     // finishTraversal crosses it, exactly as fillSlot would).
+    // Speculation is deliberately skipped: finishTraversal from the
+    // root yields the identical frame, and the drained burst's timing
+    // is never measured (DESIGN.md §8).
     RayTraverser scratch;
-    while (!pending_.empty()) {
-        TraceRequest req = std::move(pending_.front());
-        pending_.pop_front();
-        std::vector<LaneHit> hits;
-        hits.reserve(req.lanes.size());
-        for (const LaneRay &lr : req.lanes) {
-            scratch.reset(&bvh_, lr.ray);
-            finishTraversal(scratch);
-            hits.push_back({lr.lane, scratch.hit()});
-            stats_.raysCompleted++;
-        }
-        if (completion_)
-            completion_(req.token, std::move(hits));
+    policy_->takePending(warpScratch_);
+    for (const PendingRay &pr : warpScratch_) {
+        scratch.reset(&bvh_, pr.ray);
+        finishTraversal(scratch);
+        policy_->onRayComplete(scratch);
+        deliver(pr.warpToken, pr.lane, scratch.hit());
+        stats_.raysCompleted++;
     }
+    warpScratch_.clear();
     clearEventRecords();
 }
 
 bool
 BaselineRtUnit::idle() const
 {
-    if (!pending_.empty())
+    if (policy_->hasPending())
         return false;
     for (const auto &slot : slots_)
         if (slot.active)
@@ -368,9 +411,7 @@ BaselineRtUnit::idle() const
 uint64_t
 BaselineRtUnit::raysHeld() const
 {
-    uint64_t held = 0;
-    for (const auto &req : pending_)
-        held += req.lanes.size();
+    uint64_t held = policy_->pendingRays();
     for (const auto &slot : slots_)
         if (slot.active)
             held += slot.remaining;
@@ -392,7 +433,8 @@ BaselineRtUnit::debugStatus() const
     }
     std::ostringstream os;
     os << "baseline slots=" << active << "/" << slots_.size()
-       << " pendingWarps=" << pending_.size() << " rays{waitData="
+       << " policy=" << dispatchPolicyName(policy_->kind())
+       << " pendingRays=" << policy_->pendingRays() << " rays{waitData="
        << stages[size_t(Stage::WaitData)]
        << " needIssue=" << stages[size_t(Stage::NeedIssue)]
        << " waitMem=" << stages[size_t(Stage::WaitMem)]
@@ -428,6 +470,11 @@ RtStats::saveState(Serializer &s) const
     s.u64(prefetchLines);
     s.u64(prefetchUsedLines);
     s.u64(prefetchIssues);
+    s.u64(reorderBatches);
+    s.u64(predictLookups);
+    s.u64(predictHits);
+    s.u64(predictMisses);
+    s.u64(predictInserts);
     s.endChunk();
 }
 
@@ -457,6 +504,11 @@ RtStats::loadState(Deserializer &d)
     prefetchLines = d.u64();
     prefetchUsedLines = d.u64();
     prefetchIssues = d.u64();
+    reorderBatches = d.u64();
+    predictLookups = d.u64();
+    predictHits = d.u64();
+    predictMisses = d.u64();
+    predictInserts = d.u64();
     d.endChunk();
 }
 
@@ -526,40 +578,6 @@ RtUnitBase::loadState(Deserializer &d)
     d.endChunk();
 }
 
-namespace
-{
-
-void
-saveTraceRequest(Serializer &s, const TraceRequest &req)
-{
-    s.u64(req.token);
-    s.u32(req.ctaToken);
-    s.u64(req.lanes.size());
-    for (const LaneRay &lr : req.lanes) {
-        s.u8(lr.lane);
-        s.pod(lr.ray);
-    }
-}
-
-TraceRequest
-loadTraceRequest(Deserializer &d)
-{
-    TraceRequest req;
-    req.token = d.u64();
-    req.ctaToken = d.u32();
-    uint64_t n = d.u64();
-    req.lanes.reserve(size_t(n));
-    for (uint64_t i = 0; i < n; i++) {
-        LaneRay lr;
-        lr.lane = d.u8();
-        lr.ray = d.pod<Ray>();
-        req.lanes.push_back(lr);
-    }
-    return req;
-}
-
-} // namespace
-
 void
 RtUnitBase::saveLaneHits(Serializer &s, const std::vector<LaneHit> &hits)
 {
@@ -593,17 +611,21 @@ BaselineRtUnit::saveState(Serializer &s) const
     s.u64(slots_.size());
     for (const WarpSlot &slot : slots_) {
         s.b(slot.active);
-        s.u64(slot.token);
         s.u64(slot.rays.size());
         for (const RayEntry &e : slot.rays)
             saveRayEntry(s, e);
-        saveLaneHits(s, slot.hits);
         s.u32(slot.remaining);
     }
-    s.u64(pending_.size());
-    for (const TraceRequest &req : pending_)
-        saveTraceRequest(s, req);
+    // std::map iterates token-sorted: identical states serialize to
+    // identical bytes regardless of insertion history.
+    s.u64(warps_.size());
+    for (const auto &[token, bk] : warps_) {
+        s.u64(token);
+        s.u32(bk.outstanding);
+        saveLaneHits(s, bk.hits);
+    }
     s.endChunk();
+    policy_->saveState(s);
 }
 
 void
@@ -615,19 +637,23 @@ BaselineRtUnit::loadState(Deserializer &d)
         throw SnapshotError("snapshot: warp slot count mismatch");
     for (WarpSlot &slot : slots_) {
         slot.active = d.b();
-        slot.token = d.u64();
         uint64_t n = d.u64();
         slot.rays.assign(size_t(n), RayEntry{});
         for (RayEntry &e : slot.rays)
             loadRayEntry(d, e);
-        slot.hits = loadLaneHits(d);
         slot.remaining = d.u32();
     }
-    pending_.clear();
-    uint64_t n = d.u64();
-    for (uint64_t i = 0; i < n; i++)
-        pending_.push_back(loadTraceRequest(d));
+    warps_.clear();
+    uint64_t nw = d.u64();
+    for (uint64_t i = 0; i < nw; i++) {
+        uint64_t token = d.u64();
+        WarpBk bk;
+        bk.outstanding = d.u32();
+        bk.hits = loadLaneHits(d);
+        warps_.emplace(token, std::move(bk));
+    }
     d.endChunk();
+    policy_->loadState(d);
 }
 
 } // namespace trt

@@ -19,6 +19,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -52,6 +55,23 @@ enum class TraversalMode : uint8_t
 };
 
 const char *traversalModeName(TraversalMode m);
+
+constexpr size_t kNumTraversalModes = size_t(TraversalMode::NumModes);
+
+/**
+ * Bounds-checked index into the mode-indexed stat arrays
+ * (RtStats::modeCycles / isectTests). A TraversalMode enumerator added
+ * without growing the arrays throws here instead of silently skewing
+ * the accounting through an out-of-range raw cast.
+ */
+constexpr size_t
+modeIndex(TraversalMode m)
+{
+    return size_t(m) < kNumTraversalModes
+               ? size_t(m)
+               : throw std::out_of_range(
+                     "TraversalMode outside the stat arrays");
+}
 
 /** One lane's ray handed to the RT unit by a warp. */
 struct LaneRay
@@ -107,6 +127,20 @@ struct RtStats
     uint64_t prefetchLines = 0;
     uint64_t prefetchUsedLines = 0;
     uint64_t prefetchIssues = 0;
+
+    // Dispatch policies (DESIGN.md §9).
+    uint64_t reorderBatches = 0; //!< Reorder: warps formed from bins.
+    uint64_t predictLookups = 0; //!< Predict: table probes.
+    uint64_t predictHits = 0;    //!< Predicted block held the hit.
+    uint64_t predictMisses = 0;  //!< Primed but wrong (root fallback).
+    uint64_t predictInserts = 0; //!< Prediction-table trainings.
+
+    double
+    predictHitRate() const
+    {
+        uint64_t primed = predictHits + predictMisses;
+        return primed ? double(predictHits) / double(primed) : 0.0;
+    }
 
     double
     simtEfficiency() const
@@ -369,17 +403,38 @@ class RtUnitBase
     mutable std::vector<const uint64_t *> pendingEventReadies_;
 };
 
+class DispatchPolicy;
+
+/** A ray waiting in an RT unit's pending pool (not yet in a slot).
+ *  Owned by the unit's DispatchPolicy (dispatch_policy.hh). */
+struct PendingRay
+{
+    Ray ray;
+    uint64_t warpToken = 0;
+    uint32_t ctaToken = 0;
+    uint8_t lane = 0;
+};
+
 /**
  * Baseline ray-stationary RT unit: a small warp buffer (Table 1: one
  * slot); each warp traverses to completion, crossing treelet boundaries
  * freely. This is the paper's baseline GPU (with the treelet traversal
  * order of Chou et al. already applied, as section 5 specifies).
+ *
+ * Which rays form the next RT warp — and where each starts traversing —
+ * is delegated to the DispatchPolicy selected by GpuConfig::policy
+ * (DESIGN.md §9): Fifo reproduces the original arrival-order behavior
+ * cycle-for-cycle; Reorder forms warps from Morton-binned rays (which
+ * may mix rays of different shader warps, so hit delivery is per-ray
+ * via the warps_ bookkeeping); Predict primes each ray's traverser with
+ * a predicted leaf block.
  */
 class BaselineRtUnit : public RtUnitBase
 {
   public:
     BaselineRtUnit(const GpuConfig &cfg, MemorySystem &mem, const Bvh &bvh,
                    uint32_t sm_id);
+    ~BaselineRtUnit() override; //!< Out-of-line: DispatchPolicy is fwd.
 
     bool tryAccept(uint64_t now, TraceRequest &&req) override;
     void tick(uint64_t now) override;
@@ -395,21 +450,36 @@ class BaselineRtUnit : public RtUnitBase
     struct WarpSlot
     {
         bool active = false;
-        uint64_t token = 0;
         std::vector<RayEntry> rays;
-        std::vector<LaneHit> hits;
         uint32_t remaining = 0;
+    };
+
+    /** Per-warp completion bookkeeping: a policy may split one shader
+     *  warp's rays across RT warps, so hits are delivered per ray and
+     *  the trace completes when its last ray does. */
+    struct WarpBk
+    {
+        uint32_t outstanding = 0;
+        std::vector<LaneHit> hits;
     };
 
     void accountInterval(uint64_t now);
     void fillSlotsFromQueue(uint64_t now);
-    /** Install the next pending warp into @p slot (must be inactive). */
-    void fillSlot(uint64_t now, WarpSlot &slot);
+    /** Install the policy's next warp into @p slot (must be inactive);
+     *  false when the policy has nothing to dispatch. */
+    bool fillSlot(uint64_t now, WarpSlot &slot);
     /** Step every due ray of @p slot; true when the warp completed. */
     bool stepSlot(uint64_t now, WarpSlot &slot);
+    /** Record a finished ray's hit; fires completion_ on the last. */
+    void deliver(uint64_t warp_token, uint8_t lane, const HitRecord &hit);
 
     std::vector<WarpSlot> slots_;
-    std::deque<TraceRequest> pending_;
+    /** token -> outstanding/hits; std::map iterates token-sorted, so
+     *  snapshots of identical states produce identical bytes. */
+    std::map<uint64_t, WarpBk> warps_;
+    std::unique_ptr<DispatchPolicy> policy_;
+    /** Pooled formWarp() output (allocation-free steady state). */
+    std::vector<PendingRay> warpScratch_;
 };
 
 } // namespace trt

@@ -84,6 +84,11 @@ writeRtStats(std::ostream &os, const RtStats &rt)
     writePod(os, rt.prefetchLines);
     writePod(os, rt.prefetchUsedLines);
     writePod(os, rt.prefetchIssues);
+    writePod(os, rt.reorderBatches);
+    writePod(os, rt.predictLookups);
+    writePod(os, rt.predictHits);
+    writePod(os, rt.predictMisses);
+    writePod(os, rt.predictInserts);
 }
 
 bool
@@ -104,7 +109,12 @@ readRtStats(std::istream &is, RtStats &rt)
            readPod(is, rt.maxConcurrentRays) &&
            readPod(is, rt.prefetchLines) &&
            readPod(is, rt.prefetchUsedLines) &&
-           readPod(is, rt.prefetchIssues);
+           readPod(is, rt.prefetchIssues) &&
+           readPod(is, rt.reorderBatches) &&
+           readPod(is, rt.predictLookups) &&
+           readPod(is, rt.predictHits) &&
+           readPod(is, rt.predictMisses) &&
+           readPod(is, rt.predictInserts);
 }
 
 } // anonymous namespace

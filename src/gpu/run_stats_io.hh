@@ -18,7 +18,7 @@ namespace trt
 struct RunStatsIo
 {
     /** Bump on any RunStats/RtStats/MemClassStats layout change. */
-    static constexpr uint32_t kVersion = 2; //!< v2: + sampled summary
+    static constexpr uint32_t kVersion = 3; //!< v3: + policy counters
 
     static void save(std::ostream &os, const RunStats &st);
 

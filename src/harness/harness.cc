@@ -168,6 +168,11 @@ HarnessOptions::fromEnv()
     if (opt.scenes.empty())
         opt.scenes = sceneNames();
     opt.resume = envFlag("TRT_RESUME", false);
+    opt.policyName = envString("TRT_POLICY", "");
+    opt.reorderBinBits =
+        uint32_t(envUInt("TRT_REORDER_BITS", 0, 16));
+    opt.predictTableBits =
+        uint32_t(envUInt("TRT_PREDICT_BITS", 0, 24));
     return opt;
 }
 
@@ -197,6 +202,24 @@ HarnessOptions::apply(GpuConfig cfg) const
 {
     cfg.imageWidth = resolution;
     cfg.imageHeight = resolution;
+    if (!policyName.empty()) {
+        DispatchPolicyKind kind;
+        if (!parseDispatchPolicy(policyName, kind))
+            throw EnvError("TRT_POLICY: unknown policy '" + policyName +
+                           "' (baseline|fifo|vtq|reorder|predict)");
+        cfg.policy = kind;
+        // Vtq names the full proposed architecture, so selecting it by
+        // knob pulls in what virtualizedTreeletQueues() would set.
+        if (kind == DispatchPolicyKind::Vtq) {
+            cfg.arch = RtArch::TreeletQueues;
+            cfg.rayVirtualization = true;
+            cfg.mem.l2ReservedBytes = 64 * 1024;
+        }
+    }
+    if (reorderBinBits > 0)
+        cfg.reorderBinBits = reorderBinBits;
+    if (predictTableBits > 0)
+        cfg.predictTableBits = predictTableBits;
     return cfg;
 }
 

@@ -68,6 +68,16 @@
  *                      the CTA-stratum leg sizing when set.
  *   TRT_SAMPLE_DEBUG   =1: per-interval rate/strata trace and an
  *                      extrapolation summary on stderr.
+ *   TRT_POLICY         dispatch policy (DESIGN.md §9): baseline|fifo
+ *                      (seed behavior), vtq (implies the treelet-queue
+ *                      architecture + ray virtualization), reorder
+ *                      (Morton-binned ray reordering), predict
+ *                      (hash-based path prediction). Unset keeps each
+ *                      bench config's own policy.
+ *   TRT_REORDER_BITS   reorder policy: Morton bits per axis of the
+ *                      origin binning grid (default 6).
+ *   TRT_PREDICT_BITS   predict policy: log2 prediction-table entries
+ *                      per RT unit (default 12).
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH
@@ -109,6 +119,11 @@ struct HarnessOptions
     /** Resume interrupted simulations from the newest valid snapshot
      *  (--resume / TRT_RESUME; see DESIGN.md §7). */
     bool resume = false;
+    /** Dispatch-policy override (TRT_POLICY); empty = keep each
+     *  config's own policy. */
+    std::string policyName;
+    uint32_t reorderBinBits = 0;   //!< TRT_REORDER_BITS; 0 = default.
+    uint32_t predictTableBits = 0; //!< TRT_PREDICT_BITS; 0 = default.
 
     /** Read TRT_* environment variables. */
     static HarnessOptions fromEnv();

@@ -15,12 +15,37 @@
  *   skip_treelet    no treelet-stationary phase at all (section 6.4)
  *   small_treelet   2KB treelets (quarter of half-L1)
  *   queue_32        low underpopulation threshold
+ *
+ * A second table (ablation_width.csv) sweeps the BVH node layout
+ * (DESIGN.md §11) — width-4 64B, width-4 32B quantized, width-8 80B
+ * compressed — under both the baseline and VTQ architectures, and
+ * reports the cache behavior the compression is meant to move: BVH
+ * L1/L2 miss rates, mean nodes per treelet, and treelet switches.
  */
 
 #include <iostream>
 #include <optional>
 
 #include "harness/harness.hh"
+
+namespace
+{
+
+/** Combined miss rate of the BVH traffic (nodes + triangle blocks). */
+double
+bvhMissRate(const trt::RunStats &st, bool l2)
+{
+    using trt::MemClass;
+    const trt::MemClassStats &n = st.memClass(MemClass::BvhNode);
+    const trt::MemClassStats &t = st.memClass(MemClass::Triangle);
+    uint64_t acc = l2 ? n.l2Accesses + t.l2Accesses
+                      : n.l1Accesses + t.l1Accesses;
+    uint64_t miss = l2 ? n.l2Misses + t.l2Misses
+                       : n.l1Misses + t.l1Misses;
+    return acc ? double(miss) / double(acc) : 0.0;
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -146,5 +171,62 @@ main(int argc, char **argv)
 
     t.print(std::cout);
     writeCsv(opt, t, "ablation.csv");
+
+    // ---- BVH width / node-layout ablation (DESIGN.md §11) -----------
+    // Three layouts x two architectures. width4_32B shrinks nodes
+    // without changing arity (more nodes per treelet); width8_80B
+    // additionally halves the node count (fewer, fatter nodes at
+    // 10B/child vs 16B/child), so nodes-per-treelet is not the right
+    // lens for it — the miss rates and switch counts are.
+    struct WidthVariant
+    {
+        const char *name;
+        BvhConfig bvhCfg;
+    };
+    std::vector<WidthVariant> layouts;
+    layouts.push_back({"width4_64B", BvhConfig{}});
+    {
+        BvhConfig bc;
+        bc.quantizedNodes = true;
+        layouts.push_back({"width4_32B", bc});
+    }
+    {
+        BvhConfig bc;
+        bc.width = 8;
+        layouts.push_back({"width8_80B", bc});
+    }
+
+    Table wt({"scene", "layout", "arch", "cycles", "bvh_l1_miss",
+              "bvh_l2_miss", "nodes_per_treelet", "treelet_switches"});
+    for (const auto &lv : layouts) {
+        for (int use_vtq = 0; use_vtq <= 1; use_vtq++) {
+            std::vector<RunStats> res(opt.scenes.size());
+            std::vector<double> tnodes(opt.scenes.size());
+            parallelForScenes(opt, [&](size_t i,
+                                       const std::string &name) {
+                const SceneBundle &b =
+                    getSceneBundle(name, opt.sceneScale, lv.bvhCfg);
+                GpuConfig cfg = use_vtq ? vtq()
+                                        : opt.apply(GpuConfig{});
+                cfg.simThreads = opt.effectiveSimThreads();
+                res[i] = simulate(cfg, b.scene, b.bvh);
+                tnodes[i] = b.bvhStats.avgTreeletNodes;
+            });
+            for (size_t i = 0; i < opt.scenes.size(); i++) {
+                wt.row()
+                    .cell(opt.scenes[i])
+                    .cell(lv.name)
+                    .cell(use_vtq ? "vtq" : "base")
+                    .cell(res[i].cycles)
+                    .cell(bvhMissRate(res[i], false), 4)
+                    .cell(bvhMissRate(res[i], true), 4)
+                    .cell(tnodes[i], 1)
+                    .cell(res[i].rt.boundaryCrossings);
+            }
+        }
+    }
+    std::cout << "\n";
+    wt.print(std::cout);
+    writeCsv(opt, wt, "ablation_width.csv");
     return 0;
 }

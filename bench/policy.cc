@@ -1,15 +1,19 @@
 /**
  * @file
- * Dispatch-policy ablation (DESIGN.md §9): baseline FIFO vs the
- * paper's virtualized treelet queues vs Morton ray reordering vs
- * hash-based path prediction, per figure scene. Reports cycles and
- * speedup over FIFO, SIMT efficiency, BVH L1/L2 miss rates, and the
- * predictor hit rate — and fails hard if any policy renders a
- * different frame, since policies only move *when* rays run and
- * *where* traversal starts, never what a ray hits.
+ * Dispatch-policy x BVH-width ablation (DESIGN.md §9, §11): baseline
+ * FIFO vs the paper's virtualized treelet queues vs Morton ray
+ * reordering vs hash-based path prediction (private and shared table),
+ * each at BVH width 4 (64-byte nodes) and width 8 (compressed 80-byte
+ * nodes), per figure scene. Reports cycles and speedup over the
+ * same-width FIFO, SIMT efficiency, BVH L1/L2 miss rates, the
+ * predictor hit rate and the shared-vs-private hit-rate delta — and
+ * fails hard if any run renders a different frame than the width-4
+ * FIFO baseline, since policies only move *when* rays run and *where*
+ * traversal starts, and the compressed layout dequantizes to
+ * conservative bounds that accept a superset of node entries without
+ * changing any closest hit.
  */
 
-#include <array>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -43,87 +47,130 @@ sameFrame(const RunStats &a, const RunStats &b)
                         a.framebuffer.size() * sizeof(Vec3)) == 0);
 }
 
+struct Variant
+{
+    const char *label;
+    DispatchPolicyKind kind;
+    bool sharedPredict;
+};
+
+constexpr Variant kVariants[] = {
+    {"fifo", DispatchPolicyKind::Fifo, false},
+    {"vtq", DispatchPolicyKind::Vtq, false},
+    {"reorder", DispatchPolicyKind::Reorder, false},
+    {"predict", DispatchPolicyKind::Predict, false},
+    {"predict_shared", DispatchPolicyKind::Predict, true},
+};
+constexpr size_t kNumVariants = sizeof(kVariants) / sizeof(kVariants[0]);
+constexpr int kWidths[] = {4, 8};
+constexpr size_t kNumWidths = sizeof(kWidths) / sizeof(kWidths[0]);
+
 } // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
     HarnessOptions opt = HarnessOptions::fromArgs(argc, argv);
-    printBenchHeader(
-        "Dispatch-policy ablation (fifo / vtq / reorder / predict)", opt);
+    printBenchHeader("Dispatch-policy x BVH-width ablation "
+                     "(fifo / vtq / reorder / predict[+shared], "
+                     "width 4 / 8)",
+                     opt);
 
-    // This bench sweeps the policy axis itself; a TRT_POLICY override
-    // would collapse all four configurations into one.
+    // This bench sweeps the policy and width axes itself, so the
+    // TRT_POLICY override must not collapse the variants; the runs go
+    // straight through simulate() with an explicit BvhConfig, which
+    // also bypasses the (TRT_BVH_WIDTH-keyed) run cache.
     HarnessOptions sweep = opt;
     sweep.policyName.clear();
 
-    constexpr DispatchPolicyKind kKinds[] = {
-        DispatchPolicyKind::Fifo,
-        DispatchPolicyKind::Vtq,
-        DispatchPolicyKind::Reorder,
-        DispatchPolicyKind::Predict,
-    };
-    constexpr size_t kNum = sizeof(kKinds) / sizeof(kKinds[0]);
-
-    std::vector<std::array<RunStats, kNum>> runs(opt.scenes.size());
+    // runs[scene][width][variant]
+    std::vector<std::vector<std::vector<RunStats>>> runs(
+        opt.scenes.size(),
+        std::vector<std::vector<RunStats>>(
+            kNumWidths, std::vector<RunStats>(kNumVariants)));
     parallelForScenes(opt, [&](size_t i, const std::string &name) {
-        for (size_t k = 0; k < kNum; k++) {
-            runs[i][k] = runScene(
-                name, sweep.apply(GpuConfig::forPolicy(kKinds[k])), sweep);
+        for (size_t w = 0; w < kNumWidths; w++) {
+            BvhConfig bvhCfg;
+            bvhCfg.width = kWidths[w];
+            const SceneBundle &b =
+                getSceneBundle(name, opt.sceneScale, bvhCfg);
+            for (size_t v = 0; v < kNumVariants; v++) {
+                GpuConfig cfg =
+                    sweep.apply(GpuConfig::forPolicy(kVariants[v].kind));
+                cfg.predictShared = kVariants[v].sharedPredict;
+                cfg.simThreads = opt.effectiveSimThreads();
+                runs[i][w][v] = simulate(cfg, b.scene, b.bvh);
+            }
         }
     });
 
-    Table t({"scene", "policy", "cycles", "speedup_vs_fifo", "simt_eff",
-             "bvh_l1_miss", "bvh_l2_miss", "predict_hit_rate",
-             "reorder_batches"});
+    Table t({"scene", "width", "policy", "cycles", "speedup_vs_fifo",
+             "simt_eff", "bvh_l1_miss", "bvh_l2_miss", "predict_hit_rate",
+             "hit_delta_vs_private", "reorder_batches"});
     bool frames_ok = true;
-    std::array<std::vector<double>, kNum> speedups;
+    std::vector<std::vector<std::vector<double>>> speedups(
+        kNumWidths, std::vector<std::vector<double>>(kNumVariants));
     for (size_t i = 0; i < opt.scenes.size(); i++) {
-        const RunStats &fifo = runs[i][0];
-        for (size_t k = 0; k < kNum; k++) {
-            const RunStats &st = runs[i][k];
-            if (!sameFrame(fifo, st)) {
-                std::cerr << "FRAME MISMATCH: scene " << opt.scenes[i]
-                          << " policy "
-                          << dispatchPolicyName(kKinds[k])
-                          << " differs from fifo\n";
-                frames_ok = false;
+        const RunStats &ref = runs[i][0][0]; // width-4 fifo
+        for (size_t w = 0; w < kNumWidths; w++) {
+            const RunStats &fifo = runs[i][w][0];
+            const RunStats &priv = runs[i][w][3]; // predict (private)
+            for (size_t v = 0; v < kNumVariants; v++) {
+                const RunStats &st = runs[i][w][v];
+                if (!sameFrame(ref, st)) {
+                    std::cerr << "FRAME MISMATCH: scene " << opt.scenes[i]
+                              << " width " << kWidths[w] << " policy "
+                              << kVariants[v].label
+                              << " differs from width-4 fifo\n";
+                    frames_ok = false;
+                }
+                double speedup = double(fifo.cycles) / double(st.cycles);
+                speedups[w][v].push_back(speedup);
+                auto &row = t.row();
+                row.cell(opt.scenes[i])
+                    .cell(kWidths[w])
+                    .cell(kVariants[v].label)
+                    .cell(st.cycles)
+                    .cell(speedup, 3)
+                    .cell(st.simtEfficiency(), 3)
+                    .cell(bvhMissRate(st, false), 4)
+                    .cell(bvhMissRate(st, true), 4)
+                    .cell(st.rt.predictHitRate(), 3);
+                if (kVariants[v].sharedPredict)
+                    row.cell(st.rt.predictHitRate() -
+                                 priv.rt.predictHitRate(),
+                             3);
+                else
+                    row.cell("");
+                row.cell(st.rt.reorderBatches);
             }
-            double speedup = double(fifo.cycles) / double(st.cycles);
-            speedups[k].push_back(speedup);
-            t.row()
-                .cell(opt.scenes[i])
-                .cell(dispatchPolicyName(kKinds[k]))
-                .cell(st.cycles)
-                .cell(speedup, 3)
-                .cell(st.simtEfficiency(), 3)
-                .cell(bvhMissRate(st, false), 4)
-                .cell(bvhMissRate(st, true), 4)
-                .cell(st.rt.predictHitRate(), 3)
-                .cell(st.rt.reorderBatches);
         }
     }
-    for (size_t k = 0; k < kNum; k++) {
-        t.row()
-            .cell("GEOMEAN")
-            .cell(dispatchPolicyName(kKinds[k]))
-            .cell("")
-            .cell(geomean(speedups[k]), 3)
-            .cell("")
-            .cell("")
-            .cell("")
-            .cell("")
-            .cell("");
+    for (size_t w = 0; w < kNumWidths; w++) {
+        for (size_t v = 0; v < kNumVariants; v++) {
+            t.row()
+                .cell("GEOMEAN")
+                .cell(kWidths[w])
+                .cell(kVariants[v].label)
+                .cell("")
+                .cell(geomean(speedups[w][v]), 3)
+                .cell("")
+                .cell("")
+                .cell("")
+                .cell("")
+                .cell("")
+                .cell("");
+        }
     }
     t.print(std::cout);
     writeCsv(opt, t, "policy_compare.csv");
 
     if (!frames_ok) {
         std::cerr << "\npolicy ablation FAILED: rendered frames differ "
-                     "across policies\n";
+                     "across policies/widths\n";
         return 1;
     }
-    std::cout << "\nframes identical across all " << kNum
-              << " policies on every scene\n";
+    std::cout << "\nframes identical across all " << kNumVariants
+              << " policies at both widths on every scene\n";
     return 0;
 }

@@ -78,6 +78,15 @@ entry="$entry, \"mode\": \"$mode\""
 # what the timed hot loop does, so the history entry must record it —
 # "baseline" when unset (each bench config's own policy).
 entry="$entry, \"policy\": \"${TRT_POLICY:-baseline}\""
+# Knobs that change what the hot loop simulates (and so what a wall
+# number means) are recorded with their defaults made explicit, so
+# rows stay comparable across commits even when a knob was unset:
+# BVH branching width (DESIGN.md §11), shared predictor, SIMD kernels
+# (compile default on), and the SM tick fan-out width.
+entry="$entry, \"bvh_width\": ${TRT_BVH_WIDTH:-4}"
+entry="$entry, \"predict_shared\": ${TRT_PREDICT_SHARED:-0}"
+entry="$entry, \"simd\": ${TRT_SIMD:-1}"
+entry="$entry, \"sim_threads\": ${TRT_SIM_THREADS:-0}"
 entry="$entry, \"env\": \"$env_desc\""
 entry="$entry, \"runs\": [$all_real]"
 entry="$entry, \"best_real_s\": $best_real"

@@ -1,7 +1,9 @@
 /**
  * @file
- * BVH construction: binned-SAH binary build, collapse to a 4-wide BVH,
- * treelet partitioning and byte-level memory layout.
+ * BVH construction: binned-SAH binary build, collapse to a wide BVH
+ * (greedy 4-wide, or cost-based DP 8-wide — Ylitie/Karras/Laine
+ * HPG'17 — when BvhConfig::width == 8), treelet partitioning and
+ * byte-level memory layout.
  *
  * The build is task-parallel (BvhConfig::buildThreads / the
  * TRT_BUILD_THREADS knob) and **bit-identical** to the serial build at
@@ -26,6 +28,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdlib>
 #include <queue>
 
@@ -461,6 +464,214 @@ quantizeChildBounds(std::vector<WideNode> &nodes, uint32_t threads)
     });
 }
 
+/**
+ * Quantizer for the compressed 8-wide layout (DESIGN.md §11): each
+ * node stores an origin (the union box's lo corner), one power-of-two
+ * scale exponent per axis, and 8-bit child bounds. The stored child
+ * boxes are exactly what decompression produces — origin + q * 2^e,
+ * one float rounding per coordinate — so traversal, the functional
+ * renderer and the timing model all test identical planes
+ * ("decompression-order-exact"). The grid always grows outward:
+ * qlo rounds down, qhi rounds up, and bounded +-1 nudges absorb any
+ * division round-off, so a quantized box strictly contains the exact
+ * one and no hit can be missed.
+ */
+void
+quantizeChildBounds8(std::vector<WideNode> &nodes, uint32_t threads)
+{
+    parallelChunks(nodes.size(), 4096, threads, [&](size_t begin,
+                                                    size_t end, uint32_t) {
+        for (size_t i = begin; i < end; i++) {
+            WideNode &n = nodes[i];
+            Aabb u;
+            for (const auto &c : n.child)
+                if (c.kind != WideChild::Invalid)
+                    u.grow(c.bounds);
+            if (u.empty())
+                continue;
+            for (int a = 0; a < 3; a++) {
+                float origin = u.lo[a];
+                float ext = u.hi[a] - u.lo[a];
+                if (ext <= 0.0f) {
+                    // Flat axis: every child collapses to the origin
+                    // plane, which the 8-bit grid represents exactly.
+                    for (auto &c : n.child) {
+                        if (c.kind == WideChild::Invalid)
+                            continue;
+                        c.bounds.lo[a] = origin;
+                        c.bounds.hi[a] = origin;
+                    }
+                    continue;
+                }
+                // Smallest power-of-two cell covering ext/255: frexp
+                // yields ext/255 = m * 2^e with m in [0.5, 1), so
+                // 2^e > ext/255 and ceil((hi-origin)/scale) <= 255.
+                int e = 0;
+                std::frexp(ext / 255.0f, &e);
+                for (;; e++) {
+                    float scale = std::ldexp(1.0f, e);
+                    bool ok = true;
+                    for (auto &c : n.child) {
+                        if (c.kind == WideChild::Invalid)
+                            continue;
+                        float lo = c.bounds.lo[a], hi = c.bounds.hi[a];
+                        int qlo = std::clamp(
+                            int(std::floor((lo - origin) / scale)), 0, 255);
+                        int qhi = std::clamp(
+                            int(std::ceil((hi - origin) / scale)), 0, 255);
+                        while (qlo > 0 && origin + float(qlo) * scale > lo)
+                            qlo--;
+                        while (qhi < 255 && origin + float(qhi) * scale < hi)
+                            qhi++;
+                        float dlo = origin + float(qlo) * scale;
+                        float dhi = origin + float(qhi) * scale;
+                        if (dlo > lo || dhi < hi) {
+                            ok = false; // grid can't cover; double cell
+                            break;
+                        }
+                        c.bounds.lo[a] = dlo;
+                        c.bounds.hi[a] = dhi;
+                    }
+                    if (ok)
+                        break;
+                }
+            }
+        }
+    });
+}
+
+// --- Cost-based DP collapse to an 8-wide BVH (Ylitie et al.) ---------
+//
+// For every binary node n and slot budget j in [1, 8], costF(n, j) is
+// the cheapest SAH cost of representing n's subtree in at most j root
+// slots of its parent's wide node. A binary leaf always occupies one
+// slot (leaves are never merged — leaf blocks stay identical to the
+// 4-wide backend's, which is what keeps frames bit-identical across
+// widths). An internal node either *emits* a wide node here
+// (costF(n,1) = A(n)*Cnode + dist(n,8)) or *distributes* its two
+// children over the budget (dist(n,j) = min_k costF(l,k) +
+// costF(r,j-k)). Each row is a pure function of the children's rows,
+// so computing rows bottom-up over depth waves is bit-identical at any
+// thread count. Ties: the distribute scan takes the lowest k (strict
+// <), and carrying the j-1 decision beats an equal-cost distribute.
+
+constexpr uint8_t kDecLeaf = 255; //!< Slot is a binary leaf.
+constexpr uint8_t kDecNode = 0;   //!< Emit a wide node at this slot.
+
+/** Per-(node, budget) DP rows; index n * kMaxBvhWidth + (j - 1). */
+struct WideDp
+{
+    std::vector<float> cost;
+    std::vector<uint8_t> decL; //!< kDecLeaf / kDecNode / left slot count.
+    std::vector<uint8_t> decR; //!< Right slot count of a distribute.
+    /** Left slot count of dist(n, 8), used when n emits a wide node. */
+    std::vector<uint8_t> rootK;
+};
+
+void
+computeDpNode(const std::vector<BinNode> &bin, uint32_t n,
+              const BvhConfig &cfg, WideDp &dp)
+{
+    const size_t at = size_t(n) * kMaxBvhWidth;
+    float area = bin[n].bounds.surfaceArea();
+    if (bin[n].isLeaf()) {
+        float c = area * cfg.intersectCost * float(bin[n].triCount);
+        for (int j = 0; j < kMaxBvhWidth; j++) {
+            dp.cost[at + j] = c;
+            dp.decL[at + j] = kDecLeaf;
+            dp.decR[at + j] = 0;
+        }
+        return;
+    }
+    const float *cl = &dp.cost[size_t(bin[n].left) * kMaxBvhWidth];
+    const float *cr = &dp.cost[size_t(bin[n].right) * kMaxBvhWidth];
+    float dist[kMaxBvhWidth + 1];
+    uint8_t distK[kMaxBvhWidth + 1];
+    for (int j = 2; j <= kMaxBvhWidth; j++) {
+        float best = std::numeric_limits<float>::max();
+        uint8_t best_k = 1;
+        for (int k = 1; k < j; k++) {
+            float v = cl[k - 1] + cr[j - k - 1];
+            if (v < best) {
+                best = v;
+                best_k = uint8_t(k);
+            }
+        }
+        dist[j] = best;
+        distK[j] = best_k;
+    }
+    dp.cost[at] = area * cfg.traversalCost + dist[kMaxBvhWidth];
+    dp.decL[at] = kDecNode;
+    dp.decR[at] = 0;
+    dp.rootK[n] = distK[kMaxBvhWidth];
+    for (int j = 2; j <= kMaxBvhWidth; j++) {
+        if (dist[j] < dp.cost[at + j - 2]) {
+            dp.cost[at + j - 1] = dist[j];
+            dp.decL[at + j - 1] = distK[j];
+            dp.decR[at + j - 1] = uint8_t(j) - distK[j];
+        } else {
+            dp.cost[at + j - 1] = dp.cost[at + j - 2];
+            dp.decL[at + j - 1] = dp.decL[at + j - 2];
+            dp.decR[at + j - 1] = dp.decR[at + j - 2];
+        }
+    }
+}
+
+/**
+ * Fill the DP tables bottom-up. Depth buckets come from a forward
+ * sweep over the parent-before-child node order the binary builders
+ * guarantee (serial recursion appends parents first; the stitched
+ * parallel arrays rebase child links to later offsets).
+ */
+WideDp
+computeWideDp(const std::vector<BinNode> &bin, uint32_t root,
+              const BvhConfig &cfg, uint32_t threads)
+{
+    WideDp dp;
+    const size_t n = bin.size();
+    dp.cost.resize(n * kMaxBvhWidth);
+    dp.decL.resize(n * kMaxBvhWidth);
+    dp.decR.resize(n * kMaxBvhWidth);
+    dp.rootK.assign(n, 0);
+
+    std::vector<uint32_t> depth(n, 0);
+    depth[root] = 1;
+    uint32_t maxd = 1;
+    for (uint32_t i = root; i < n; i++) {
+        assert(depth[i] > 0 && "binary node unreachable from root");
+        if (bin[i].isLeaf())
+            continue;
+        assert(bin[i].left > i && bin[i].right > i);
+        depth[bin[i].left] = depth[i] + 1;
+        depth[bin[i].right] = depth[i] + 1;
+        maxd = std::max(maxd, depth[i] + 1);
+    }
+
+    // Counting sort into depth buckets (deepest processed first).
+    std::vector<uint32_t> bucket_begin(maxd + 2, 0);
+    for (uint32_t i = root; i < n; i++)
+        bucket_begin[depth[i] + 1]++;
+    for (uint32_t d = 1; d <= maxd; d++)
+        bucket_begin[d + 1] += bucket_begin[d];
+    std::vector<uint32_t> order(n - root);
+    {
+        std::vector<uint32_t> cur(bucket_begin.begin(),
+                                  bucket_begin.end() - 1);
+        for (uint32_t i = root; i < n; i++)
+            order[cur[depth[i]]++] = i;
+    }
+    for (uint32_t d = maxd; d >= 1; d--) {
+        uint32_t begin = bucket_begin[d], end = bucket_begin[d + 1];
+        parallelChunks(end - begin, 1024, threads,
+                       [&](size_t b, size_t e, uint32_t) {
+                           for (size_t i = b; i < e; i++)
+                               computeDpNode(bin, order[begin + i], cfg,
+                                             dp);
+                       });
+    }
+    return dp;
+}
+
 } // anonymous namespace
 
 uint64_t
@@ -469,14 +680,27 @@ BvhConfig::fingerprint() const
     // buildThreads is deliberately excluded: it never changes the
     // output (the parallel build is bit-identical to the serial one).
     Fnv1a h;
-    h.pod(uint32_t(0xB1D50001)); // schema tag
+    h.pod(uint32_t(0xB1D50002)); // schema tag (v2: + width)
     h.pod(int32_t(maxLeafTris));
     h.pod(int32_t(sahBins));
     h.pod(traversalCost);
     h.pod(intersectCost);
     h.pod(treeletMaxBytes);
     h.pod(uint8_t(quantizedNodes));
+    h.pod(int32_t(width));
     return h.value();
+}
+
+BvhConfig
+BvhConfig::fromEnv()
+{
+    BvhConfig cfg;
+    uint64_t w = envUInt("TRT_BVH_WIDTH", kBvhWidth, kMaxBvhWidth);
+    if (w != 4 && w != 8)
+        throw EnvError("TRT_BVH_WIDTH must be 4 or 8, got " +
+                       std::to_string(w));
+    cfg.width = int(w);
+    return cfg;
 }
 
 uint32_t
@@ -497,7 +721,7 @@ class BvhBuilder
   public:
     static void
     collapse(const std::vector<BinNode> &bin, uint32_t bin_root, Bvh &out,
-             uint32_t threads)
+             const BvhConfig &cfg, uint32_t threads)
     {
         if (bin_root == kInvalidNode) {
             out.nodes_.emplace_back();
@@ -513,12 +737,18 @@ class BvhBuilder
             out.nodes_.push_back(n);
             return;
         }
+        WideDp dp;
+        const WideDp *dpp = nullptr;
+        if (cfg.width == kMaxBvhWidth) {
+            dp = computeWideDp(bin, bin_root, cfg, threads);
+            dpp = &dp;
+        }
         if (threads > 1 && bin.size() >= kParallelCollapseMin) {
-            collapseParallel(bin, bin_root, out, threads);
+            collapseParallel(bin, bin_root, out, cfg.width, dpp, threads);
             return;
         }
         out.nodes_.emplace_back();
-        collapseNode(bin, bin_root, 0, out);
+        collapseNode(bin, bin_root, 0, out, cfg.width, dpp);
     }
 
     static void
@@ -558,20 +788,47 @@ class BvhBuilder
     }
 
   private:
+    /** Walk the DP decision tree of (@p n, budget @p j): a leaf or
+     *  emit-node decision makes @p n a root slot; a distribute
+     *  decision recurses left then right, so slots come out in
+     *  left-to-right binary order (recursion depth < kMaxBvhWidth). */
+    static void
+    collectRoots(const std::vector<BinNode> &bin, const WideDp &dp,
+                 uint32_t n, int j, uint32_t slots[kMaxBvhWidth],
+                 int &n_slots)
+    {
+        const size_t at = size_t(n) * kMaxBvhWidth + size_t(j) - 1;
+        uint8_t d = dp.decL[at];
+        if (d == kDecLeaf || d == kDecNode) {
+            slots[n_slots++] = n;
+            return;
+        }
+        collectRoots(bin, dp, bin[n].left, d, slots, n_slots);
+        collectRoots(bin, dp, bin[n].right, dp.decR[at], slots, n_slots);
+    }
+
     /**
-     * Gather up to kBvhWidth binary descendants of @p bin_idx, greedily
-     * expanding the internal slot with the largest surface area.
-     * Returns the slot count.
+     * Gather the binary descendants that become @p bin_idx's wide
+     * children. Width 4 (no DP tables): greedily expand the internal
+     * slot with the largest surface area. Width 8: walk the DP
+     * decision tree of dist(bin_idx, 8). Returns the slot count.
      */
     static int
     gatherSlots(const std::vector<BinNode> &bin, uint32_t bin_idx,
-                uint32_t slots[kBvhWidth])
+                uint32_t slots[kMaxBvhWidth], int width, const WideDp *dp)
     {
         int n_slots = 0;
+        if (dp) {
+            int k = dp->rootK[bin_idx];
+            collectRoots(bin, *dp, bin[bin_idx].left, k, slots, n_slots);
+            collectRoots(bin, *dp, bin[bin_idx].right, width - k, slots,
+                         n_slots);
+            return n_slots;
+        }
         slots[n_slots++] = bin[bin_idx].left;
         slots[n_slots++] = bin[bin_idx].right;
 
-        while (n_slots < kBvhWidth) {
+        while (n_slots < width) {
             int best = -1;
             float best_area = -1.0f;
             for (int i = 0; i < n_slots; i++) {
@@ -594,15 +851,15 @@ class BvhBuilder
 
     static void
     collapseNode(const std::vector<BinNode> &bin, uint32_t bin_idx,
-                 uint32_t wide_idx, Bvh &out)
+                 uint32_t wide_idx, Bvh &out, int width, const WideDp *dp)
     {
-        uint32_t slots[kBvhWidth];
-        int n_slots = gatherSlots(bin, bin_idx, slots);
+        uint32_t slots[kMaxBvhWidth];
+        int n_slots = gatherSlots(bin, bin_idx, slots, width, dp);
 
         // First create all children entries (reserving wide indices for
         // the internal ones), then recurse; out.nodes_ may reallocate so
         // never hold a reference across the recursion.
-        uint32_t child_wide[kBvhWidth];
+        uint32_t child_wide[kMaxBvhWidth];
         for (int i = 0; i < n_slots; i++) {
             const BinNode &c = bin[slots[i]];
             WideChild wc;
@@ -622,14 +879,14 @@ class BvhBuilder
         }
         for (int i = 0; i < n_slots; i++)
             if (child_wide[i] != kInvalidNode)
-                collapseNode(bin, slots[i], child_wide[i], out);
+                collapseNode(bin, slots[i], child_wide[i], out, width, dp);
     }
 
     /** Scratch entry of the wave-parallel collapse: one wide node. */
     struct CollapseScratch
     {
         uint32_t bin = 0;               //!< Binary node collapsed here.
-        uint32_t slots[kBvhWidth] = {}; //!< Gathered binary descendants.
+        uint32_t slots[kMaxBvhWidth] = {}; //!< Gathered binary descendants.
         int nSlots = 0;
         uint32_t internalCount = 0; //!< Slots that are wide children.
         uint32_t firstChild = 0;    //!< First wide child (slot order).
@@ -647,7 +904,8 @@ class BvhBuilder
      */
     static void
     collapseParallel(const std::vector<BinNode> &bin, uint32_t bin_root,
-                     Bvh &out, uint32_t threads)
+                     Bvh &out, int width, const WideDp *dp,
+                     uint32_t threads)
     {
         std::vector<CollapseScratch> cn;
         cn.reserve(bin.size() / 2 + 1);
@@ -667,7 +925,8 @@ class BvhBuilder
                 [&](size_t b, size_t e, uint32_t) {
                     for (size_t i = b; i < e; i++) {
                         CollapseScratch &c = cn[wave_begin + i];
-                        c.nSlots = gatherSlots(bin, c.bin, c.slots);
+                        c.nSlots =
+                            gatherSlots(bin, c.bin, c.slots, width, dp);
                         c.internalCount = 0;
                         for (int s = 0; s < c.nSlots; s++)
                             if (!bin[c.slots[s]].isLeaf())
@@ -888,9 +1147,16 @@ Bvh::build(const std::vector<Triangle> &tris, const BvhConfig &cfg)
                        }
                    });
 
-    BvhBuilder::collapse(bb.nodes(), bin_root, bvh, threads);
+    assert(cfg.width == kBvhWidth || cfg.width == kMaxBvhWidth);
+    BvhBuilder::collapse(bb.nodes(), bin_root, bvh, cfg, threads);
 
-    if (cfg.quantizedNodes) {
+    if (cfg.width == kMaxBvhWidth) {
+        // Width 8 always uses the compressed layout: quantized child
+        // bounds and the 80-byte node encoding (DESIGN.md §11).
+        bvh.width_ = kMaxBvhWidth;
+        bvh.nodeBytes_ = kCompressedNode8Bytes;
+        quantizeChildBounds8(bvh.nodes_, threads);
+    } else if (cfg.quantizedNodes) {
         bvh.nodeBytes_ = kCompressedNodeBytes;
         quantizeChildBounds(bvh.nodes_, threads);
     }
@@ -906,17 +1172,22 @@ Bvh::build(const std::vector<Triangle> &tris, const BvhConfig &cfg)
 void
 Bvh::buildPackedBounds(uint32_t threads)
 {
-    packed_.resize(nodes_.size());
+    const uint32_t stride = packedStride();
+    packed_.resize(nodes_.size() * stride);
     parallelChunks(nodes_.size(), kReduceGrain, threads,
                    [&](size_t begin, size_t end, uint32_t) {
                        for (size_t i = begin; i < end; i++) {
-                           PackedBounds4 pb;
                            const WideNode &n = nodes_[i];
-                           for (int k = 0; k < kBvhWidth; k++) {
-                               if (n.child[k].kind != WideChild::Invalid)
-                                   pb.set(k, n.child[k].bounds);
+                           for (uint32_t g = 0; g < stride; g++) {
+                               PackedBounds4 pb;
+                               for (int k = 0; k < 4; k++) {
+                                   const WideChild &c =
+                                       n.child[g * 4 + k];
+                                   if (c.kind != WideChild::Invalid)
+                                       pb.set(k, c.bounds);
+                               }
+                               packed_[i * stride + g] = pb;
                            }
-                           packed_[i] = pb;
                        }
                    });
 }
@@ -943,22 +1214,26 @@ Bvh::intersectClosest(const Ray &ray) const
             continue;
 
         const WideNode &n = nodes_[e.node];
-        // Collect intersected children (all four lanes in one packed
-        // slab test), then push far-to-near.
+        // Collect intersected children (one packed slab test per group
+        // of four lanes, groups in child order), then push far-to-near.
         struct ChildHit
         {
             const WideChild *c;
             float t;
         };
-        ChildHit hits[kBvhWidth];
+        ChildHit hits[kMaxBvhWidth];
         int nh = 0;
-        float t_entry[4];
-        uint32_t m = intersectAabb4(r, inv, packed_[e.node], t_entry);
-        for (int k = 0; k < kBvhWidth; k++) {
-            if (m >> k & 1u)
-                hits[nh++] = {&n.child[k], t_entry[k]};
+        const uint32_t stride = packedStride();
+        for (uint32_t g = 0; g < stride; g++) {
+            float t_entry[4];
+            uint32_t m = intersectAabb4(
+                r, inv, packed_[size_t(e.node) * stride + g], t_entry);
+            for (int k = 0; k < 4; k++) {
+                if (m >> k & 1u)
+                    hits[nh++] = {&n.child[g * 4 + k], t_entry[k]};
+            }
         }
-        // Insertion sort by descending t (at most kBvhWidth entries;
+        // Insertion sort by descending t (at most kMaxBvhWidth entries;
         // avoids std::sort's code paths tripping -Warray-bounds).
         for (int i = 1; i < nh; i++) {
             ChildHit key = hits[i];

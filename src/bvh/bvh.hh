@@ -24,13 +24,20 @@
 namespace trt
 {
 
-/** Branching factor of the wide BVH. */
+/** Default branching factor of the wide BVH. */
 constexpr int kBvhWidth = 4;
+/** Maximum supported branching factor (TRT_BVH_WIDTH=8 backend). */
+constexpr int kMaxBvhWidth = 8;
 /** Bytes one wide node occupies in simulated memory. */
 constexpr uint32_t kNodeBytes = 64;
 /** Bytes per node with quantized child bounds (Ylitie et al. style
  *  compressed wide BVH, paper section 7.3). */
 constexpr uint32_t kCompressedNodeBytes = 32;
+/** Bytes per compressed 8-wide node (DESIGN.md §11): 12B origin +
+ *  3x1B scale exponents + 1B imask + 4B child base + 4B tri base +
+ *  8 x (1B meta + 6B quantized bounds) = 80 — 10B per child vs the
+ *  16B per child of the 64B 4-wide layout. */
+constexpr uint32_t kCompressedNode8Bytes = 80;
 /** Bytes one triangle record occupies in simulated memory. */
 constexpr uint32_t kTriBytes = 48;
 /** Base simulated address of the BVH allocation. */
@@ -61,6 +68,14 @@ struct BvhConfig
      */
     bool quantizedNodes = false;
     /**
+     * Branching factor of the built BVH: 4 (the seed greedy collapse,
+     * 64B nodes, or 32B with quantizedNodes) or 8 (cost-based DP
+     * collapse into kCompressedNode8Bytes quantized nodes — the
+     * Ylitie/Karras/Laine compressed wide BVH; width 8 always implies
+     * the compressed layout). Selected by TRT_BVH_WIDTH.
+     */
+    int width = kBvhWidth;
+    /**
      * Build threads: 1 = serial, N = exactly N threads, 0 = auto (the
      * TRT_BUILD_THREADS environment variable, else hardware
      * concurrency). The thread count never changes the built BVH — the
@@ -76,6 +91,10 @@ struct BvhConfig
      * so cached bundles can't go stale when builder parameters change.
      */
     uint64_t fingerprint() const;
+
+    /** Default config with the TRT_BVH_WIDTH env knob applied
+     *  (strictly 4 or 8; unset = 4). */
+    static BvhConfig fromEnv();
 };
 
 /** Resolve a BvhConfig::buildThreads-style knob to a concrete thread
@@ -93,10 +112,11 @@ struct WideChild
     uint32_t count = 0;  //!< Triangle count (Leaf only).
 };
 
-/** A wide BVH node: up to kBvhWidth children. */
+/** A wide BVH node: up to kMaxBvhWidth children (slots past the
+ *  built width stay Invalid on a 4-wide build). */
 struct WideNode
 {
-    WideChild child[kBvhWidth];
+    WideChild child[kMaxBvhWidth];
 
     int
     childCount() const
@@ -140,8 +160,10 @@ class Bvh
                      const BvhConfig &cfg = {});
 
     const std::vector<WideNode> &nodes() const { return nodes_; }
-    /** SoA child bounds per node for the 4-wide intersection kernels
-     *  (geom/simd.hh); same indexing as nodes(). */
+    /** SoA child bounds for the 4-wide intersection kernels
+     *  (geom/simd.hh): packedStride() groups of 4 lanes per node, node
+     *  n's group g at index n * packedStride() + g (lane k of group g
+     *  covers child g*4+k). */
     const std::vector<PackedBounds4> &packedBounds() const
     { return packed_; }
     const std::vector<Triangle> &triangles() const { return tris_; }
@@ -151,11 +173,15 @@ class Bvh
     uint32_t rootNode() const { return 0; }
     const Aabb &rootBounds() const { return rootBounds_; }
 
-    /** Bytes per node in simulated memory (64, or 32 when built with
-     *  quantizedNodes). */
+    /** Bytes per node in simulated memory (64, 32 when built with
+     *  quantizedNodes, or 80 for the 8-wide compressed layout). */
     uint32_t nodeBytes() const { return nodeBytes_; }
     /** True when built with quantized (compressed) child bounds. */
-    bool quantized() const { return nodeBytes_ == kCompressedNodeBytes; }
+    bool quantized() const { return nodeBytes_ != kNodeBytes; }
+    /** Branching factor this BVH was built with (4 or 8). */
+    int width() const { return width_; }
+    /** PackedBounds4 groups per node in packedBounds(). */
+    uint32_t packedStride() const { return uint32_t(width_) / 4; }
 
     // --- Treelet structure -------------------------------------------
     /** Number of treelets. */
@@ -215,6 +241,7 @@ class Bvh
     std::vector<uint64_t> triAddr_;
     uint64_t totalBytes_ = 0;
     uint32_t nodeBytes_ = kNodeBytes;
+    int width_ = kBvhWidth;
 };
 
 } // namespace trt

@@ -172,23 +172,29 @@ RayTraverser::complete()
             const WideChild *c;
             float t;
         };
-        ChildHit hits[kBvhWidth];
+        ChildHit hits[kMaxBvhWidth];
         int nh = 0;
-        // One packed slab test covers all four children; every valid
-        // child counts as a box test exactly as the per-child loop did.
-        const PackedBounds4 &pb = bvh_->packedBounds()[fetchNode_];
-        float t_entry[4];
-        uint32_t m = intersectAabb4(r, inv_, pb, t_entry);
-        for (int k = 0; k < kBvhWidth; k++) {
-            if (m >> k & 1u)
-                hits[nh++] = {&n.child[k], t_entry[k]};
+        // One packed slab test per group of four children, groups in
+        // child order (so an 8-wide node replicates the scalar 0..7
+        // child visit order exactly); every valid child counts as a
+        // box test exactly as the per-child loop did.
+        const uint32_t stride = bvh_->packedStride();
+        for (uint32_t g = 0; g < stride; g++) {
+            const PackedBounds4 &pb =
+                bvh_->packedBounds()[size_t(fetchNode_) * stride + g];
+            float t_entry[4];
+            uint32_t m = intersectAabb4(r, inv_, pb, t_entry);
+            for (int k = 0; k < 4; k++) {
+                if (m >> k & 1u)
+                    hits[nh++] = {&n.child[g * 4 + k], t_entry[k]};
+            }
+            tests += pb.validCount;
         }
-        tests = pb.validCount;
         counts_.boxTests += tests;
 
         // Internal children pushed far-to-near so the nearest pops
         // first; leaf children queued for triangle fetches. Insertion
-        // sort: at most kBvhWidth entries.
+        // sort: at most kMaxBvhWidth entries.
         for (int i = 1; i < nh; i++) {
             ChildHit key = hits[i];
             int j = i - 1;

@@ -60,7 +60,8 @@ uint64_t
 GpuConfig::fingerprint() const
 {
     Fnv1a h;
-    h.pod(uint32_t(0x6C0F0002)); // schema tag
+    h.pod(uint32_t(0x6C0F0003)); // schema tag (v3: + decode latency,
+                                 // wide box cost, shared predictor)
 
     h.pod(numSms);
     h.pod(maxWarpsPerSm);
@@ -92,6 +93,8 @@ GpuConfig::fingerprint() const
     h.pod(isectBoxLatency);
     h.pod(isectTriLatency);
     h.pod(isectIssuePerCycle);
+    h.pod(nodeDecodeLatency);
+    h.pod(wideBoxExtraLatency);
 
     h.pod(imageWidth);
     h.pod(imageHeight);
@@ -112,6 +115,7 @@ GpuConfig::fingerprint() const
     h.pod(policy);
     h.pod(reorderBinBits);
     h.pod(predictTableBits);
+    h.pod(uint8_t(predictShared));
 
     h.pod(prefetchCooldown);
     h.pod(prefetchMinRays);

@@ -83,6 +83,13 @@ struct GpuConfig
     uint32_t isectTriLatency = 18;
     /** Node visits entering the intersection pipeline per cycle. */
     uint32_t isectIssuePerCycle = 1;
+    /** Extra cycles to dequantize a compressed node's child bounds
+     *  before the box tests (charged for any quantized layout; RayFlex
+     *  models the same decode stage in the RT-unit datapath). */
+    uint32_t nodeDecodeLatency = 4;
+    /** Extra box-test cycles for an 8-wide node: the second 4-wide
+     *  AABB batch through the same intersection pipeline. */
+    uint32_t wideBoxExtraLatency = 5;
 
     // ------ Workload (section 5.1) -----------------------------------
     uint32_t imageWidth = 256;   //!< As the paper (section 5.1).
@@ -131,6 +138,13 @@ struct GpuConfig
     /** Predict policy: log2 of the per-RT-unit direct-mapped
      *  prediction-table entries (quantized ray hash -> leaf block). */
     uint32_t predictTableBits = 12;
+    /** Predict policy: share one prediction table across all SMs' RT
+     *  units (TRT_PREDICT_SHARED; one RT unit per SM in this model, so
+     *  per-SM sharing and global sharing coincide). Lookups read the
+     *  shared table during the parallel tick phase; training updates
+     *  are buffered per SM and applied in SM order at the serial cycle
+     *  commit, keeping the fan-out bit-identical at any thread count. */
+    bool predictShared = false;
 
     // ------ Treelet prefetching baseline (Chou et al.) ----------------
     /** Min cycles between prefetch issues (keeps the prefetcher from

@@ -44,6 +44,70 @@ quantizeAxis(float v, float lo, float hi, uint32_t bits)
 
 } // anonymous namespace
 
+// ---- SharedPredict ----------------------------------------------------
+
+SharedPredict::SharedPredict(const GpuConfig &cfg)
+{
+    uint32_t bits = std::min<uint32_t>(std::max(cfg.predictTableBits, 1u),
+                                       24u);
+    table.resize(size_t(1) << bits);
+    mask = table.size() - 1;
+    pending.resize(cfg.numSms);
+}
+
+void
+SharedPredict::flush()
+{
+    // SM order, then enqueue order within an SM: the exact sequence a
+    // serial SM loop would apply, so the table contents after every
+    // cycle are thread-count independent. Applied unconditionally —
+    // the queue-time dedup against the frozen table already filtered
+    // no-op updates.
+    for (std::vector<Train> &q : pending) {
+        for (const Train &t : q) {
+            Entry &e = table[size_t(t.hash & mask)];
+            e.tag = t.hash;
+            e.firstTri = t.firstTri;
+            e.count = t.count;
+        }
+        q.clear();
+    }
+}
+
+void
+SharedPredict::saveState(Serializer &s) const
+{
+    for (const auto &q : pending)
+        if (!q.empty())
+            throw SnapshotError(
+                "snapshot: unflushed shared-predictor trainings");
+    s.beginChunk("PSHR");
+    s.u64(table.size());
+    for (const Entry &e : table) {
+        s.u64(e.tag);
+        s.u32(e.firstTri);
+        s.u32(e.count);
+    }
+    s.endChunk();
+}
+
+void
+SharedPredict::loadState(Deserializer &d)
+{
+    d.beginChunk("PSHR");
+    if (d.u64() != table.size())
+        throw SnapshotError(
+            "snapshot: shared prediction-table size mismatch (config skew)");
+    for (Entry &e : table) {
+        e.tag = d.u64();
+        e.firstTri = d.u32();
+        e.count = d.u32();
+    }
+    for (auto &q : pending)
+        q.clear();
+    d.endChunk();
+}
+
 // ---- base-class treelet-queue decisions (the paper's heuristics) ------
 
 bool
@@ -333,11 +397,34 @@ PredictPolicy::rayHash(const Ray &ray) const
     return h.value();
 }
 
+void
+PredictPolicy::setShared(SharedPredict *sp, uint32_t sm_id)
+{
+    shared_ = sp;
+    smId_ = sm_id;
+    if (shared_) {
+        // The private table is dead weight in shared mode; release it
+        // so snapshots don't carry numSms idle copies.
+        table_.clear();
+        table_.shrink_to_fit();
+        mask_ = 0;
+    }
+}
+
 DispatchPolicy::Speculation
 PredictPolicy::speculate(const Ray &ray)
 {
     stats_.predictLookups++;
     uint64_t h = rayHash(ray);
+    if (shared_) {
+        // Reads only: the shared table is frozen for the whole tick
+        // phase (trainings queue up and land at the cycle commit).
+        const SharedPredict::Entry &e =
+            shared_->table[size_t(h & shared_->mask)];
+        if (e.count == 0 || e.tag != h)
+            return {};
+        return {e.firstTri, e.count, true};
+    }
     const Entry &e = table_[size_t(h & mask_)];
     if (e.count == 0 || e.tag != h)
         return {}; // cold or conflicting slot: no prediction
@@ -365,6 +452,21 @@ PredictPolicy::onRayComplete(const RayTraverser &trav)
     if (!trav.hit().hit() || trav.hitBlockCount() == 0)
         return;
     uint64_t h = rayHash(trav.ray());
+    if (shared_) {
+        // Dedup against the frozen table, then defer the write to this
+        // SM's pending queue; SharedPredict::flush() applies it at the
+        // serial cycle commit. predictInserts counts queued updates —
+        // deterministic, since the table can't change under us here.
+        const SharedPredict::Entry &e =
+            shared_->table[size_t(h & shared_->mask)];
+        if (e.tag != h || e.firstTri != trav.hitBlockFirst() ||
+            e.count != trav.hitBlockCount()) {
+            shared_->pending[smId_].push_back(
+                {h, trav.hitBlockFirst(), trav.hitBlockCount()});
+            stats_.predictInserts++;
+        }
+        return;
+    }
     Entry &e = table_[size_t(h & mask_)];
     if (e.tag != h || e.firstTri != trav.hitBlockFirst() ||
         e.count != trav.hitBlockCount()) {
@@ -380,6 +482,10 @@ PredictPolicy::saveState(Serializer &s) const
 {
     FifoPolicy::saveState(s);
     s.beginChunk("PRED");
+    // Shared mode: table_ is empty by construction (setShared cleared
+    // it), so this writes a zero-length table and the real state lives
+    // in the Gpu's "PSHR" chunk. predictShared is fingerprinted, so a
+    // snapshot can never be resumed under the other mode.
     s.u64(table_.size());
     for (const Entry &e : table_) {
         s.u64(e.tag);

@@ -47,6 +47,53 @@
 namespace trt
 {
 
+/**
+ * Shared prediction table (TRT_PREDICT_SHARED, DESIGN.md §9): one
+ * table serving every SM's PredictPolicy instead of one per RT unit
+ * (one RT unit per SM in this model, so per-SM and global sharing
+ * coincide). Determinism under the parallel tick fan-out: the table is
+ * *frozen* during the tick phase — speculate() only reads it — while
+ * training updates append to the calling SM's own pending queue
+ * (race-free by construction). The Gpu applies the queues in SM order
+ * at the serial cycle commit (flush()), the exact order a serial SM
+ * loop would produce, so RunStats are bit-identical at any
+ * TRT_SIM_THREADS. Updates therefore become visible to lookups at the
+ * next cycle boundary.
+ */
+struct SharedPredict
+{
+    struct Entry
+    {
+        uint64_t tag = 0;
+        uint32_t firstTri = 0;
+        uint32_t count = 0; //!< 0 = empty.
+    };
+
+    /** One deferred training update. */
+    struct Train
+    {
+        uint64_t hash = 0;
+        uint32_t firstTri = 0;
+        uint32_t count = 0;
+    };
+
+    explicit SharedPredict(const GpuConfig &cfg);
+
+    std::vector<Entry> table;
+    uint64_t mask = 0;
+    /** Per-SM pending trainings; SM @p s appends only to pending[s]. */
+    std::vector<std::vector<Train>> pending;
+
+    /** Apply every pending training in SM order, then clear the
+     *  queues. Serial phases only. */
+    void flush();
+
+    /** Snapshot hooks ("PSHR" chunk). Pending queues must be empty —
+     *  the capture point is after the per-cycle flush. */
+    void saveState(Serializer &s) const;
+    void loadState(Deserializer &d);
+};
+
 /** Strategy interface; see the file comment. PendingRay (the pool
  *  element type) is declared next to its owner in rt_unit.hh. */
 class DispatchPolicy
@@ -118,6 +165,15 @@ class DispatchPolicy
     onRayComplete(const RayTraverser &trav)
     {
         (void)trav;
+    }
+    /** Attach the GPU-owned shared prediction table; @p sm_id selects
+     *  this unit's pending-train queue. No-op for every policy except
+     *  Predict (TRT_PREDICT_SHARED). */
+    virtual void
+    setShared(SharedPredict *sp, uint32_t sm_id)
+    {
+        (void)sp;
+        (void)sm_id;
     }
 
     // ---- treelet-queue scheduling decisions (TreeletQueues arch) -----
@@ -241,6 +297,7 @@ class PredictPolicy : public FifoPolicy
 
     Speculation speculate(const Ray &ray) override;
     void onRayComplete(const RayTraverser &trav) override;
+    void setShared(SharedPredict *sp, uint32_t sm_id) override;
 
     void saveState(Serializer &s) const override;
     void loadState(Deserializer &d) override;
@@ -256,8 +313,12 @@ class PredictPolicy : public FifoPolicy
         uint32_t count = 0; //!< 0 = empty.
     };
 
+    /** Private table; unused (and kept empty in snapshots) when the
+     *  shared table is attached. */
     std::vector<Entry> table_;
     uint64_t mask_ = 0;
+    SharedPredict *shared_ = nullptr; //!< Non-owning; Gpu-owned.
+    uint32_t smId_ = 0;               //!< Pending-queue index when shared.
 };
 
 /** Construct the policy @p cfg.policy names, bound to @p stats (the

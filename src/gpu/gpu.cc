@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "gpu/dispatch_policy.hh"
 #include "util/env.hh"
 
 namespace trt
@@ -44,6 +45,9 @@ Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
 
     mem_.enableBvhSeries(2048);
 
+    if (cfg_.policy == DispatchPolicyKind::Predict && cfg_.predictShared)
+        sharedPredict_ = std::make_unique<SharedPredict>(cfg_);
+
     sms_.resize(cfg_.numSms);
     rtUnits_.reserve(cfg_.numSms);
     for (uint32_t sm = 0; sm < cfg_.numSms; sm++) {
@@ -57,6 +61,8 @@ Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
                     "(use core/arch.hh makeRtUnitFactory)");
             unit = std::make_unique<BaselineRtUnit>(cfg_, mem_, bvh_, sm);
         }
+        if (sharedPredict_)
+            unit->setSharedPredict(sharedPredict_.get());
         // During the (possibly multi-threaded) tick phase completions
         // are buffered per SM and drained in SM order after the memory
         // commit; outside it (accept path, final drain) they are
@@ -673,6 +679,10 @@ Gpu::saveState(Serializer &s) const
     mem_.saveState(s);
     for (const auto &unit : rtUnits_)
         unit->saveState(s);
+    // Shared prediction table (only when enabled; predictShared is
+    // part of the config fingerprint, so presence always matches).
+    if (sharedPredict_)
+        sharedPredict_->saveState(s);
 }
 
 void
@@ -836,6 +846,8 @@ Gpu::loadState(Deserializer &d)
     mem_.loadState(d);
     for (const auto &unit : rtUnits_)
         unit->loadState(d);
+    if (sharedPredict_)
+        sharedPredict_->loadState(d);
 
     // Transients are empty at the serial commit boundary by
     // construction; reset them in case a failed earlier load ran.
@@ -980,6 +992,12 @@ Gpu::detailedLoop(uint64_t stopAtCycle)
                 refreshRtEvent(s);
         }
         servicePass(now);
+
+        // Shared-predictor commit: apply the trainings the tick phase
+        // buffered, in SM order — lookups see them from the next cycle
+        // on, identically at any thread count.
+        if (sharedPredict_)
+            sharedPredict_->flush();
 
         // Serial commit boundary: every transient is quiescent here,
         // the only legal capture point (DESIGN.md §7).

@@ -360,6 +360,10 @@ class Gpu
     const std::vector<Ray> *customRays_ = nullptr;
 
     std::vector<std::unique_ptr<RtUnitBase>> rtUnits_;
+    /** Shared prediction table (cfg.predictShared): attached to every
+     *  unit's PredictPolicy; pending trainings are flushed in SM order
+     *  at each serial commit boundary. Null unless enabled. */
+    std::unique_ptr<SharedPredict> sharedPredict_;
     /** Cached RtUnitBase::nextEventCycle() per unit; refreshed after
      *  every call into the unit so the main loop can poll in O(1). */
     std::vector<uint64_t> rtNextEvent_;

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "geom/hash.hh"
+#include "gpu/dispatch_policy.hh"
 #include "util/env.hh"
 
 namespace trt
@@ -238,6 +239,10 @@ Gpu::enterFunctional()
         rtUnits_[s]->drainFunctional(lastNow_);
         rtNextEvent_[s] = kNoEvent;
     }
+    // The drain completed rays serially; commit any shared-predictor
+    // trainings it queued before the leg (and any snapshot) proceeds.
+    if (sharedPredict_)
+        sharedPredict_->flush();
     // Absorb the accept backlog: warps the units refused (VTQ ray
     // cap). Their tokens never reached a unit, so unroute them here.
     for (uint32_t s = 0; s < cfg_.numSms; s++) {

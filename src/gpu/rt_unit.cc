@@ -80,6 +80,14 @@ RtUnitBase::RtUnitBase(const GpuConfig &cfg, MemorySystem &mem,
       smId_(sm_id), memIssue_(cfg.rtMemIssuePerCycle),
       isect_(cfg.isectIssuePerCycle)
 {
+    // Node-visit latency (DESIGN.md §11): compressed layouts pay a
+    // dequantization stage before the box tests, and 8-wide nodes push
+    // a second 4-wide AABB batch through the intersection pipeline.
+    nodeLatency_ = cfg.isectBoxLatency;
+    if (bvh.quantized())
+        nodeLatency_ += cfg.nodeDecodeLatency;
+    if (bvh.width() == kMaxBvhWidth)
+        nodeLatency_ += cfg.wideBoxExtraLatency;
 }
 
 bool
@@ -142,7 +150,7 @@ RtUnitBase::stepRay(uint64_t now, RayEntry &e, TraversalMode mode,
             // intersection pipeline (throughput limited).
             uint64_t start = isect_.book(std::max(now, e.ready));
             e.ready = start + (e.fetchIsLeaf ? cfg_.isectTriLatency
-                                             : cfg_.isectBoxLatency);
+                                             : nodeLatency_);
             e.stage = Stage::WaitIsect;
             if (e.ready > now)
                 noteEvent(e.ready);
@@ -179,6 +187,12 @@ BaselineRtUnit::BaselineRtUnit(const GpuConfig &cfg, MemorySystem &mem,
 }
 
 BaselineRtUnit::~BaselineRtUnit() = default;
+
+void
+BaselineRtUnit::setSharedPredict(SharedPredict *sp)
+{
+    policy_->setShared(sp, smId_);
+}
 
 bool
 BaselineRtUnit::tryAccept(uint64_t now, TraceRequest &&req)

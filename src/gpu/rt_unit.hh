@@ -33,6 +33,8 @@
 namespace trt
 {
 
+struct SharedPredict;
+
 /** "No pending event" sentinel for nextEventCycle(). */
 constexpr uint64_t kNoEvent = ~0ull;
 
@@ -231,6 +233,11 @@ class RtUnitBase
     void setCompletion(CompletionFn fn) { completion_ = std::move(fn); }
     void setCtaDrained(CtaDrainedFn fn) { ctaDrained_ = std::move(fn); }
 
+    /** Attach the GPU-owned shared prediction table
+     *  (TRT_PREDICT_SHARED, DESIGN.md §9). Default: ignored; units
+     *  with a PredictPolicy forward it. */
+    virtual void setSharedPredict(SharedPredict *sp) { (void)sp; }
+
     const RtStats &stats() const { return stats_; }
     uint32_t smId() const { return smId_; }
 
@@ -374,6 +381,11 @@ class RtUnitBase
     RateLimiter memIssue_;
     /** Intersection pipeline front-end limiter. */
     RateLimiter isect_;
+    /** Intersection latency of one node visit: isectBoxLatency, plus
+     *  the dequantization stage for compressed layouts, plus the second
+     *  4-wide box batch for 8-wide nodes. Precomputed from cfg_ and
+     *  bvh_ at construction (both immutable). */
+    uint32_t nodeLatency_;
 
     RtStats stats_;
     CompletionFn completion_;
@@ -442,6 +454,7 @@ class BaselineRtUnit : public RtUnitBase
     uint64_t raysHeld() const override;
     std::string debugStatus() const override;
     void drainFunctional(uint64_t now) override;
+    void setSharedPredict(SharedPredict *sp) override;
 
     void saveState(Serializer &s) const override;
     void loadState(Deserializer &d) override;

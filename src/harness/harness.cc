@@ -23,7 +23,7 @@ namespace
 {
 
 /** Bump when scene generators, BVH build or formats change. */
-constexpr uint32_t kBundleCacheVersion = 1;
+constexpr uint32_t kBundleCacheVersion = 2; //!< v2: wide-BVH io header.
 
 template <typename T>
 void
@@ -52,14 +52,14 @@ readVec(std::istream &is, std::vector<T> &v)
 }
 
 std::filesystem::path
-cachePath(const std::string &name, float scale)
+cachePath(const std::string &name, float scale, const BvhConfig &bvhCfg)
 {
     // The builder-parameter fingerprint is part of the key: a change
-    // to maxLeafTris, the treelet byte cap, etc. must never serve a
-    // bundle built under the old parameters.
+    // to maxLeafTris, the treelet byte cap, the branching width, etc.
+    // must never serve a bundle built under the old parameters.
     std::ostringstream ss;
     ss << name << "_s" << scale << "_b" << std::hex
-       << BvhConfig{}.fingerprint() << std::dec << "_v"
+       << bvhCfg.fingerprint() << std::dec << "_v"
        << kBundleCacheVersion << ".bin";
     return std::filesystem::path(cacheRootDir()) / ss.str();
 }
@@ -173,6 +173,7 @@ HarnessOptions::fromEnv()
         uint32_t(envUInt("TRT_REORDER_BITS", 0, 16));
     opt.predictTableBits =
         uint32_t(envUInt("TRT_PREDICT_BITS", 0, 24));
+    opt.predictShared = envFlag("TRT_PREDICT_SHARED", false);
     return opt;
 }
 
@@ -220,6 +221,8 @@ HarnessOptions::apply(GpuConfig cfg) const
         cfg.reorderBinBits = reorderBinBits;
     if (predictTableBits > 0)
         cfg.predictTableBits = predictTableBits;
+    if (predictShared)
+        cfg.predictShared = true;
     return cfg;
 }
 
@@ -239,16 +242,22 @@ HarnessOptions::effectiveSimThreads() const
 }
 
 const SceneBundle &
-getSceneBundle(const std::string &name, float scale)
+getSceneBundle(const std::string &name, float scale,
+               const BvhConfig &bvhCfg)
 {
     struct Key
     {
         std::string name;
         float scale;
+        uint64_t bvhFp;
         bool
         operator<(const Key &o) const
         {
-            return name != o.name ? name < o.name : scale < o.scale;
+            if (name != o.name)
+                return name < o.name;
+            if (scale != o.scale)
+                return scale < o.scale;
+            return bvhFp < o.bvhFp;
         }
     };
     static std::map<Key, std::unique_ptr<SceneBundle>> cache;
@@ -257,7 +266,7 @@ getSceneBundle(const std::string &name, float scale)
     // the same scene is built once.
     static std::map<Key, std::unique_ptr<std::mutex>> building;
 
-    Key key{name, scale};
+    Key key{name, scale, bvhCfg.fingerprint()};
     std::mutex *bmtx;
     {
         std::lock_guard<std::mutex> lk(mtx);
@@ -282,19 +291,19 @@ getSceneBundle(const std::string &name, float scale)
     auto bundle = std::make_unique<SceneBundle>();
     bool cached = false;
     if (!cacheRootDir().empty())
-        cached = loadBundleFile(cachePath(name, scale), *bundle);
+        cached = loadBundleFile(cachePath(name, scale, bvhCfg), *bundle);
     if (cached) {
         harnessTiming().bundleCacheHits++;
     } else {
         auto t0 = std::chrono::steady_clock::now();
         bundle->name = name;
         bundle->scene = buildScene(name, scale);
-        bundle->bvh = Bvh::build(bundle->scene.triangles);
+        bundle->bvh = Bvh::build(bundle->scene.triangles, bvhCfg);
         bundle->bvhStats = bundle->bvh.stats();
         harnessTiming().sceneBuildMs += msSince(t0);
         if (!cacheRootDir().empty()) {
             harnessTiming().bundleCacheMisses++;
-            saveBundleFile(cachePath(name, scale), *bundle);
+            saveBundleFile(cachePath(name, scale, bvhCfg), *bundle);
         }
     }
 
@@ -302,6 +311,12 @@ getSceneBundle(const std::string &name, float scale)
     auto [it, inserted] = cache.emplace(key, std::move(bundle));
     (void)inserted;
     return *it->second;
+}
+
+const SceneBundle &
+getSceneBundle(const std::string &name, float scale)
+{
+    return getSceneBundle(name, scale, BvhConfig::fromEnv());
 }
 
 RunStats

@@ -78,6 +78,15 @@
  *                      origin binning grid (default 6).
  *   TRT_PREDICT_BITS   predict policy: log2 prediction-table entries
  *                      per RT unit (default 12).
+ *   TRT_PREDICT_SHARED =1: predict policy shares one prediction table
+ *                      across all SMs' RT units instead of one table
+ *                      per unit (GpuConfig::predictShared). Frames and
+ *                      stats stay bit-identical across TRT_SIM_THREADS.
+ *   TRT_BVH_WIDTH      BVH branching factor: 4 (default, 64-byte
+ *                      nodes) or 8 (compressed 80-byte nodes with
+ *                      quantized child bounds — half the bytes per
+ *                      child). Keyed into the bundle and run caches;
+ *                      frames are bit-identical across widths.
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH
@@ -124,6 +133,7 @@ struct HarnessOptions
     std::string policyName;
     uint32_t reorderBinBits = 0;   //!< TRT_REORDER_BITS; 0 = default.
     uint32_t predictTableBits = 0; //!< TRT_PREDICT_BITS; 0 = default.
+    bool predictShared = false;    //!< TRT_PREDICT_SHARED.
 
     /** Read TRT_* environment variables. */
     static HarnessOptions fromEnv();
@@ -150,8 +160,14 @@ std::string cacheRootDir();
 
 /**
  * Get (building and caching on first use) the bundle for @p name at
- * @p scale. Thread-safe; the returned reference lives for the process.
+ * @p scale, with the BVH built under @p bvhCfg (its fingerprint keys
+ * both the in-process and on-disk caches, so different widths coexist).
+ * Thread-safe; the returned reference lives for the process.
  */
+const SceneBundle &getSceneBundle(const std::string &name, float scale,
+                                  const BvhConfig &bvhCfg);
+
+/** Same, with the environment's BVH parameters (TRT_BVH_WIDTH). */
 const SceneBundle &getSceneBundle(const std::string &name, float scale);
 
 /**

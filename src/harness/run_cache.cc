@@ -181,9 +181,10 @@ runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale,
     // parameters themselves). Hashed unconditionally so full runs
     // (modeFp == 0) key differently from any sampled run.
     h.pod(modeFp);
-    // The harness builds bundles with default BVH parameters; a change
-    // there changes simulated addresses and must invalidate runs.
-    h.pod(BvhConfig{}.fingerprint());
+    // The harness builds bundles with the environment's BVH parameters
+    // (TRT_BVH_WIDTH); a change there changes simulated addresses and
+    // must invalidate runs.
+    h.pod(BvhConfig::fromEnv().fingerprint());
     h.pod(uint32_t(RunStatsIo::kVersion));
     // Build stamp: simulator code changes invalidate old results even
     // when no schema version was bumped.

@@ -8,11 +8,13 @@
  */
 
 #include <set>
+#include <sstream>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
 
 #include "bvh/bvh.hh"
+#include "bvh/io.hh"
 #include "geom/rng.hh"
 #include "scene/registry.hh"
 
@@ -410,11 +412,12 @@ TEST(CompressedBvh, ClosestHitsIdentical)
 void
 expectBvhIdentical(const Bvh &a, const Bvh &b)
 {
+    ASSERT_EQ(a.width(), b.width());
     ASSERT_EQ(a.nodes().size(), b.nodes().size());
     for (size_t n = 0; n < a.nodes().size(); n++) {
         const WideNode &na = a.nodes()[n];
         const WideNode &nb = b.nodes()[n];
-        for (int c = 0; c < kBvhWidth; c++) {
+        for (int c = 0; c < kMaxBvhWidth; c++) {
             ASSERT_EQ(na.child[c].kind, nb.child[c].kind)
                 << "node " << n << " child " << c;
             ASSERT_EQ(na.child[c].index, nb.child[c].index)
@@ -542,6 +545,321 @@ TEST(Stats, SahQualitySane)
     BvhStats st = bvh.stats();
     double log4 = std::log(double(st.triCount)) / std::log(4.0);
     EXPECT_LT(double(st.maxDepth), 4.0 * log4);
+}
+
+BvhConfig
+wide8Config()
+{
+    BvhConfig cfg;
+    cfg.width = 8;
+    return cfg;
+}
+
+TEST(Wide8, LayoutAndFootprint)
+{
+    auto tris = randomTriangles(1000, 301);
+    Bvh four = Bvh::build(tris);
+    Bvh eight = Bvh::build(tris, wide8Config());
+
+    EXPECT_EQ(eight.width(), kMaxBvhWidth);
+    EXPECT_EQ(eight.nodeBytes(), kCompressedNode8Bytes);
+    EXPECT_TRUE(eight.quantized());
+    EXPECT_EQ(eight.packedStride(), 2u);
+    for (const auto &n : eight.nodes())
+        EXPECT_LE(n.childCount(), kMaxBvhWidth);
+    // Doubling the arity should remove a large fraction of the
+    // internal nodes and shrink the node array's byte footprint even
+    // though individual nodes grow from 64B to 80B.
+    EXPECT_LT(eight.nodes().size(), four.nodes().size());
+    EXPECT_LT(eight.nodes().size() * kCompressedNode8Bytes,
+              four.nodes().size() * kNodeBytes);
+    EXPECT_LT(eight.totalBytes(), four.totalBytes());
+}
+
+TEST(Wide8, EveryTriangleReferencedExactlyOnce)
+{
+    auto tris = randomTriangles(700, 302);
+    Bvh bvh = Bvh::build(tris, wide8Config());
+    std::vector<int> refs(tris.size(), 0);
+    for (const auto &n : bvh.nodes()) {
+        for (const auto &c : n.child) {
+            if (c.kind != WideChild::Leaf)
+                continue;
+            for (uint32_t k = 0; k < c.count; k++)
+                refs[bvh.originalTriIndex(c.index + k)]++;
+        }
+    }
+    for (size_t i = 0; i < refs.size(); i++)
+        EXPECT_EQ(refs[i], 1) << "triangle " << i;
+}
+
+/** Exact AABB of all geometry in the subtree rooted at @p node. */
+Aabb
+subtreeGeoBounds(const Bvh &bvh, uint32_t node)
+{
+    Aabb geo;
+    for (const auto &c : bvh.nodes()[node].child) {
+        if (c.kind == WideChild::Leaf) {
+            for (uint32_t k = 0; k < c.count; k++)
+                geo.grow(bvh.triangles()[c.index + k].bounds());
+        } else if (c.kind == WideChild::Internal) {
+            geo.grow(subtreeGeoBounds(bvh, c.index));
+        }
+    }
+    return geo;
+}
+
+TEST(Wide8, QuantizedBoundsContainGeometry)
+{
+    // The dequantized child boxes must conservatively contain the
+    // *exact geometry* below them — that is the invariant that makes
+    // the compressed layout hit-identical. (Sibling quantized boxes
+    // need not nest: a grandchild's own inflated box may poke outside
+    // the parent's inflated box without affecting any hit.)
+    auto tris = randomTriangles(500, 303);
+    Bvh bvh = Bvh::build(tris, wide8Config());
+    for (const auto &n : bvh.nodes()) {
+        for (const auto &c : n.child) {
+            if (c.kind == WideChild::Leaf) {
+                Aabb geo;
+                for (uint32_t k = 0; k < c.count; k++)
+                    geo.grow(bvh.triangles()[c.index + k].bounds());
+                EXPECT_TRUE(c.bounds.contains(geo));
+            } else if (c.kind == WideChild::Internal) {
+                EXPECT_TRUE(
+                    c.bounds.contains(subtreeGeoBounds(bvh, c.index)));
+            }
+        }
+    }
+}
+
+TEST(Wide8, MatchesBruteForce)
+{
+    for (uint32_t count : {1u, 7u, 64u, 800u}) {
+        auto tris = randomTriangles(count, 304 + count);
+        Bvh bvh = Bvh::build(tris, wide8Config());
+        Pcg32 rng(count ^ 0x8888);
+        for (int i = 0; i < 150; i++) {
+            Ray r({rng.nextRange(-12, 12), rng.nextRange(-12, 12),
+                   rng.nextRange(-12, 12)},
+                  normalize(Vec3{rng.nextRange(-1, 1),
+                                 rng.nextRange(-1, 1),
+                                 rng.nextRange(-1, 1)}));
+            HitRecord a = bvh.intersectClosest(r);
+            HitRecord b = bruteForce(tris, r);
+            ASSERT_EQ(a.hit(), b.hit()) << count << " tris, ray " << i;
+            if (a.hit()) {
+                ASSERT_FLOAT_EQ(a.t, b.t);
+                ASSERT_EQ(bvh.originalTriIndex(a.triIndex), b.triIndex);
+            }
+        }
+    }
+}
+
+TEST(Wide8, ClosestHitsIdenticalToWidth4)
+{
+    // The 8-wide collapse regroups the same binary SAH tree, and the
+    // conservative quantization only admits extra node entries — the
+    // closest hit must match the 4-wide build exactly.
+    auto tris = randomTriangles(900, 305);
+    Bvh four = Bvh::build(tris);
+    Bvh eight = Bvh::build(tris, wide8Config());
+    Pcg32 rng(306);
+    for (int i = 0; i < 300; i++) {
+        Ray r({rng.nextRange(-12, 12), rng.nextRange(-12, 12),
+               rng.nextRange(-12, 12)},
+              normalize(Vec3{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                             rng.nextRange(-1, 1)}));
+        HitRecord a = four.intersectClosest(r);
+        HitRecord b = eight.intersectClosest(r);
+        ASSERT_EQ(a.hit(), b.hit()) << "ray " << i;
+        if (a.hit()) {
+            ASSERT_FLOAT_EQ(a.t, b.t);
+            ASSERT_EQ(four.originalTriIndex(a.triIndex),
+                      eight.originalTriIndex(b.triIndex));
+        }
+    }
+}
+
+TEST(Wide8, TreeletInvariantsHold)
+{
+    auto tris = randomTriangles(1500, 307);
+    BvhConfig cfg = wide8Config();
+    cfg.treeletMaxBytes = 2048;
+    Bvh bvh = Bvh::build(tris, cfg);
+    // Byte cap in *compressed* bytes; every node assigned.
+    uint64_t sum = 0;
+    for (uint32_t t = 0; t < bvh.treeletCount(); t++) {
+        if (bvh.treeletNodeCount(t) > 1)
+            EXPECT_LE(bvh.treeletBytes(t), cfg.treeletMaxBytes);
+        sum += bvh.treeletNodeCount(t);
+    }
+    EXPECT_EQ(sum, bvh.nodes().size());
+    uint64_t expected =
+        uint64_t(bvh.nodes().size()) * kCompressedNode8Bytes +
+        uint64_t(bvh.triangles().size()) * kTriBytes;
+    EXPECT_EQ(bvh.totalBytes(), expected);
+}
+
+class BuilderEdgeCases : public ::testing::TestWithParam<int>
+{
+protected:
+    BvhConfig
+    cfg() const
+    {
+        BvhConfig c;
+        c.width = GetParam();
+        return c;
+    }
+};
+
+TEST_P(BuilderEdgeCases, EmptyScene)
+{
+    Bvh bvh = Bvh::build({}, cfg());
+    EXPECT_EQ(bvh.triangles().size(), 0u);
+    EXPECT_GE(bvh.nodes().size(), 1u);
+    Ray r({0, 0, -5}, {0, 0, 1});
+    EXPECT_FALSE(bvh.intersectClosest(r).hit());
+}
+
+TEST_P(BuilderEdgeCases, SingleTriangle)
+{
+    std::vector<Triangle> tris = {{{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}, 0}};
+    Bvh bvh = Bvh::build(tris, cfg());
+    ASSERT_EQ(bvh.triangles().size(), 1u);
+    Ray r({0, 0, -5}, {0, 0, 1});
+    HitRecord h = bvh.intersectClosest(r);
+    ASSERT_TRUE(h.hit());
+    EXPECT_NEAR(h.t, 5.0f, 1e-4f);
+}
+
+TEST_P(BuilderEdgeCases, AllDegenerateAabbs)
+{
+    // Point triangles: every primitive AABB has zero extent, so the
+    // quantizer sees flat axes everywhere and the splitter has no
+    // spatial signal at all. The build must still terminate with
+    // every triangle referenced once.
+    std::vector<Triangle> tris(
+        64, Triangle{{2, 3, 4}, {2, 3, 4}, {2, 3, 4}, 0});
+    Bvh bvh = Bvh::build(tris, cfg());
+    EXPECT_EQ(bvh.triangles().size(), 64u);
+    std::vector<int> refs(tris.size(), 0);
+    for (const auto &n : bvh.nodes())
+        for (const auto &c : n.child)
+            if (c.kind == WideChild::Leaf)
+                for (uint32_t k = 0; k < c.count; k++)
+                    refs[bvh.originalTriIndex(c.index + k)]++;
+    for (size_t i = 0; i < refs.size(); i++)
+        EXPECT_EQ(refs[i], 1) << "triangle " << i;
+}
+
+TEST_P(BuilderEdgeCases, LeafOnlyTree)
+{
+    // Fewer triangles than one leaf holds: the whole tree is a single
+    // root with one leaf child.
+    auto tris = randomTriangles(3, 308);
+    Bvh bvh = Bvh::build(tris, cfg());
+    EXPECT_EQ(bvh.nodes().size(), 1u);
+    Pcg32 rng(309);
+    for (int i = 0; i < 50; i++) {
+        Ray r({rng.nextRange(-12, 12), rng.nextRange(-12, 12),
+               rng.nextRange(-12, 12)},
+              normalize(Vec3{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                             rng.nextRange(-1, 1)}));
+        HitRecord a = bvh.intersectClosest(r);
+        HitRecord b = bruteForce(tris, r);
+        ASSERT_EQ(a.hit(), b.hit());
+        if (a.hit())
+            ASSERT_FLOAT_EQ(a.t, b.t);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothWidths, BuilderEdgeCases,
+                         ::testing::Values(4, 8),
+                         [](const auto &info) {
+                             return "width" + std::to_string(info.param);
+                         });
+
+TEST(ParallelBuild, BitIdenticalAtWidth8)
+{
+    // The wave-parallel DP collapse must give the same 8-wide tree at
+    // any thread count.
+    std::vector<Triangle> tris = randomTriangles(20000, 310);
+    BvhConfig serial = wide8Config();
+    serial.buildThreads = 1;
+    Bvh ref = Bvh::build(tris, serial);
+    for (uint32_t threads : {2u, 8u, 16u}) {
+        BvhConfig cfg = wide8Config();
+        cfg.buildThreads = threads;
+        SCOPED_TRACE(threads);
+        expectBvhIdentical(ref, Bvh::build(tris, cfg));
+    }
+}
+
+TEST(BvhConfigFingerprint, SensitiveToWidth)
+{
+    BvhConfig base;
+    EXPECT_NE(base.fingerprint(), wide8Config().fingerprint())
+        << "width must key the bundle/run caches";
+}
+
+class BvhIoRoundTrip : public ::testing::TestWithParam<BvhConfig>
+{
+};
+
+TEST_P(BvhIoRoundTrip, Identical)
+{
+    auto tris = randomTriangles(1200, 311);
+    Bvh orig = Bvh::build(tris, GetParam());
+    std::stringstream ss;
+    BvhIo::save(ss, orig);
+    Bvh loaded;
+    ASSERT_TRUE(BvhIo::load(ss, loaded));
+    expectBvhIdentical(orig, loaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLayouts, BvhIoRoundTrip,
+    ::testing::Values(BvhConfig{},
+                      [] {
+                          BvhConfig c;
+                          c.quantizedNodes = true;
+                          return c;
+                      }(),
+                      wide8Config()),
+    [](const auto &info) {
+        return info.param.width == 8     ? std::string("width8")
+               : info.param.quantizedNodes ? std::string("width4_quant")
+                                           : std::string("width4");
+    });
+
+TEST(BvhIoReject, CorruptedHeader)
+{
+    auto tris = randomTriangles(100, 312);
+    Bvh orig = Bvh::build(tris, wide8Config());
+    std::stringstream good;
+    BvhIo::save(good, orig);
+    const std::string bytes = good.str();
+
+    // Flipping any header field (magic @0, version @4, width @8,
+    // nodeBytes @12) must make load() fail before touching the vectors.
+    for (size_t off : {size_t(0), size_t(4), size_t(8), size_t(12)}) {
+        std::string bad = bytes;
+        bad[off] ^= 0x5a;
+        std::stringstream ss(bad);
+        Bvh out;
+        EXPECT_FALSE(BvhIo::load(ss, out)) << "offset " << off;
+    }
+
+    // A truncated stream must fail, not produce a partial BVH.
+    std::stringstream trunc(bytes.substr(0, bytes.size() / 2));
+    Bvh out;
+    EXPECT_FALSE(BvhIo::load(trunc, out));
+
+    // Sanity: the untampered bytes still load.
+    std::stringstream ok(bytes);
+    Bvh fine;
+    EXPECT_TRUE(BvhIo::load(ok, fine));
 }
 
 } // anonymous namespace

@@ -163,6 +163,56 @@ TEST(Determinism, SimdToggleBaselineAndPrefetchArches)
     }
 }
 
+RunStats
+runWide8(const std::string &scene, GpuConfig cfg, uint32_t threads)
+{
+    cfg.simThreads = threads;
+    BvhConfig bc;
+    bc.width = 8;
+    const SceneBundle &b = getSceneBundle(scene, 0.25f, bc);
+    return simulate(cfg, b.scene, b.bvh);
+}
+
+/** The compressed 8-wide backend under the full machinery: worker
+ *  threads may only change wall-clock time, never results. */
+TEST_P(DeterminismScene, Wide8BitIdenticalAcrossThreadCounts)
+{
+    GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());
+    RunStats serial = runWide8(GetParam(), cfg, 1);
+    for (uint32_t t : {4u, 8u}) {
+        expectIdentical(serial, runWide8(GetParam(), cfg, t),
+                        std::string("vtq-w8/") + GetParam() + " 1 vs " +
+                            std::to_string(t));
+    }
+}
+
+/** ISSUE acceptance: the 8-wide tree dequantizes to conservative
+ *  bounds, so traversal may visit extra nodes but every closest hit —
+ *  and so the rendered frame — matches the 4-wide build exactly. */
+TEST_P(DeterminismScene, Wide8FrameIdenticalToWide4)
+{
+    GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());
+    RunStats four = runWithThreads(GetParam(), cfg, 1);
+    RunStats eight = runWide8(GetParam(), cfg, 1);
+    EXPECT_EQ(four.framebuffer, eight.framebuffer)
+        << GetParam() << ": width-8 frame differs from width-4";
+    EXPECT_EQ(four.rt.raysCompleted, eight.rt.raysCompleted);
+}
+
+/** The shared predictor trains through per-SM queues flushed at cycle
+ *  boundaries, so its lookups see the same table regardless of how SM
+ *  ticks are distributed over worker threads. */
+TEST(Determinism, SharedPredictorBitIdentical)
+{
+    GpuConfig cfg = sized(GpuConfig::forPolicy(DispatchPolicyKind::Predict));
+    cfg.predictShared = true;
+    RunStats serial = runWithThreads("CRNVL", cfg, 1);
+    for (uint32_t t : {4u, 8u}) {
+        expectIdentical(serial, runWithThreads("CRNVL", cfg, t),
+                        "predict-shared/CRNVL 1 vs " + std::to_string(t));
+    }
+}
+
 /** simThreads must never reach the run-cache key: cached serial
  *  results stay valid for parallel runs and vice versa. */
 TEST(Determinism, SimThreadsExcludedFromFingerprint)

@@ -69,12 +69,30 @@ expectIdentical(const RunStats &a, const RunStats &b,
         << what;
 }
 
-constexpr DispatchPolicyKind kAllPolicies[] = {
-    DispatchPolicyKind::Fifo,
-    DispatchPolicyKind::Vtq,
-    DispatchPolicyKind::Reorder,
-    DispatchPolicyKind::Predict,
+/** A policy plus its table-scope flavor: `predict` keeps one table per
+ *  RT unit, `predict_shared` shares one per SM (TRT_PREDICT_SHARED). */
+struct PolicyVariant
+{
+    const char *label;
+    DispatchPolicyKind kind;
+    bool sharedPredict;
 };
+
+constexpr PolicyVariant kAllVariants[] = {
+    {"fifo", DispatchPolicyKind::Fifo, false},
+    {"vtq", DispatchPolicyKind::Vtq, false},
+    {"reorder", DispatchPolicyKind::Reorder, false},
+    {"predict", DispatchPolicyKind::Predict, false},
+    {"predict_shared", DispatchPolicyKind::Predict, true},
+};
+
+GpuConfig
+forVariant(const PolicyVariant &v)
+{
+    GpuConfig cfg = sized(GpuConfig::forPolicy(v.kind));
+    cfg.predictShared = v.sharedPredict;
+    return cfg;
+}
 
 /** Restores the process-wide SIMD toggle on scope exit. */
 struct SimdGuard
@@ -93,25 +111,22 @@ TEST(PolicyFrames, IdenticalAcrossAllPolicies)
         RunStats ref = runWithThreads(
             scene, sized(GpuConfig::forPolicy(DispatchPolicyKind::Fifo)),
             1);
-        for (DispatchPolicyKind k : kAllPolicies) {
-            if (k == DispatchPolicyKind::Fifo)
+        for (const PolicyVariant &v : kAllVariants) {
+            if (v.kind == DispatchPolicyKind::Fifo)
                 continue;
-            RunStats st =
-                runWithThreads(scene, sized(GpuConfig::forPolicy(k)), 1);
+            RunStats st = runWithThreads(scene, forVariant(v), 1);
             EXPECT_EQ(ref.framebuffer, st.framebuffer)
-                << scene << " " << dispatchPolicyName(k);
+                << scene << " " << v.label;
             EXPECT_EQ(ref.rt.raysCompleted, st.rt.raysCompleted)
-                << scene << " " << dispatchPolicyName(k);
+                << scene << " " << v.label;
             ASSERT_EQ(ref.primaryHits.size(), st.primaryHits.size())
-                << scene << " " << dispatchPolicyName(k);
+                << scene << " " << v.label;
             for (size_t p = 0; p < ref.primaryHits.size(); p++) {
                 ASSERT_EQ(ref.primaryHits[p].t, st.primaryHits[p].t)
-                    << scene << " " << dispatchPolicyName(k)
-                    << " pixel " << p;
+                    << scene << " " << v.label << " pixel " << p;
                 ASSERT_EQ(ref.primaryHits[p].triIndex,
                           st.primaryHits[p].triIndex)
-                    << scene << " " << dispatchPolicyName(k)
-                    << " pixel " << p;
+                    << scene << " " << v.label << " pixel " << p;
             }
         }
     }
@@ -139,23 +154,32 @@ TEST(PolicyFrames, PoliciesAreLive)
         "CRNVL", sized(GpuConfig::forPolicy(DispatchPolicyKind::Reorder)),
         1);
     EXPECT_GT(reo.rt.reorderBatches, 0u);
+
+    // The shared table trains through per-SM queues; it must still
+    // issue lookups and land hits once flushed updates become visible.
+    GpuConfig shared =
+        sized(GpuConfig::forPolicy(DispatchPolicyKind::Predict));
+    shared.predictShared = true;
+    RunStats sh = runWithThreads("CRNVL", shared, 1);
+    EXPECT_GT(sh.rt.predictLookups, 0u);
+    EXPECT_GT(sh.rt.predictInserts, 0u);
+    EXPECT_GT(sh.rt.predictHits, 0u);
 }
 
 // ---- determinism matrix: policy x threads x SIMD -------------------
 
-class PolicyDeterminism
-    : public ::testing::TestWithParam<DispatchPolicyKind>
+class PolicyDeterminism : public ::testing::TestWithParam<PolicyVariant>
 {
 };
 
 TEST_P(PolicyDeterminism, BitIdenticalAcrossThreadCounts)
 {
-    GpuConfig cfg = sized(GpuConfig::forPolicy(GetParam()));
+    GpuConfig cfg = forVariant(GetParam());
     RunStats serial = runWithThreads("CRNVL", cfg, 1);
     for (uint32_t t : {2u, 4u}) {
         expectIdentical(serial, runWithThreads("CRNVL", cfg, t),
-                        std::string(dispatchPolicyName(GetParam())) +
-                            "/CRNVL 1 vs " + std::to_string(t));
+                        std::string(GetParam().label) + "/CRNVL 1 vs " +
+                            std::to_string(t));
     }
 }
 
@@ -164,20 +188,19 @@ TEST_P(PolicyDeterminism, SimdToggleBitIdentical)
     if (!simdCompiledIn())
         GTEST_SKIP() << "scalar-only build (TRT_SIMD=OFF)";
     SimdGuard guard;
-    GpuConfig cfg = sized(GpuConfig::forPolicy(GetParam()));
+    GpuConfig cfg = forVariant(GetParam());
     setSimdEnabled(true);
     RunStats simd_on = runWithThreads("CRNVL", cfg, 1);
     setSimdEnabled(false);
     expectIdentical(simd_on, runWithThreads("CRNVL", cfg, 4),
-                    std::string(dispatchPolicyName(GetParam())) +
+                    std::string(GetParam().label) +
                         "/CRNVL simd-on@1 vs simd-off@4");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyDeterminism,
-                         ::testing::ValuesIn(kAllPolicies),
+                         ::testing::ValuesIn(kAllVariants),
                          [](const auto &info) {
-                             return std::string(
-                                 dispatchPolicyName(info.param));
+                             return std::string(info.param.label);
                          });
 
 // ---- snapshot round-trip of policy state ---------------------------
@@ -219,17 +242,18 @@ haltAndResume(const std::string &scene, GpuConfig cfg, uint64_t halt_cycle,
     return simulateWithSnapshots(rcfg, b.scene, b.bvh, resume, true);
 }
 
-class PolicySnapshot : public ::testing::TestWithParam<DispatchPolicyKind>
+class PolicySnapshot : public ::testing::TestWithParam<PolicyVariant>
 {
 };
 
 /** Crash mid-run and resume: the serialized reorder bins / prediction
- *  table must restore exactly, or the resumed schedule (and thus every
- *  timing counter) skews. Resuming at a different thread count also
- *  exercises the state's thread-invariance. */
+ *  table (private per-unit or SM-shared) must restore exactly, or the
+ *  resumed schedule (and thus every timing counter) skews. Resuming at
+ *  a different thread count also exercises the state's
+ *  thread-invariance. */
 TEST_P(PolicySnapshot, ResumeBitIdentical)
 {
-    GpuConfig cfg = sized(GpuConfig::forPolicy(GetParam()));
+    GpuConfig cfg = forVariant(GetParam());
     cfg.simThreads = 1;
     const SceneBundle &b = bundle("CRNVL");
     RunStats ref = simulate(cfg, b.scene, b.bvh);
@@ -237,23 +261,21 @@ TEST_P(PolicySnapshot, ResumeBitIdentical)
     ASSERT_GT(halt, 0u);
 
     for (uint32_t threads : {1u, 4u}) {
-        fs::path dir =
-            snapDir(std::string("policy_") +
-                    dispatchPolicyName(GetParam()) + "_t" +
-                    std::to_string(threads));
+        fs::path dir = snapDir(std::string("policy_") +
+                               GetParam().label + "_t" +
+                               std::to_string(threads));
         RunStats res =
             haltAndResume("CRNVL", cfg, halt, dir, threads, 0xD15Cull);
-        expectIdentical(ref, res,
-                        std::string(dispatchPolicyName(GetParam())) +
-                            " resume @" + std::to_string(threads));
+        expectIdentical(ref, res, std::string(GetParam().label) +
+                                      " resume @" +
+                                      std::to_string(threads));
     }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicySnapshot,
-                         ::testing::ValuesIn(kAllPolicies),
+                         ::testing::ValuesIn(kAllVariants),
                          [](const auto &info) {
-                             return std::string(
-                                 dispatchPolicyName(info.param));
+                             return std::string(info.param.label);
                          });
 
 // ---- traverser-level misprediction fallback ------------------------

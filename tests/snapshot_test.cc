@@ -346,6 +346,43 @@ TEST_P(SnapshotScene, ResumeBitIdenticalAcrossSimdToggle)
 INSTANTIATE_TEST_SUITE_P(AcrossScenes, SnapshotScene,
                          ::testing::Values("CRNVL", "BUNNY", "SPNZA"));
 
+/** The compressed 8-wide backend serializes wider traversal frames
+ *  (stack entries address 8-slot nodes): crash/resume over the
+ *  width-8 tree must stay bit-identical, including resume at a
+ *  different worker-thread count. */
+TEST(Snapshot, Wide8ResumeBitIdentical)
+{
+    GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());
+    cfg.simThreads = 1;
+    BvhConfig bc;
+    bc.width = 8;
+    const SceneBundle &b = getSceneBundle("CRNVL", 0.25f, bc);
+    RunStats ref = simulate(cfg, b.scene, b.bvh);
+    uint64_t halt = ref.cycles / 2;
+    ASSERT_GT(halt, 0u);
+
+    for (uint32_t threads : {1u, 4u}) {
+        fs::path dir =
+            snapDir("wide8_t" + std::to_string(threads));
+        SnapshotPolicy halt_pol;
+        halt_pol.dir = dir.string();
+        halt_pol.worldFp = 0x8F00Dull;
+        halt_pol.haltAtCycle = halt;
+        EXPECT_THROW(
+            simulateWithSnapshots(cfg, b.scene, b.bvh, halt_pol, false),
+            SimulationHalted);
+        SnapshotPolicy resume;
+        resume.dir = dir.string();
+        resume.worldFp = 0x8F00Dull;
+        GpuConfig rcfg = cfg;
+        rcfg.simThreads = threads;
+        RunStats res =
+            simulateWithSnapshots(rcfg, b.scene, b.bvh, resume, true);
+        expectIdentical(ref, res,
+                        "wide8 resume @" + std::to_string(threads));
+    }
+}
+
 TEST(Snapshot, PeriodicCaptureDoesNotPerturbTheRun)
 {
     GpuConfig cfg = sized(GpuConfig::virtualizedTreeletQueues());

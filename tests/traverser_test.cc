@@ -21,11 +21,12 @@ struct Fixture
     Scene scene;
     Bvh bvh;
 
-    explicit Fixture(uint32_t treelet_bytes = 1024)
+    explicit Fixture(uint32_t treelet_bytes = 1024, int width = 4)
     {
         scene = buildScene("CRNVL", 0.05f);
         BvhConfig cfg;
         cfg.treeletMaxBytes = treelet_bytes;
+        cfg.width = width;
         bvh = Bvh::build(scene.triangles, cfg);
     }
 };
@@ -102,7 +103,7 @@ TEST(Traverser, AccessDescriptorsAreValid)
             EXPECT_GT(acc.bytes, 0u);
             EXPECT_EQ(acc.bytes % kTriBytes, 0u);
         } else {
-            EXPECT_EQ(acc.bytes, kNodeBytes);
+            EXPECT_EQ(acc.bytes, f.bvh.nodeBytes());
             // Node accesses stay inside the current treelet.
             uint32_t tl = f.bvh.treeletOf(acc.node);
             EXPECT_EQ(tl, t.currentTreelet());
@@ -227,6 +228,50 @@ TEST(Traverser, TmaxLimitsTraversal)
     RayTraverser t(&f.bvh, clipped);
     HitRecord h = runToEnd(t);
     EXPECT_FALSE(h.hit());
+}
+
+TEST(Traverser, Wide8MatchesIntersectClosest)
+{
+    // The stepwise traverser over the compressed 8-wide tree must
+    // produce exactly the hits of the scalar reference traversal.
+    Fixture f(1024, 8);
+    ASSERT_EQ(f.bvh.width(), 8);
+    Pcg32 rng(43);
+    for (int i = 0; i < 300; i++) {
+        Ray r = randomRay(rng, f.bvh.rootBounds());
+        RayTraverser t(&f.bvh, r);
+        HitRecord a = runToEnd(t);
+        HitRecord b = f.bvh.intersectClosest(r);
+        ASSERT_EQ(a.hit(), b.hit()) << "ray " << i;
+        if (a.hit()) {
+            ASSERT_FLOAT_EQ(a.t, b.t);
+            ASSERT_EQ(a.triIndex, b.triIndex);
+        }
+    }
+}
+
+TEST(Traverser, Wide8AccessDescriptors)
+{
+    // Node accesses over the 8-wide tree are sized as compressed
+    // 80-byte nodes, and each fetch tests at most 8 children.
+    Fixture f(1024, 8);
+    Pcg32 rng(47);
+    for (int i = 0; i < 50; i++) {
+        Ray r = randomRay(rng, f.bvh.rootBounds());
+        RayTraverser t(&f.bvh, r);
+        while (!t.done()) {
+            if (t.atBoundary()) {
+                t.enterNextTreelet();
+                continue;
+            }
+            auto acc = t.currentAccess();
+            if (!acc.leaf)
+                EXPECT_EQ(acc.bytes, kCompressedNode8Bytes);
+            t.complete();
+        }
+        const auto &c = t.counts();
+        EXPECT_LE(c.boxTests, c.nodeFetches * uint64_t(kMaxBvhWidth));
+    }
 }
 
 TEST(Traverser, StackDepthBounded)

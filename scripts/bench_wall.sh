@@ -91,6 +91,13 @@ entry="$entry, \"env\": \"$env_desc\""
 entry="$entry, \"runs\": [$all_real]"
 entry="$entry, \"best_real_s\": $best_real"
 entry="$entry, \"best_simulate_ms\": ${best_sim_ms:-0}"
+# Provenance: without the commit (plus a dirty-tree flag) a history of
+# wall numbers cannot be mapped back to the code that produced them.
+commit=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+dirty=0
+[ -n "$(git status --porcelain 2>/dev/null)" ] && dirty=1
+entry="$entry, \"commit\": \"$commit\""
+entry="$entry, \"dirty\": $dirty"
 if [ -n "${BASELINE_WALL_S:-}" ]; then
     speedup=$(echo "$BASELINE_WALL_S $best_real" |
               awk '{printf "%.3f", $1 / $2}')

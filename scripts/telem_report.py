@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Telemetry trace reader (DESIGN.md §12).
+
+Reads the .tsbin binary time series written under TRT_TELEM=1 and the
+.trace.json Chrome trace written under TRT_TELEM_TRACE=1, all with the
+standard library only.
+
+Subcommands:
+  csv <trace.tsbin> [out.csv]   convert the per-SM time series to CSV
+                                (cumulative counters differentiated into
+                                per-window deltas).
+  summary <trace.tsbin>         per-phase summary: cycles, samples,
+                                mean occupancy / queue depth / predictor
+                                hit rate per sampled-simulation phase.
+  residency <trace.tsbin>       queue-residency profile: time-weighted
+                                mean and peak parked rays, split into
+                                the pre-treelet (warm-up) window vs the
+                                steady queue phase — the DESIGN.md §8
+                                warm-up-bias comparison.
+  validate <trace.trace.json>   schema-check a Chrome trace-event file
+                                (used by CI); exit 1 on violations.
+"""
+
+import json
+import signal
+import struct
+import sys
+
+MAGIC = 0x54545254  # 'TRTT'
+VERSION = 1
+
+SAMPLE_FIELDS = (
+    "cycle", "sm", "raysHeld", "queuedRays", "queueCount",
+    "queueDepth0", "queueDepth1", "queueDepth2", "queueDepth3",
+    "treeletSwitches", "predictLookups", "predictHits", "nodeVisits",
+    "raysCompleted",
+)
+GPU_FIELDS = (
+    "cycle", "bvhL1Accesses", "bvhL1Misses", "bvhL2Accesses",
+    "bvhL2Misses", "dramReadBytes", "dramWriteBytes",
+)
+# Cumulative per-SM counters: the CSV converter emits per-window deltas.
+CUMULATIVE = ("treeletSwitches", "predictLookups", "predictHits",
+              "nodeVisits", "raysCompleted")
+
+EVENT_KINDS = (
+    "warp_formed", "treelet_switch", "queue_drained", "queue_overflow",
+    "spec_verdict", "prefetch_issue", "treelet_phase_entered",
+    "snapshot_capture", "phase_begin",
+)
+PHASES = ("detailed", "measure", "fast_forward", "warmup")
+
+
+class Trace:
+    def __init__(self):
+        self.every = 0
+        self.num_sms = 0
+        self.trace_flag = False
+        self.samples = []      # dicts keyed by SAMPLE_FIELDS
+        self.gpu_samples = []  # dicts keyed by GPU_FIELDS
+        self.events = []       # (cycle, sm, kind, a0, a1)
+
+
+class Reader:
+    def __init__(self, data):
+        self.data = data
+        self.off = 0
+
+    def u(self, fmt):
+        (v,) = struct.unpack_from(fmt, self.data, self.off)
+        self.off += struct.calcsize(fmt)
+        return v
+
+    def u8(self):
+        return self.u("<B")
+
+    def u32(self):
+        return self.u("<I")
+
+    def u64(self):
+        return self.u("<Q")
+
+
+def read_tsbin(path):
+    with open(path, "rb") as f:
+        r = Reader(f.read())
+    if r.u32() != MAGIC:
+        raise SystemExit(f"{path}: not a telemetry trace (bad magic)")
+    version = r.u32()
+    if version != VERSION:
+        raise SystemExit(f"{path}: unsupported trace version {version}")
+    t = Trace()
+    t.every = r.u64()
+    t.num_sms = r.u32()
+    t.trace_flag = r.u8() != 0
+
+    n = r.u64()
+    for _ in range(n):
+        s = {"cycle": r.u64(), "sm": r.u32(), "raysHeld": r.u32(),
+             "queuedRays": r.u32(), "queueCount": r.u32()}
+        for i in range(4):
+            s[f"queueDepth{i}"] = r.u32()
+        for name in CUMULATIVE:
+            s[name] = r.u64()
+        t.samples.append(s)
+
+    n = r.u64()
+    for _ in range(n):
+        t.gpu_samples.append({name: r.u64() for name in GPU_FIELDS})
+
+    n = r.u64()
+    for _ in range(n):
+        cycle = r.u64()
+        sm = r.u32()
+        kind = r.u8()
+        a0 = r.u64()
+        a1 = r.u64()
+        t.events.append((cycle, sm, kind, a0, a1))
+    if r.off != len(r.data):
+        raise SystemExit(f"{path}: {len(r.data) - r.off} trailing bytes")
+    return t
+
+
+def cmd_csv(args):
+    t = read_tsbin(args[0])
+    out = open(args[1], "w") if len(args) > 1 else sys.stdout
+    print(",".join(SAMPLE_FIELDS), file=out)
+    prev = {}  # sm -> last cumulative values
+    for s in t.samples:
+        row = dict(s)
+        last = prev.setdefault(s["sm"], {k: 0 for k in CUMULATIVE})
+        for k in CUMULATIVE:
+            row[k] = s[k] - last[k]
+            last[k] = s[k]
+        print(",".join(str(row[f]) for f in SAMPLE_FIELDS), file=out)
+    if out is not sys.stdout:
+        out.close()
+        print(f"wrote {args[1]}: {len(t.samples)} samples")
+
+
+def phase_windows(t):
+    """[(phase_name, start, end)] from phase_begin events; the whole
+    run is 'detailed' when no phase events were traced."""
+    marks = [(c, a0) for (c, _, k, a0, _) in t.events
+             if EVENT_KINDS[k] == "phase_begin"]
+    last = max((s["cycle"] for s in t.samples), default=0)
+    last = max(last, max((c for c, _, _, _, _ in t.events), default=0))
+    if not marks:
+        return [("detailed", 0, last)]
+    marks.sort()
+    out = []
+    for i, (c, p) in enumerate(marks):
+        end = marks[i + 1][0] if i + 1 < len(marks) else last
+        out.append((PHASES[p], c, end))
+    return out
+
+
+def mean(xs):
+    return sum(xs) / len(xs) if xs else 0.0
+
+
+def cmd_summary(args):
+    t = read_tsbin(args[0])
+    print(f"{args[0]}: every={t.every} sms={t.num_sms} "
+          f"samples={len(t.samples)} gpu_samples={len(t.gpu_samples)} "
+          f"events={len(t.events)}")
+    for phase, start, end in phase_windows(t):
+        ss = [s for s in t.samples if start <= s["cycle"] < max(end, start + 1)]
+        # Per-SM deltas of the cumulative counters inside the window.
+        dlook = dhit = 0
+        per_sm = {}
+        for s in ss:
+            p = per_sm.get(s["sm"])
+            if p is not None:
+                dlook += s["predictLookups"] - p["predictLookups"]
+                dhit += s["predictHits"] - p["predictHits"]
+            per_sm[s["sm"]] = s
+        hit = f"{100.0 * dhit / dlook:.1f}%" if dlook else "n/a"
+        print(f"  phase {phase:<12} [{start}, {end}): "
+              f"{len(ss)} samples, "
+              f"mean rays/SM {mean([s['raysHeld'] for s in ss]):.1f}, "
+              f"mean parked {mean([s['queuedRays'] for s in ss]):.1f}, "
+              f"mean queues {mean([s['queueCount'] for s in ss]):.1f}, "
+              f"predict hit {hit}")
+    ev_counts = {}
+    for (_, _, k, _, _) in t.events:
+        name = EVENT_KINDS[k] if k < len(EVENT_KINDS) else f"kind{k}"
+        ev_counts[name] = ev_counts.get(name, 0) + 1
+    for name in sorted(ev_counts):
+        print(f"  events {name}: {ev_counts[name]}")
+
+
+def cmd_residency(args):
+    """Queue residency before vs after the first treelet-stationary
+    dispatch (per SM): quantifies the warm-up bias DESIGN.md §8
+    discusses — sampled warm-up must rebuild parked-ray populations
+    comparable to the steady state's."""
+    t = read_tsbin(args[0])
+    first_treelet = {}
+    for (c, sm, k, _, _) in t.events:
+        if EVENT_KINDS[k] == "treelet_phase_entered":
+            first_treelet.setdefault(sm, c)
+    pre, post = [], []
+    for s in t.samples:
+        boundary = first_treelet.get(s["sm"])
+        if boundary is None or s["cycle"] < boundary:
+            pre.append(s["queuedRays"])
+        else:
+            post.append(s["queuedRays"])
+    def line(tag, xs):
+        peak = max(xs) if xs else 0
+        print(f"  {tag:<22} samples={len(xs):<6} "
+              f"mean parked={mean(xs):10.1f}  peak={peak}")
+    print(f"{args[0]}: queue residency around the initial->queue-phase "
+          "transition")
+    line("initial phase (pre)", pre)
+    line("queue phase (post)", post)
+    if not first_treelet:
+        print("  (no treelet_phase_entered events: baseline run or "
+              "trace disabled)")
+
+
+def cmd_validate(args):
+    path = args[0]
+    with open(path) as f:
+        doc = json.load(f)
+    errors = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise SystemExit(f"{path}: missing traceEvents")
+    events = doc["traceEvents"]
+    open_b = {}
+    counters = 0
+    instants = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in ("M", "C", "i", "B", "E"):
+            errors.append(f"event {i}: unknown ph {ph!r}")
+            continue
+        if ph == "M":
+            if e.get("name") not in ("process_name", "thread_name",
+                                     "thread_sort_index"):
+                errors.append(f"event {i}: unknown metadata "
+                              f"{e.get('name')!r}")
+            continue
+        # E events inherit the name of their open B; name not required.
+        keys = ("pid", "tid", "ts") if ph == "E" else \
+               ("name", "pid", "tid", "ts")
+        for key in keys:
+            if key not in e:
+                errors.append(f"event {i}: missing {key!r}")
+        if not isinstance(e.get("ts"), int) or e.get("ts", 0) < 0:
+            errors.append(f"event {i}: non-integer ts")
+        if ph == "C":
+            counters += 1
+            if not e.get("args"):
+                errors.append(f"event {i}: counter without args")
+            elif not all(isinstance(v, int) for v in e["args"].values()):
+                errors.append(f"event {i}: non-integer counter value")
+        elif ph == "i":
+            instants += 1
+            if e.get("s") != "t":
+                errors.append(f"event {i}: instant without thread scope")
+        elif ph == "B":
+            open_b[(e["pid"], e["tid"])] = \
+                open_b.get((e["pid"], e["tid"]), 0) + 1
+        elif ph == "E":
+            k = (e["pid"], e["tid"])
+            if open_b.get(k, 0) <= 0:
+                errors.append(f"event {i}: E without matching B")
+            else:
+                open_b[k] -= 1
+    for k, n in open_b.items():
+        if n:
+            errors.append(f"track {k}: {n} unclosed B events")
+    # The writer guarantees timestamp order within each counter series
+    # (pid, tid, name) and within each duration track (pid, tid);
+    # different series on one track are written sequentially, so a
+    # whole-track check would false-positive.
+    last_ts = {}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph in ("B", "E"):
+            k = (e.get("pid"), e.get("tid"), "dur")
+        else:
+            k = (e.get("pid"), e.get("tid"), e.get("name"))
+        if last_ts.get(k, -1) > e.get("ts", 0):
+            errors.append(f"event {i}: timestamps not monotonic on {k}")
+            break
+        last_ts[k] = e.get("ts", 0)
+    for err in errors[:20]:
+        print(f"{path}: {err}", file=sys.stderr)
+    if errors:
+        raise SystemExit(f"{path}: {len(errors)} schema violations")
+    print(f"{path}: OK ({len(events)} events: {counters} counter, "
+          f"{instants} instant)")
+
+
+def main():
+    cmds = {"csv": cmd_csv, "summary": cmd_summary,
+            "residency": cmd_residency, "validate": cmd_validate}
+    if len(sys.argv) < 3 or sys.argv[1] not in cmds:
+        print(__doc__.strip(), file=sys.stderr)
+        raise SystemExit(2)
+    cmds[sys.argv[1]](sys.argv[2:])
+
+
+if __name__ == "__main__":
+    # Die quietly when the reader goes away (csv ... | head).
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    main()

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hh"
+
 namespace trt
 {
 
@@ -72,10 +74,13 @@ TreeletPrefetchRtUnit::onTreeletEnter(uint64_t now, uint32_t)
     uint32_t line = mem_.lineBytes();
     uint64_t first = base & ~uint64_t(line - 1);
     uint64_t last = (base + bytes - 1) & ~uint64_t(line - 1);
+    uint64_t lines = 0;
     for (uint64_t a = first; a <= last; a += line) {
         if (outstanding_.insert(a))
-            stats_.prefetchLines++;
+            lines++;
     }
+    stats_.prefetchLines += lines;
+    telemEvent(now, TelemEventKind::PrefetchIssue, popular, lines);
 }
 
 void

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hh"
+
 namespace trt
 {
 
@@ -70,8 +72,15 @@ bool
 TreeletQueueRtUnit::tryAccept(uint64_t now, TraceRequest &&req)
 {
     uint32_t lanes = uint32_t(req.lanes.size());
-    if (raysInFlight_ + lanes > cfg_.maxVirtualRaysPerSm)
+    if (raysInFlight_ + lanes > cfg_.maxVirtualRaysPerSm) {
+        if (telem_ && (lastOverflowEventAt_ == 0 ||
+                       now >= lastOverflowEventAt_ + telem_->every)) {
+            telemEvent(now, TelemEventKind::QueueOverflow,
+                       raysInFlight_);
+            lastOverflowEventAt_ = now;
+        }
         return false;
+    }
 
     warps_[req.token] = WarpBk{lanes, {}};
     std::vector<Parked> fresh;
@@ -289,6 +298,8 @@ TreeletQueueRtUnit::dispatchFresh(uint64_t now, Slot &slot)
             break;
         }
     }
+    telemEvent(now, TelemEventKind::WarpFormed,
+               uint64_t(TraversalMode::Initial), slot.active);
     // Fresh entries can issue this very cycle; when dispatched from
     // tryAccept() (outside a tick) this schedules the same-cycle tick
     // the old rescan provided.
@@ -312,6 +323,8 @@ TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
                              MemClass::BvhNode);
         }
         loadedTreelet_ = treelet;
+        stats_.treeletSwitches++;
+        telemEvent(now, TelemEventKind::TreeletSwitch, treelet);
     }
 
     slot.kind = SlotKind::Treelet;
@@ -352,9 +365,15 @@ TreeletQueueRtUnit::dispatchTreelet(uint64_t now, Slot &slot,
             }
         }
     }
-    if (qit->second.empty())
+    if (qit->second.empty()) {
         queues_.erase(qit);
+        telemEvent(now, TelemEventKind::QueueDrained, treelet);
+    }
+    if (stats_.treeletWarpsFormed == 0)
+        telemEvent(now, TelemEventKind::TreeletPhaseEntered, treelet);
     stats_.treeletWarpsFormed++;
+    telemEvent(now, TelemEventKind::WarpFormed,
+               uint64_t(TraversalMode::TreeletStationary), n);
     maybePreload(now);
 }
 
@@ -373,6 +392,9 @@ TreeletQueueRtUnit::dispatchGrouped(uint64_t now, Slot &slot)
     for (auto &p : strayScratch_)
         installParked(now, slot, std::move(p));
     stats_.groupedWarpsFormed++;
+    telemEvent(now, TelemEventKind::WarpFormed,
+               uint64_t(TraversalMode::RayStationary),
+               strayScratch_.size());
 }
 
 void
@@ -557,6 +579,7 @@ TreeletQueueRtUnit::accountInterval(uint64_t now)
 void
 TreeletQueueRtUnit::tick(uint64_t now)
 {
+    maybeTelemSample(now);
     accountInterval(now);
     // Everything due by now is handled below; drop its event records.
     consumeEventsUpTo(now);
@@ -854,6 +877,7 @@ TreeletQueueRtUnit::saveState(Serializer &s) const
     s.u32(preloadedTreelet_);
     s.u32(overThresholdNow_);
     s.u32(tableEntriesNow_);
+    s.u64(lastOverflowEventAt_);
     s.endChunk();
 }
 
@@ -931,8 +955,32 @@ TreeletQueueRtUnit::loadState(Deserializer &d)
     preloadedTreelet_ = d.u32();
     overThresholdNow_ = d.u32();
     tableEntriesNow_ = d.u32();
+    lastOverflowEventAt_ = d.u64();
     preloadFixups_.clear();
     d.endChunk();
+}
+
+void
+TreeletQueueRtUnit::telemSampleFill(TelemSample &s) const
+{
+    s.raysHeld = raysInFlight_;
+    s.queuedRays =
+        uint32_t(std::min<uint64_t>(queuedRays_, UINT32_MAX));
+    s.queueCount = uint32_t(queues_.size());
+    // Keep the four deepest depths, descending (insertion sort into the
+    // fixed array; queues_ is small and samples are periodic).
+    for (const auto &[treelet, q] : queues_) {
+        (void)treelet;
+        uint32_t depth = uint32_t(q.size());
+        for (size_t i = 0; i < s.queueDepth.size(); i++) {
+            if (depth > s.queueDepth[i]) {
+                for (size_t j = s.queueDepth.size() - 1; j > i; j--)
+                    s.queueDepth[j] = s.queueDepth[j - 1];
+                s.queueDepth[i] = depth;
+                break;
+            }
+        }
+    }
 }
 
 } // namespace trt

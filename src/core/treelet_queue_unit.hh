@@ -62,6 +62,11 @@ class TreeletQueueRtUnit : public RtUnitBase
     void saveState(Serializer &s) const override;
     void loadState(Deserializer &d) override;
 
+  protected:
+    /** VTQ occupancy: rays in flight, parked rays, live queues and the
+     *  four deepest queue depths (DESIGN.md §12). */
+    void telemSampleFill(TelemSample &s) const override;
+
   private:
     /** What a warp slot is currently running. */
     enum class SlotKind : uint8_t
@@ -206,6 +211,12 @@ class TreeletQueueRtUnit : public RtUnitBase
 
     uint32_t loadedTreelet_ = kInvalidTreelet;
     uint32_t preloadedTreelet_ = kInvalidTreelet;
+
+    /** Last cycle a QueueOverflow event was traced. Admission refusals
+     *  repeat every retry cycle while the unit is full; tracing one per
+     *  sampling window keeps the trace readable. Serialized (VTQU) so a
+     *  resumed trace rate-limits identically. */
+    uint64_t lastOverflowEventAt_ = 0;
 
     /**
      * Ray-data preloads deferred in an issue phase whose destination —

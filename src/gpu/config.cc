@@ -122,7 +122,9 @@ GpuConfig::fingerprint() const
 
     // simThreads is deliberately not hashed: it changes wall-clock
     // behavior only, never RunStats, so cached runs stay valid across
-    // thread counts.
+    // thread counts. telem likewise: sampling and tracing observe the
+    // simulation without steering it, so a config with telemetry on
+    // still maps to the same cached RunStats.
 
     return h.value();
 }

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "memsys/memsys.hh"
+#include "telemetry/telemetry.hh"
 
 namespace trt
 {
@@ -159,6 +160,12 @@ struct GpuConfig
      *  RunStats — the two-phase memory commit serializes all shared
      *  state — so this is deliberately excluded from fingerprint(). */
     uint32_t simThreads = 0;
+    /** Telemetry knobs (TRT_TELEM*, DESIGN.md §12). Pure observability:
+     *  sampling and tracing never change RunStats, so — like
+     *  simThreads — deliberately excluded from fingerprint(). The
+     *  harness bypasses run-cache *loads* when telemetry is on (a hit
+     *  would skip the simulation and produce no trace). */
+    TelemetryConfig telem;
 
     /** Convenience: the full proposed configuration. */
     static GpuConfig

@@ -48,6 +48,9 @@ Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
     if (cfg_.policy == DispatchPolicyKind::Predict && cfg_.predictShared)
         sharedPredict_ = std::make_unique<SharedPredict>(cfg_);
 
+    if (cfg_.telem.on())
+        telem_ = std::make_unique<Telemetry>(cfg_.telem, cfg_.numSms);
+
     sms_.resize(cfg_.numSms);
     rtUnits_.reserve(cfg_.numSms);
     for (uint32_t sm = 0; sm < cfg_.numSms; sm++) {
@@ -63,6 +66,8 @@ Gpu::Gpu(const GpuConfig &cfg, const Scene &scene, const Bvh &bvh,
         }
         if (sharedPredict_)
             unit->setSharedPredict(sharedPredict_.get());
+        if (telem_)
+            unit->setTelemetry(&telem_->channel(sm));
         // During the (possibly multi-threaded) tick phase completions
         // are buffered per SM and drained in SM order after the memory
         // commit; outside it (accept path, final drain) they are
@@ -522,6 +527,10 @@ Gpu::simStateDump(uint64_t now) const
             os << " | " << rt;
         os << "\n";
     }
+    // Hang diagnosis: the recent per-SM telemetry tail shows whether
+    // occupancy or queue depth flatlined before the stall.
+    if (telem_)
+        telem_->recentDump(os);
     return os.str();
 }
 
@@ -683,6 +692,13 @@ Gpu::saveState(Serializer &s) const
     // part of the config fingerprint, so presence always matches).
     if (sharedPredict_)
         sharedPredict_->saveState(s);
+    // Telemetry streams. cfg_.telem is deliberately outside the
+    // fingerprint, so presence is NOT checked by the fingerprint guard:
+    // resuming must run under the same TRT_TELEM* knobs (a mismatch
+    // fails the next chunk tag check). Channels are drained — captures
+    // happen only after telemCommit().
+    if (telem_)
+        telem_->saveState(s);
 }
 
 void
@@ -848,6 +864,8 @@ Gpu::loadState(Deserializer &d)
         unit->loadState(d);
     if (sharedPredict_)
         sharedPredict_->loadState(d);
+    if (telem_)
+        telem_->loadState(d);
 
     // Transients are empty at the serial commit boundary by
     // construction; reset them in case a failed earlier load ran.
@@ -873,12 +891,41 @@ Gpu::maybeSnapshot(uint64_t now)
         nextSnapshotAt_ = (now / snapPolicy_.everyCycles + 1) *
                           snapPolicy_.everyCycles;
 
+    // detailedLoop already committed telemetry this boundary; the
+    // channels are drained, which Telemetry::saveState insists on.
     Serializer s;
     saveState(s);
     std::filesystem::path path = writeSnapshotFile(
         snapPolicy_.dir, snapPolicy_.worldFp, now, s.bytes());
+    // Trace the capture *after* serializing: the event belongs to this
+    // process's live stream, not to the snapshot — a resumed run's
+    // trace must be byte-identical to an uninterrupted run's, which
+    // never saw a capture.
+    if (telem_)
+        telem_->gpuChannel().event(now, TelemEventKind::SnapshotCapture,
+                                   now);
     if (halt)
         throw SimulationHalted(now, path.string());
+}
+
+void
+Gpu::telemCommit(uint64_t now)
+{
+    if (telem_->gpuSampleDue(now)) {
+        TelemGpuSample g;
+        g.cycle = now;
+        const MemClassStats &n = mem_.classStats(MemClass::BvhNode);
+        const MemClassStats &t = mem_.classStats(MemClass::Triangle);
+        g.bvhL1Accesses = n.l1Accesses + t.l1Accesses;
+        g.bvhL1Misses = n.l1Misses + t.l1Misses;
+        g.bvhL2Accesses = n.l2Accesses + t.l2Accesses;
+        g.bvhL2Misses = n.l2Misses + t.l2Misses;
+        MemClassStats total = mem_.totalStats();
+        g.dramReadBytes = total.dramReadBytes;
+        g.dramWriteBytes = total.dramWriteBytes;
+        telem_->pushGpuSample(g);
+    }
+    telem_->commit();
 }
 
 RunStats
@@ -894,9 +941,15 @@ Gpu::run()
     ran_ = true;
 
     // A restored run continues from the captured boundary: the saved
-    // state already reflects the servicePass that closed that cycle.
-    if (!restored_)
+    // state already reflects the servicePass that closed that cycle
+    // (and its restored telemetry already holds this phase marker).
+    if (!restored_) {
+        if (telem_)
+            telem_->gpuChannel().event(lastNow_,
+                                       TelemEventKind::PhaseBegin,
+                                       uint64_t(TelemPhase::Detailed));
         servicePass(lastNow_);
+    }
     if (snapPolicy_.everyCycles != 0)
         nextSnapshotAt_ = (lastNow_ / snapPolicy_.everyCycles + 1) *
                           snapPolicy_.everyCycles;
@@ -1000,7 +1053,11 @@ Gpu::detailedLoop(uint64_t stopAtCycle)
             sharedPredict_->flush();
 
         // Serial commit boundary: every transient is quiescent here,
-        // the only legal capture point (DESIGN.md §7).
+        // the only legal capture point (DESIGN.md §7) and the only
+        // legal telemetry merge point (DESIGN.md §12). Telemetry first,
+        // so a snapshot serializes fully drained channels.
+        if (telem_)
+            telemCommit(now);
         if (snapPolicy_.captureEnabled())
             maybeSnapshot(now);
         if (now >= stopAtCycle)
@@ -1040,6 +1097,15 @@ Gpu::finalizeStats()
     run_.bvhL1MissRate = mem_.bvhL1MissRate();
     if (mem_.bvhSeries())
         run_.bvhMissSeries = mem_.bvhSeries()->resampled(64);
+
+    // Drain whatever the final ticks staged, then write the trace
+    // files. This is the only write site: a halted (snapshot-resume)
+    // run leaves no partial file, and the resumed run emits the
+    // complete streams it restored plus its own.
+    if (telem_) {
+        telemCommit(lastNow_);
+        telem_->writeFiles();
+    }
 }
 
 } // namespace trt

@@ -31,6 +31,7 @@
 #include "scene/scene.hh"
 #include "snapshot/snapshot.hh"
 #include "stats/sampling.hh"
+#include "telemetry/telemetry.hh"
 
 namespace trt
 {
@@ -136,6 +137,10 @@ class Gpu
 
     /** Cycle the restored state was captured at (0 if not restored). */
     uint64_t restoredCycle() const { return restored_ ? lastNow_ : 0; }
+
+    /** The telemetry sink (DESIGN.md §12); null unless cfg.telem is
+     *  on. Owned by the Gpu; files are written by finalizeStats. */
+    Telemetry *telemetry() { return telem_.get(); }
 
   private:
     // ---- shader-side structures -------------------------------------
@@ -352,6 +357,11 @@ class Gpu
      *  throws SimulationHalted when haltAtCycle fires. */
     void maybeSnapshot(uint64_t now);
 
+    /** Telemetry merge at the serial commit boundary: capture the
+     *  GPU-level (memory system) sample when due and drain every SM's
+     *  staging channel in SM order (DESIGN.md §12). */
+    void telemCommit(uint64_t now);
+
     GpuConfig cfg_;
     const Scene &scene_;
     const Bvh &bvh_;
@@ -415,6 +425,10 @@ class Gpu
      *  exact whole-frame work; interval deltas give the measured
      *  cycles-per-round ratio and pace respreadEvents(). */
     uint64_t aluRounds_ = 0;
+
+    /** Telemetry sink; null (telemetry off) keeps every hook to one
+     *  predictable branch. */
+    std::unique_ptr<Telemetry> telem_;
 
     SnapshotPolicy snapPolicy_;
     uint64_t nextSnapshotAt_ = 0;

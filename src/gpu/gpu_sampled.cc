@@ -13,6 +13,8 @@
 
 #include "geom/hash.hh"
 #include "gpu/dispatch_policy.hh"
+#include "telemetry/counter_registry.hh"
+#include "telemetry/telemetry.hh"
 #include "util/env.hh"
 
 namespace trt
@@ -58,60 +60,28 @@ namespace
 {
 
 /**
- * The one definition of which counters the sampler extrapolates and in
- * what order. Everything here must be (a) monotonic during a run and
- * (b) proportional to work, so the ratio estimator applies. Exact
- * quantities (framebuffer, raysTraced, aluLaneInstrs, ctasLaunched)
- * and high-water marks (countTableHighWater, maxConcurrentRays, ...)
- * are deliberately absent: the former need no estimation, the latter
- * do not scale linearly with work.
+ * The sampler extrapolates exactly the counter registry's Work-kind
+ * counters, in registry order (telemetry/counter_registry.hh): those
+ * are (a) monotonic during a run and (b) proportional to work, so the
+ * ratio estimator applies. Exact quantities (framebuffer, raysTraced,
+ * aluLaneInstrs, ctasLaunched) and high-water marks carry their own
+ * registry kinds and are filtered out here: the former need no
+ * estimation, the latter do not scale linearly with work.
  */
 template <typename RS, typename Fn>
 void
 forEachSampleCounter(RS &r, Fn &&fn)
 {
-    fn("rt.activeLaneCycles", r.rt.activeLaneCycles);
-    fn("rt.slotLaneCycles", r.rt.slotLaneCycles);
-    for (size_t m = 0; m < r.rt.modeCycles.size(); m++)
-        fn(std::string("rt.modeCycles.") +
-               traversalModeName(TraversalMode(m)),
-           r.rt.modeCycles[m]);
-    for (size_t m = 0; m < r.rt.isectTests.size(); m++)
-        fn(std::string("rt.isectTests.") +
-               traversalModeName(TraversalMode(m)),
-           r.rt.isectTests[m]);
-    fn("rt.nodeVisits", r.rt.nodeVisits);
-    fn("rt.leafVisits", r.rt.leafVisits);
-    fn("rt.raysCompleted", r.rt.raysCompleted);
-    fn("rt.boundaryCrossings", r.rt.boundaryCrossings);
-    fn("rt.raysEnqueued", r.rt.raysEnqueued);
-    fn("rt.treeletWarpsFormed", r.rt.treeletWarpsFormed);
-    fn("rt.groupedWarpsFormed", r.rt.groupedWarpsFormed);
-    fn("rt.repackEvents", r.rt.repackEvents);
-    fn("rt.repackedRays", r.rt.repackedRays);
-    fn("rt.prefetchLines", r.rt.prefetchLines);
-    fn("rt.prefetchUsedLines", r.rt.prefetchUsedLines);
-    fn("rt.prefetchIssues", r.rt.prefetchIssues);
-    fn("rt.reorderBatches", r.rt.reorderBatches);
-    fn("rt.predictLookups", r.rt.predictLookups);
-    fn("rt.predictHits", r.rt.predictHits);
-    fn("rt.predictMisses", r.rt.predictMisses);
-    fn("rt.predictInserts", r.rt.predictInserts);
-    for (size_t c = 0; c < r.mem.size(); c++) {
-        std::string cls = std::string("mem.") + memClassName(MemClass(c));
-        auto &m = r.mem[c];
-        fn(cls + ".l1Accesses", m.l1Accesses);
-        fn(cls + ".l1Misses", m.l1Misses);
-        fn(cls + ".l2Accesses", m.l2Accesses);
-        fn(cls + ".l2Misses", m.l2Misses);
-        fn(cls + ".dramAccesses", m.dramAccesses);
-        fn(cls + ".dramReadBytes", m.dramReadBytes);
-        fn(cls + ".dramWriteBytes", m.dramWriteBytes);
-        fn(cls + ".writes", m.writes);
-    }
-    fn("ctaSaves", r.ctaSaves);
-    fn("ctaRestores", r.ctaRestores);
-    fn("ctaStateBytes", r.ctaStateBytes);
+    forEachRunCounter(r, [&](const CounterInfo &ci, auto &v) {
+        if (ci.kind != CounterKind::Work)
+            return;
+        // Work counters are uint64 by registry convention; the
+        // constexpr guard keeps the uint32 high-water references (never
+        // reached at runtime) out of this instantiation.
+        if constexpr (std::is_same_v<std::decay_t<decltype(v)>,
+                                     uint64_t>)
+            fn(ci.name, v);
+    });
 }
 
 } // anonymous namespace
@@ -228,6 +198,9 @@ Gpu::enterFunctional()
 {
     functionalMode_ = true;
     ffLegTraced_ = 0;
+    if (telem_)
+        telem_->gpuChannel().event(lastNow_, TelemEventKind::PhaseBegin,
+                                   uint64_t(TelemPhase::FastForward));
     // Queue depth is the machine state the drain is about to destroy;
     // record it so the post-leg warm-up knows when the units have
     // recovered (see beginWarmup).
@@ -395,6 +368,9 @@ Gpu::beginMeasure()
     samp_.phase = SamplePhase::Measure;
     samp_.inInterval = true;
     samp_.intervalStartCycle = lastNow_;
+    if (telem_)
+        telem_->gpuChannel().event(lastNow_, TelemEventKind::PhaseBegin,
+                                   uint64_t(TelemPhase::Measure));
     // Fixed-work interval: measure until measureCtas more CTAs retire
     // (see SampleConfig::measureCtas); no cycle bound.
     samp_.phaseEndCycle = ~0ull;
@@ -437,6 +413,9 @@ Gpu::endMeasure()
     samp_.inInterval = false;
     samp_.workEndTarget = 0;
     mem_.setBvhSeriesRecording(false);
+    if (telem_)
+        telem_->gpuChannel().event(lastNow_, TelemEventKind::PhaseBegin,
+                                   uint64_t(TelemPhase::Detailed));
 }
 
 uint64_t
@@ -481,6 +460,9 @@ Gpu::beginWarmup(uint64_t respreadEnd)
 {
     samp_.phase = SamplePhase::Warmup;
     samp_.inInterval = false;
+    if (telem_)
+        telem_->gpuChannel().event(lastNow_, TelemEventKind::PhaseBegin,
+                                   uint64_t(TelemPhase::Warmup));
     // The warm-up ends on a *condition*, not a fixed length: the drain
     // left the RT units empty, and a warp round completes against an
     // empty queue far faster than against the steady-state backlog —

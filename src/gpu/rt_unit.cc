@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "gpu/dispatch_policy.hh"
+#include "telemetry/counter_registry.hh"
+#include "telemetry/telemetry.hh"
 
 namespace trt
 {
@@ -39,39 +41,34 @@ traversalModeName(TraversalMode m)
     }
 }
 
+// Tripwire for the counter registry: a field added to RtStats without
+// a registry entry changes this size and fails here — update
+// telemetry/counter_registry.hh (serialization, accumulation and the
+// sampled-counter enumeration all follow from it automatically).
+static_assert(sizeof(RtStats) == 27 * sizeof(uint64_t) +
+                                     3 * sizeof(uint32_t) + 4,
+              "RtStats changed: register the new counter in "
+              "telemetry/counter_registry.hh");
+
 void
 RtStats::accumulate(const RtStats &o)
 {
-    activeLaneCycles += o.activeLaneCycles;
-    slotLaneCycles += o.slotLaneCycles;
-    for (size_t i = 0; i < modeCycles.size(); i++) {
-        modeCycles[i] += o.modeCycles[i];
-        isectTests[i] += o.isectTests[i];
-    }
-    nodeVisits += o.nodeVisits;
-    leafVisits += o.leafVisits;
-    raysCompleted += o.raysCompleted;
-    boundaryCrossings += o.boundaryCrossings;
-    raysEnqueued += o.raysEnqueued;
-    treeletWarpsFormed += o.treeletWarpsFormed;
-    groupedWarpsFormed += o.groupedWarpsFormed;
-    repackEvents += o.repackEvents;
-    repackedRays += o.repackedRays;
-    countTableHighWater = std::max(countTableHighWater,
-                                   o.countTableHighWater);
-    countTableOverThresholdHW = std::max(countTableOverThresholdHW,
-                                         o.countTableOverThresholdHW);
-    queueTableEntriesHW = std::max(queueTableEntriesHW,
-                                   o.queueTableEntriesHW);
-    maxConcurrentRays = std::max(maxConcurrentRays, o.maxConcurrentRays);
-    prefetchLines += o.prefetchLines;
-    prefetchUsedLines += o.prefetchUsedLines;
-    prefetchIssues += o.prefetchIssues;
-    reorderBatches += o.reorderBatches;
-    predictLookups += o.predictLookups;
-    predictHits += o.predictHits;
-    predictMisses += o.predictMisses;
-    predictInserts += o.predictInserts;
+    // Registry-driven merge: Work/Exact counters sum, high-water marks
+    // take the max. Gather the other side's values first (both walks
+    // visit fields in the identical registry order).
+    std::vector<uint64_t> vals;
+    vals.reserve(32);
+    forEachRtCounter(o, [&](const CounterInfo &, const auto &v) {
+        vals.push_back(uint64_t(v));
+    });
+    size_t i = 0;
+    forEachRtCounter(*this, [&](const CounterInfo &ci, auto &v) {
+        using T = std::decay_t<decltype(v)>;
+        if (ci.kind == CounterKind::HighWater)
+            v = std::max(v, T(vals[i++]));
+        else
+            v = T(v + vals[i++]);
+    });
 }
 
 RtUnitBase::RtUnitBase(const GpuConfig &cfg, MemorySystem &mem,
@@ -88,6 +85,35 @@ RtUnitBase::RtUnitBase(const GpuConfig &cfg, MemorySystem &mem,
         nodeLatency_ += cfg.nodeDecodeLatency;
     if (bvh.width() == kMaxBvhWidth)
         nodeLatency_ += cfg.wideBoxExtraLatency;
+}
+
+void
+RtUnitBase::maybeTelemSample(uint64_t now)
+{
+    if (!telem_ || !telem_->sampleDue(now))
+        return;
+    TelemSample &s = telem_->startSample(now);
+    s.treeletSwitches = stats_.treeletSwitches;
+    s.predictLookups = stats_.predictLookups;
+    s.predictHits = stats_.predictHits;
+    s.nodeVisits = stats_.nodeVisits;
+    s.raysCompleted = stats_.raysCompleted;
+    telemSampleFill(s);
+}
+
+void
+RtUnitBase::telemSampleFill(TelemSample &s) const
+{
+    s.raysHeld =
+        uint32_t(std::min<uint64_t>(raysHeld(), UINT32_MAX));
+}
+
+void
+RtUnitBase::telemEvent(uint64_t now, TelemEventKind kind, uint64_t a0,
+                       uint64_t a1)
+{
+    if (telem_)
+        telem_->event(now, kind, a0, a1);
 }
 
 bool
@@ -244,6 +270,8 @@ BaselineRtUnit::fillSlot(uint64_t now, WarpSlot &slot)
         return false;
     slot.active = true;
     uint32_t n = uint32_t(warpScratch_.size());
+    telemEvent(now, TelemEventKind::WarpFormed,
+               uint64_t(TraversalMode::RayStationary), n);
     // Reuse prior entries so each ray's traverser recycles its
     // stack allocations (resize keeps capacity either way).
     slot.rays.resize(n);
@@ -319,6 +347,13 @@ BaselineRtUnit::stepSlot(uint64_t now, WarpSlot &slot)
         while (needsPolicy(e)) {
             if (e.trav.done()) {
                 policy_->onRayComplete(e.trav);
+                if (telem_ && e.trav.specOutcome() !=
+                                  RayTraverser::SpecOutcome::None)
+                    telemEvent(now, TelemEventKind::SpeculationVerdict,
+                               e.trav.specOutcome() ==
+                                       RayTraverser::SpecOutcome::Correct
+                                   ? 1
+                                   : 0);
                 deliver(e.warpToken, e.lane, e.trav.hit());
                 e.stage = Stage::Done;
                 slot.remaining--;
@@ -344,6 +379,7 @@ BaselineRtUnit::stepSlot(uint64_t now, WarpSlot &slot)
 void
 BaselineRtUnit::tick(uint64_t now)
 {
+    maybeTelemSample(now);
     accountInterval(now);
     // Everything due by now is handled below; drop its event records.
     consumeEventsUpTo(now);
@@ -461,34 +497,12 @@ BaselineRtUnit::debugStatus() const
 void
 RtStats::saveState(Serializer &s) const
 {
+    // Registry order, native widths: the chunk layout is defined by
+    // telemetry/counter_registry.hh alone.
     s.beginChunk("RTST");
-    s.u64(activeLaneCycles);
-    s.u64(slotLaneCycles);
-    for (uint64_t v : modeCycles)
-        s.u64(v);
-    for (uint64_t v : isectTests)
-        s.u64(v);
-    s.u64(nodeVisits);
-    s.u64(leafVisits);
-    s.u64(raysCompleted);
-    s.u64(boundaryCrossings);
-    s.u64(raysEnqueued);
-    s.u64(treeletWarpsFormed);
-    s.u64(groupedWarpsFormed);
-    s.u64(repackEvents);
-    s.u64(repackedRays);
-    s.u32(countTableHighWater);
-    s.u32(countTableOverThresholdHW);
-    s.u32(queueTableEntriesHW);
-    s.u64(maxConcurrentRays);
-    s.u64(prefetchLines);
-    s.u64(prefetchUsedLines);
-    s.u64(prefetchIssues);
-    s.u64(reorderBatches);
-    s.u64(predictLookups);
-    s.u64(predictHits);
-    s.u64(predictMisses);
-    s.u64(predictInserts);
+    forEachRtCounter(*this, [&](const CounterInfo &, const auto &v) {
+        s.pod(v);
+    });
     s.endChunk();
 }
 
@@ -496,33 +510,9 @@ void
 RtStats::loadState(Deserializer &d)
 {
     d.beginChunk("RTST");
-    activeLaneCycles = d.u64();
-    slotLaneCycles = d.u64();
-    for (uint64_t &v : modeCycles)
-        v = d.u64();
-    for (uint64_t &v : isectTests)
-        v = d.u64();
-    nodeVisits = d.u64();
-    leafVisits = d.u64();
-    raysCompleted = d.u64();
-    boundaryCrossings = d.u64();
-    raysEnqueued = d.u64();
-    treeletWarpsFormed = d.u64();
-    groupedWarpsFormed = d.u64();
-    repackEvents = d.u64();
-    repackedRays = d.u64();
-    countTableHighWater = d.u32();
-    countTableOverThresholdHW = d.u32();
-    queueTableEntriesHW = d.u32();
-    maxConcurrentRays = d.u64();
-    prefetchLines = d.u64();
-    prefetchUsedLines = d.u64();
-    prefetchIssues = d.u64();
-    reorderBatches = d.u64();
-    predictLookups = d.u64();
-    predictHits = d.u64();
-    predictMisses = d.u64();
-    predictInserts = d.u64();
+    forEachRtCounter(*this, [&](const CounterInfo &, auto &v) {
+        v = d.pod<std::decay_t<decltype(v)>>();
+    });
     d.endChunk();
 }
 

@@ -34,6 +34,9 @@ namespace trt
 {
 
 struct SharedPredict;
+class TelemChannel;
+struct TelemSample;
+enum class TelemEventKind : uint8_t;
 
 /** "No pending event" sentinel for nextEventCycle(). */
 constexpr uint64_t kNoEvent = ~0ull;
@@ -120,6 +123,10 @@ struct RtStats
     uint64_t groupedWarpsFormed = 0;
     uint64_t repackEvents = 0;
     uint64_t repackedRays = 0;
+    /** L1 treelet working-set reloads: treelet-stationary warps
+     *  dispatched for a treelet other than the one currently loaded
+     *  (VTQ architecture only; DESIGN.md §12). */
+    uint64_t treeletSwitches = 0;
     uint32_t countTableHighWater = 0;
     uint32_t countTableOverThresholdHW = 0;
     uint32_t queueTableEntriesHW = 0;
@@ -152,9 +159,13 @@ struct RtStats
                    : 0.0;
     }
 
+    /** Merge @p o into this, summing Work/Exact counters and
+     *  max-merging high-water marks — kinds come from the counter
+     *  registry (telemetry/counter_registry.hh). */
     void accumulate(const RtStats &o);
 
-    /** Snapshot hooks (field-by-field; the struct has padding). */
+    /** Snapshot hooks (field-by-field via the counter registry; the
+     *  struct has padding). */
     void saveState(Serializer &s) const;
     void loadState(Deserializer &d);
 };
@@ -237,6 +248,11 @@ class RtUnitBase
      *  (TRT_PREDICT_SHARED, DESIGN.md §9). Default: ignored; units
      *  with a PredictPolicy forward it. */
     virtual void setSharedPredict(SharedPredict *sp) { (void)sp; }
+
+    /** Attach this SM's telemetry staging channel (DESIGN.md §12).
+     *  Null (the default) keeps every telemetry hook a single
+     *  predictable branch. */
+    void setTelemetry(TelemChannel *ch) { telem_ = ch; }
 
     const RtStats &stats() const { return stats_; }
     uint32_t smId() const { return smId_; }
@@ -359,6 +375,18 @@ class RtUnitBase
                              const std::vector<LaneHit> &hits);
     static std::vector<LaneHit> loadLaneHits(Deserializer &d);
 
+    // --- telemetry (DESIGN.md §12) -----------------------------------
+    /** Stage a periodic time-series sample if one is due. Call at
+     *  tick() start — tick-time context, writes only this SM's
+     *  channel. No-op without telemetry. */
+    void maybeTelemSample(uint64_t now);
+    /** Fill the occupancy/queue fields of a due sample; the base
+     *  records raysHeld(), the VTQ unit adds per-queue depths. */
+    virtual void telemSampleFill(TelemSample &s) const;
+    /** Stage an event on this SM's track (no-op unless tracing). */
+    void telemEvent(uint64_t now, TelemEventKind kind, uint64_t a0 = 0,
+                    uint64_t a1 = 0);
+
     /** Hook: called for each demand-fetched BVH line (the treelet
      *  prefetcher tracks prefetch usefulness with this). */
     virtual void onDemandLine(uint64_t line_addr) { (void)line_addr; }
@@ -391,6 +419,8 @@ class RtUnitBase
     CompletionFn completion_;
     CtaDrainedFn ctaDrained_;
     uint64_t lastAccounted_ = 0;
+    /** This SM's telemetry staging channel; null = telemetry off. */
+    TelemChannel *telem_ = nullptr;
 
   private:
     void

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "geom/hash.hh"
+#include "telemetry/counter_registry.hh"
 
 namespace trt
 {
@@ -58,63 +59,27 @@ readVec(std::istream &is, std::vector<T> &v)
     return bool(is);
 }
 
-// RtStats is written field by field (not as one struct) so that
-// uninitialized padding between the uint32 high-water fields never
-// reaches the file: cache blobs stay byte-deterministic.
+// Counters are written field by field in counter-registry order (not
+// as one struct) so that uninitialized padding between the uint32
+// high-water fields never reaches the file: cache blobs stay
+// byte-deterministic, and every registered counter round-trips by
+// construction (v4; telemetry/counter_registry.hh).
 void
-writeRtStats(std::ostream &os, const RtStats &rt)
+writeCounters(std::ostream &os, const RunStats &st)
 {
-    writePod(os, rt.activeLaneCycles);
-    writePod(os, rt.slotLaneCycles);
-    writePod(os, rt.modeCycles);
-    writePod(os, rt.isectTests);
-    writePod(os, rt.nodeVisits);
-    writePod(os, rt.leafVisits);
-    writePod(os, rt.raysCompleted);
-    writePod(os, rt.boundaryCrossings);
-    writePod(os, rt.raysEnqueued);
-    writePod(os, rt.treeletWarpsFormed);
-    writePod(os, rt.groupedWarpsFormed);
-    writePod(os, rt.repackEvents);
-    writePod(os, rt.repackedRays);
-    writePod(os, rt.countTableHighWater);
-    writePod(os, rt.countTableOverThresholdHW);
-    writePod(os, rt.queueTableEntriesHW);
-    writePod(os, rt.maxConcurrentRays);
-    writePod(os, rt.prefetchLines);
-    writePod(os, rt.prefetchUsedLines);
-    writePod(os, rt.prefetchIssues);
-    writePod(os, rt.reorderBatches);
-    writePod(os, rt.predictLookups);
-    writePod(os, rt.predictHits);
-    writePod(os, rt.predictMisses);
-    writePod(os, rt.predictInserts);
+    forEachRunCounter(st, [&](const CounterInfo &, const auto &v) {
+        writePod(os, v);
+    });
 }
 
 bool
-readRtStats(std::istream &is, RtStats &rt)
+readCounters(std::istream &is, RunStats &st)
 {
-    return readPod(is, rt.activeLaneCycles) &&
-           readPod(is, rt.slotLaneCycles) && readPod(is, rt.modeCycles) &&
-           readPod(is, rt.isectTests) && readPod(is, rt.nodeVisits) &&
-           readPod(is, rt.leafVisits) && readPod(is, rt.raysCompleted) &&
-           readPod(is, rt.boundaryCrossings) &&
-           readPod(is, rt.raysEnqueued) &&
-           readPod(is, rt.treeletWarpsFormed) &&
-           readPod(is, rt.groupedWarpsFormed) &&
-           readPod(is, rt.repackEvents) && readPod(is, rt.repackedRays) &&
-           readPod(is, rt.countTableHighWater) &&
-           readPod(is, rt.countTableOverThresholdHW) &&
-           readPod(is, rt.queueTableEntriesHW) &&
-           readPod(is, rt.maxConcurrentRays) &&
-           readPod(is, rt.prefetchLines) &&
-           readPod(is, rt.prefetchUsedLines) &&
-           readPod(is, rt.prefetchIssues) &&
-           readPod(is, rt.reorderBatches) &&
-           readPod(is, rt.predictLookups) &&
-           readPod(is, rt.predictHits) &&
-           readPod(is, rt.predictMisses) &&
-           readPod(is, rt.predictInserts);
+    bool ok = true;
+    forEachRunCounter(st, [&](const CounterInfo &, auto &v) {
+        ok = ok && readPod(is, v);
+    });
+    return ok;
 }
 
 } // anonymous namespace
@@ -127,18 +92,13 @@ RunStatsIo::save(std::ostream &os, const RunStats &st)
 
     writePod(os, st.cycles);
     writeVec(os, st.framebuffer);
-    writeRtStats(os, st.rt);
-    // MemClassStats is all-uint64 (no padding), safe to write whole.
+    // Every scalar counter (RT, per-class memory, GPU-level) in
+    // registry order; MemClassStats stays all-uint64 so the per-field
+    // walk writes the same bytes a whole-struct write would.
     static_assert(sizeof(MemClassStats) == 8 * sizeof(uint64_t));
-    writePod(os, st.mem);
+    writeCounters(os, st);
     writePod(os, st.bvhL1MissRate);
     writeVec(os, st.bvhMissSeries);
-    writePod(os, st.aluLaneInstrs);
-    writePod(os, st.raysTraced);
-    writePod(os, st.ctasLaunched);
-    writePod(os, st.ctaSaves);
-    writePod(os, st.ctaRestores);
-    writePod(os, st.ctaStateBytes);
     writeVec(os, st.primaryHits);
 
     // v2: sampled-run summary (all zeros for full runs).
@@ -162,12 +122,8 @@ RunStatsIo::load(std::istream &is, RunStats &st)
         return false;
 
     if (!(readPod(is, st.cycles) && readVec(is, st.framebuffer) &&
-          readRtStats(is, st.rt) && readPod(is, st.mem) &&
-          readPod(is, st.bvhL1MissRate) && readVec(is, st.bvhMissSeries) &&
-          readPod(is, st.aluLaneInstrs) && readPod(is, st.raysTraced) &&
-          readPod(is, st.ctasLaunched) && readPod(is, st.ctaSaves) &&
-          readPod(is, st.ctaRestores) && readPod(is, st.ctaStateBytes) &&
-          readVec(is, st.primaryHits)))
+          readCounters(is, st) && readPod(is, st.bvhL1MissRate) &&
+          readVec(is, st.bvhMissSeries) && readVec(is, st.primaryHits)))
         return false;
 
     uint8_t sampled_enabled = 0;

@@ -18,7 +18,8 @@ namespace trt
 struct RunStatsIo
 {
     /** Bump on any RunStats/RtStats/MemClassStats layout change. */
-    static constexpr uint32_t kVersion = 3; //!< v3: + policy counters
+    static constexpr uint32_t kVersion = 4; //!< v4: counter-registry
+                                            //!< order, + treeletSwitches
 
     static void save(std::ostream &os, const RunStats &st);
 

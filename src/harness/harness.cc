@@ -174,6 +174,7 @@ HarnessOptions::fromEnv()
     opt.predictTableBits =
         uint32_t(envUInt("TRT_PREDICT_BITS", 0, 24));
     opt.predictShared = envFlag("TRT_PREDICT_SHARED", false);
+    opt.telem = TelemetryConfig::fromEnv();
     return opt;
 }
 
@@ -185,10 +186,17 @@ HarnessOptions::fromArgs(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--resume") {
             opt.resume = true;
+        } else if (arg == "--telem-out" && i + 1 < argc) {
+            // Shorthand for TRT_TELEM=1 TRT_TELEM_TRACE=1
+            // TRT_TELEM_OUT=<dir>: the full telemetry output in one
+            // flag.
+            opt.telem.outDir = argv[++i];
+            opt.telem.enabled = true;
+            opt.telem.trace = true;
         } else {
             std::fprintf(stderr,
                          "%s: unknown argument '%s'\n"
-                         "usage: %s [--resume]\n"
+                         "usage: %s [--resume] [--telem-out <dir>]\n"
                          "(all other options come from TRT_* environment "
                          "variables, see harness.hh)\n",
                          argv[0], arg.c_str(), argv[0]);
@@ -331,16 +339,35 @@ runScene(const std::string &name, const GpuConfig &cfg,
     uint64_t fp = runFingerprint(cfg, name, opt.sceneScale,
                                  sample.enabled ? sample.fingerprint() : 0);
     RunStats st;
-    if (loadCachedRun(fp, name, st))
+    // Telemetry wants the simulation to actually run (a cache hit
+    // would produce no trace), so loads are bypassed; stores still
+    // happen below — the result is valid for non-telemetry runs too.
+    if (!opt.telem.on() && loadCachedRun(fp, name, st))
         return st;
 
     const SceneBundle &b = getSceneBundle(name, opt.sceneScale);
     auto t0 = std::chrono::steady_clock::now();
-    // Wall-clock-only knob, applied after the fingerprint above so
-    // cached results remain valid across thread counts.
+    // Wall-clock-only knobs, applied after the fingerprint above so
+    // cached results remain valid across thread counts and telemetry
+    // settings.
     GpuConfig run_cfg = cfg;
     if (run_cfg.simThreads == 0)
         run_cfg.simThreads = opt.effectiveSimThreads();
+    if (opt.telem.on()) {
+        run_cfg.telem = opt.telem;
+        if (run_cfg.telem.outBase.empty()) {
+            // Scene + architecture + policy + short fingerprint: keeps
+            // concurrent scenes and configurations from clobbering each
+            // other's traces in one output directory.
+            char fp_hex[9];
+            std::snprintf(fp_hex, sizeof(fp_hex), "%08x",
+                          unsigned(fp & 0xffffffffu));
+            run_cfg.telem.outBase = name + "_" +
+                                    rtArchName(run_cfg.arch) + "_" +
+                                    dispatchPolicyName(run_cfg.policy) +
+                                    "_" + fp_hex;
+        }
+    }
     SnapshotPolicy snap = SnapshotPolicy::fromEnv(fp);
     if (sample.enabled) {
         st = simulateSampled(run_cfg, b.scene, b.bvh, sample, snap,

@@ -87,6 +87,23 @@
  *                      quantized child bounds — half the bytes per
  *                      child). Keyed into the bundle and run caches;
  *                      frames are bit-identical across widths.
+ *   TRT_TELEM          =1: per-SM time-series telemetry (DESIGN.md
+ *                      §12) — periodic occupancy / queue-depth / cache
+ *                      samples written to <dir>/<scene...>.tsbin.
+ *                      Purely observational: RunStats stays
+ *                      bit-identical and the knob is excluded from the
+ *                      config fingerprint (run-cache *loads* are
+ *                      bypassed so the simulation actually runs).
+ *   TRT_TELEM_TRACE    =1: event tracing — Chrome trace-event JSON
+ *                      (<scene...>.trace.json, open in Perfetto or
+ *                      chrome://tracing), one track per SM plus a gpu
+ *                      track. Implies TRT_TELEM=1, so the counter
+ *                      series always accompanies the events.
+ *   TRT_TELEM_EVERY    sampling period in simulated cycles (default
+ *                      4096; must be > 0).
+ *   TRT_TELEM_OUT      telemetry output directory, default
+ *                      "telemetry" (same as --telem-out, which also
+ *                      turns both TRT_TELEM and TRT_TELEM_TRACE on).
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH
@@ -134,12 +151,16 @@ struct HarnessOptions
     uint32_t reorderBinBits = 0;   //!< TRT_REORDER_BITS; 0 = default.
     uint32_t predictTableBits = 0; //!< TRT_PREDICT_BITS; 0 = default.
     bool predictShared = false;    //!< TRT_PREDICT_SHARED.
+    /** Telemetry knobs (TRT_TELEM* / --telem-out). runScene derives a
+     *  per-scene file base name and bypasses run-cache loads when on. */
+    TelemetryConfig telem;
 
     /** Read TRT_* environment variables. */
     static HarnessOptions fromEnv();
 
-    /** fromEnv() plus command-line flags (--resume). Unknown arguments
-     *  are a hard error; exits with a usage message. */
+    /** fromEnv() plus command-line flags (--resume,
+     *  --telem-out <dir>). Unknown arguments are a hard error; exits
+     *  with a usage message. */
     static HarnessOptions fromArgs(int argc, char **argv);
 
     /** Apply resolution to a GpuConfig. */

@@ -39,8 +39,9 @@ namespace trt
 /** Bump on any incompatible change to the payload schema. Old
  *  snapshots are rejected (and fall back to a cold run), never
  *  migrated — they are caches, not archives. */
-constexpr uint32_t kSnapshotVersion = 4; //!< v4: + shared predictor,
-                                         //!< wide-BVH traversal state
+constexpr uint32_t kSnapshotVersion = 5; //!< v5: registry-ordered RTST
+                                         //!< (+ treeletSwitches),
+                                         //!< telemetry TELM chunk
 
 /** Thrown out of Gpu::run when SnapshotPolicy::haltAtCycle fires: the
  *  deterministic stand-in for a crash/preemption, used by tests and

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Self-describing counter registry (DESIGN.md §12): every RtStats /
+ * RunStats counter is enumerated from one table with its name, unit
+ * and aggregation kind. Serialization (run_stats_io, snapshot chunks),
+ * cross-unit accumulation and the sampled-simulation counter
+ * enumeration all walk this registry, so adding a counter is one entry
+ * here plus the field — the hand-maintained per-consumer lists are
+ * gone and can never skew out of step again.
+ *
+ * The visitors deliberately traverse fields in declaration order, which
+ * matches the historic run_stats_io / RTST-chunk layout; the callback
+ * receives a reference of the field's native width (uint64_t or
+ * uint32_t) so byte layouts are fixed by the registry, not the caller.
+ */
+
+#ifndef TRT_TELEMETRY_COUNTER_REGISTRY_HH
+#define TRT_TELEMETRY_COUNTER_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "gpu/gpu.hh"
+#include "gpu/rt_unit.hh"
+#include "memsys/memsys.hh"
+
+namespace trt
+{
+
+/** How a counter combines across units and extrapolates under
+ *  sampling (DESIGN.md §8). */
+enum class CounterKind : uint8_t
+{
+    /** Monotonic work counter: summed across units, scaled by the
+     *  sampled simulator's work-rate extrapolation. */
+    Work,
+    /** Summed across units but *exact by construction* even in sampled
+     *  runs (counted functionally during fast-forward too), so never
+     *  extrapolated. */
+    Exact,
+    /** High-water mark: max-merged across units, meaningless to
+     *  extrapolate. */
+    HighWater,
+};
+
+/** One registry entry describing the counter a visitor is holding. */
+struct CounterInfo
+{
+    std::string name; //!< Dotted path, e.g. "rt.nodeVisits".
+    const char *unit; //!< Human unit for reports ("cycles", "bytes"...).
+    CounterKind kind;
+};
+
+/**
+ * Visit every RtStats counter in serialization order.
+ * @p fn is invoked as fn(const CounterInfo &, <uint64_t|uint32_t> &)
+ * with a reference into @p rt (const when @p rt is const).
+ */
+template <typename RT, typename Fn>
+void
+forEachRtCounter(RT &rt, Fn &&fn)
+{
+    auto work = [&](const char *name, auto &v, const char *unit) {
+        fn(CounterInfo{std::string("rt.") + name, unit,
+                       CounterKind::Work},
+           v);
+    };
+    auto high = [&](const char *name, auto &v) {
+        fn(CounterInfo{std::string("rt.") + name, "peak",
+                       CounterKind::HighWater},
+           v);
+    };
+
+    work("activeLaneCycles", rt.activeLaneCycles, "lane-cycles");
+    work("slotLaneCycles", rt.slotLaneCycles, "lane-cycles");
+    for (size_t i = 0; i < rt.modeCycles.size(); i++)
+        work((std::string("modeCycles.") +
+              traversalModeName(TraversalMode(i)))
+                 .c_str(),
+             rt.modeCycles[i], "cycles");
+    for (size_t i = 0; i < rt.isectTests.size(); i++)
+        work((std::string("isectTests.") +
+              traversalModeName(TraversalMode(i)))
+                 .c_str(),
+             rt.isectTests[i], "tests");
+    work("nodeVisits", rt.nodeVisits, "nodes");
+    work("leafVisits", rt.leafVisits, "leaves");
+    work("raysCompleted", rt.raysCompleted, "rays");
+    work("boundaryCrossings", rt.boundaryCrossings, "crossings");
+    work("raysEnqueued", rt.raysEnqueued, "rays");
+    work("treeletWarpsFormed", rt.treeletWarpsFormed, "warps");
+    work("groupedWarpsFormed", rt.groupedWarpsFormed, "warps");
+    work("repackEvents", rt.repackEvents, "events");
+    work("repackedRays", rt.repackedRays, "rays");
+    work("treeletSwitches", rt.treeletSwitches, "switches");
+    high("countTableHighWater", rt.countTableHighWater);
+    high("countTableOverThresholdHW", rt.countTableOverThresholdHW);
+    high("queueTableEntriesHW", rt.queueTableEntriesHW);
+    high("maxConcurrentRays", rt.maxConcurrentRays);
+    work("prefetchLines", rt.prefetchLines, "lines");
+    work("prefetchUsedLines", rt.prefetchUsedLines, "lines");
+    work("prefetchIssues", rt.prefetchIssues, "issues");
+    work("reorderBatches", rt.reorderBatches, "batches");
+    work("predictLookups", rt.predictLookups, "probes");
+    work("predictHits", rt.predictHits, "hits");
+    work("predictMisses", rt.predictMisses, "misses");
+    work("predictInserts", rt.predictInserts, "inserts");
+}
+
+/**
+ * Visit one memory class's MemClassStats counters (all Work, all
+ * uint64_t) under names "mem.<class>.<field>".
+ */
+template <typename MS, typename Fn>
+void
+forEachMemCounter(MS &ms, MemClass cls, Fn &&fn)
+{
+    std::string base = std::string("mem.") + memClassName(cls) + ".";
+    auto work = [&](const char *name, auto &v, const char *unit) {
+        fn(CounterInfo{base + name, unit, CounterKind::Work}, v);
+    };
+    work("l1Accesses", ms.l1Accesses, "accesses");
+    work("l1Misses", ms.l1Misses, "misses");
+    work("l2Accesses", ms.l2Accesses, "accesses");
+    work("l2Misses", ms.l2Misses, "misses");
+    work("dramAccesses", ms.dramAccesses, "accesses");
+    work("dramReadBytes", ms.dramReadBytes, "bytes");
+    work("dramWriteBytes", ms.dramWriteBytes, "bytes");
+    work("writes", ms.writes, "writes");
+}
+
+/**
+ * Visit every scalar counter of a RunStats: the RT counters, then each
+ * memory class, then the GPU-level counters. This is the authoritative
+ * enumeration behind run_stats_io and the sampled-counter vector; the
+ * Work-kind subset, in this order, IS the sampled-counter layout.
+ */
+template <typename RS, typename Fn>
+void
+forEachRunCounter(RS &rs, Fn &&fn)
+{
+    forEachRtCounter(rs.rt, fn);
+    for (size_t c = 0; c < size_t(MemClass::NumClasses); c++)
+        forEachMemCounter(rs.mem[c], MemClass(c), fn);
+
+    // ALU instructions, traced rays and CTA launches are counted
+    // functionally during sampled fast-forward too, so they are exact
+    // and must never be extrapolated (DESIGN.md §8).
+    fn(CounterInfo{"aluLaneInstrs", "instrs", CounterKind::Exact},
+       rs.aluLaneInstrs);
+    fn(CounterInfo{"raysTraced", "rays", CounterKind::Exact},
+       rs.raysTraced);
+    fn(CounterInfo{"ctasLaunched", "ctas", CounterKind::Exact},
+       rs.ctasLaunched);
+    fn(CounterInfo{"ctaSaves", "saves", CounterKind::Work}, rs.ctaSaves);
+    fn(CounterInfo{"ctaRestores", "restores", CounterKind::Work},
+       rs.ctaRestores);
+    fn(CounterInfo{"ctaStateBytes", "bytes", CounterKind::Work},
+       rs.ctaStateBytes);
+}
+
+} // namespace trt
+
+#endif // TRT_TELEMETRY_COUNTER_REGISTRY_HH

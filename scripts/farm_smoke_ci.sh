@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Farm smoke check (CI; DESIGN.md §13).
+#
+# 1. Serial golden run of manifests/ci_smoke.json into a fresh cache.
+# 2. Multi-worker run of the same manifest into another fresh cache,
+#    with one injected worker crash (TRT_FARM_INJECT_CRASH): a worker
+#    SIGKILLs itself mid-simulation, the scheduler retries the shard
+#    with --resume from the crash snapshot.
+# 3. Requires: the crashed sweep completes (exit 0), at least one
+#    worker crash + retry actually happened, and the aggregated CSV is
+#    byte-identical to the serial golden run.
+# 4. Reruns the sweep over the warm cache and requires every job to be
+#    served from the run cache (observable dedup).
+#
+# Environment:
+#   FARM_BIN   trt_farm binary (default build/tools/trt_farm)
+#   WORKERS    pool size (default 2)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin=${FARM_BIN:-build/tools/trt_farm}
+workers=${WORKERS:-2}
+workdir=${1:-.farm_smoke_ci}
+
+rm -rf "$workdir"
+mkdir -p "$workdir"
+
+echo "=== serial golden run ==="
+TRT_CACHE="$workdir/cache_serial" \
+    "$bin" --serial --out "$workdir/golden" manifests/ci_smoke.json
+
+echo "=== crash-injected ${workers}-worker run ==="
+TRT_CACHE="$workdir/cache_farm" \
+TRT_SNAPSHOT_DIR="$workdir/snapshots" \
+TRT_FARM_INJECT_CRASH="$workdir/crash.sentinel" \
+TRT_FARM_INJECT_CRASH_AT=${TRT_FARM_INJECT_CRASH_AT:-20000} \
+    "$bin" --workers "$workers" --out "$workdir/farm" \
+    manifests/ci_smoke.json | tee "$workdir/farm_summary.txt"
+
+# The injected crash must have fired and been retried to completion.
+grep -q 'worker_crashes=[1-9]' "$workdir/farm_summary.txt" ||
+    { echo "FAIL: no worker crash was injected"; exit 1; }
+grep -q ' retries=[1-9]' "$workdir/farm_summary.txt" ||
+    { echo "FAIL: the crashed shard was not retried"; exit 1; }
+grep -q ' failed=0 ' "$workdir/farm_summary.txt" ||
+    { echo "FAIL: sweep reported failed jobs"; exit 1; }
+[ -f "$workdir/crash.sentinel" ] ||
+    { echo "FAIL: crash sentinel never claimed"; exit 1; }
+
+echo "=== diff aggregated CSV against golden ==="
+diff "$workdir/golden/ci_smoke.csv" "$workdir/farm/ci_smoke.csv" ||
+    { echo "FAIL: crashed sweep CSV differs from serial golden"; exit 1; }
+
+echo "=== warm-cache rerun must skip every job ==="
+TRT_CACHE="$workdir/cache_farm" \
+    "$bin" --workers "$workers" --out "$workdir/warm" \
+    manifests/ci_smoke.json | tee "$workdir/warm_summary.txt"
+grep -q 'cached=4 simulated=0' "$workdir/warm_summary.txt" ||
+    { echo "FAIL: warm rerun re-simulated cached jobs"; exit 1; }
+
+echo "farm smoke OK"

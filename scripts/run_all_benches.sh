@@ -1,12 +1,31 @@
 #!/usr/bin/env bash
-# Run every benchmark binary, teeing output into results/.
+# Full paper sweep: one fault-tolerant trt_farm pass over the paper
+# grid, then the figure/table benches against the warm run cache.
+#
+# The farm (DESIGN.md §13) does the heavy lifting — sharded workers,
+# per-job retry with snapshot resume, live CSV/JSONL streaming into
+# results/farm/ — and its job fingerprints alias the benches' run-cache
+# keys, so the bench loop below mostly formats tables from cached
+# results instead of re-simulating. Interrupt and re-run at will: jobs
+# already in .trt_cache/runs/ are skipped.
+#
 # Environment knobs (TRT_RES, TRT_SCALE, TRT_SCENES, TRT_FAST,
-# TRT_BUILD_THREADS, TRT_RUN_CACHE) apply. With a warm .trt_cache/runs/
-# previously-simulated (scene, config) pairs are loaded, not re-run;
-# each bench's [harness] summary line reports the hit counts.
+# TRT_FARM_WORKERS, TRT_RUN_CACHE, ...) apply; see README.md. Pass a
+# manifest path to sweep something other than the default paper grid.
+# TRT_SKIP_FARM=1 restores the old cold bench loop.
 set -u
 cd "$(dirname "$0")/.."
 mkdir -p results
+
+manifest=${1:-manifests/paper_grid.json}
+if [ -x build/tools/trt_farm ] && [ "${TRT_SKIP_FARM:-0}" != "1" ]; then
+    echo "=== farm sweep: $manifest ==="
+    build/tools/trt_farm --out results/farm "$manifest" ||
+        echo "warning: farm reported failed jobs; benches will simulate those cold"
+else
+    echo "trt_farm not built (or TRT_SKIP_FARM=1): benches simulate cold"
+fi
+
 : > results/bench_all.log
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue

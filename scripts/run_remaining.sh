@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
-# Resume the bench sweep: run every bench binary whose results file is
-# missing or incomplete (no trailing "paper:" note / table).
+# Resume the bench sweep: a trt_farm pass over the paper grid first
+# (jobs already in the run cache are skipped, interrupted jobs resume
+# from snapshots — see DESIGN.md §13), then every bench binary whose
+# results file is missing or incomplete re-runs against the warm
+# cache. "force" as $1 re-runs every bench's formatting pass.
 set -u
 cd "$(dirname "$0")/.."
 mkdir -p results
+
+manifest=${TRT_FARM_MANIFEST:-manifests/paper_grid.json}
+if [ -x build/tools/trt_farm ] && [ "${TRT_SKIP_FARM:-0}" != "1" ]; then
+    echo "=== farm sweep: $manifest ==="
+    build/tools/trt_farm --out results/farm "$manifest" ||
+        echo "warning: farm reported failed jobs; benches will simulate those cold"
+fi
+
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     name=$(basename "$b")
     out="results/${name}.txt"
-    if [ -s "$out" ] && [ "$1" != "force" ] && ! grep -q INCOMPLETE "$out"; then
+    if [ -s "$out" ] && [ "${1:-}" != "force" ] && ! grep -q INCOMPLETE "$out"; then
         continue
     fi
     echo "running $name"

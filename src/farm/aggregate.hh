@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Farm result aggregation (DESIGN.md §13).
+ *
+ * Two output streams per sweep, under the farm's --out directory:
+ *
+ *   <name>.jsonl — one line per job, appended the moment the result
+ *     lands (live streaming; survives a killed scheduler). Carries
+ *     everything including the nondeterministic fields (wall_ms,
+ *     attempts, worker pid events live in the log, not here).
+ *
+ *   <name>.csv — written once at the end, in manifest expansion order,
+ *     deterministic columns only (spec identity + RunStats-derived
+ *     values + the RunStatsIo fingerprint). Two sweeps over the same
+ *     manifest and simulator build produce byte-identical CSVs no
+ *     matter the worker count, crash injection, or cache state — the
+ *     property the CI farm-smoke job diffs for. Failed jobs are
+ *     omitted, so a lossy sweep can never diff clean.
+ */
+
+#ifndef TRT_FARM_AGGREGATE_HH
+#define TRT_FARM_AGGREGATE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/job.hh"
+
+namespace trt
+{
+
+/** One job's terminal state, as the aggregator sees it. */
+struct JobRecord
+{
+    JobSpec spec;
+    RunStats stats;
+    uint64_t fingerprint = 0; //!< Run-cache key.
+    bool cacheHit = false;    //!< Served from the run cache.
+    uint32_t attempts = 0;    //!< 0 = never dispatched (cache prepass).
+    bool failed = false;
+    std::string error;        //!< Failure reason when failed.
+    uint64_t wallMs = 0;
+};
+
+/** Header line for the deterministic CSV (no trailing newline). */
+std::string jobCsvHeader();
+
+/** Deterministic CSV row for a completed job (no trailing newline). */
+std::string jobCsvRow(size_t index, const JobRecord &r);
+
+/** Streaming JSONL line, completed or failed (no trailing newline). */
+std::string jobJsonLine(size_t index, const JobRecord &r);
+
+} // namespace trt
+
+#endif // TRT_FARM_AGGREGATE_HH

@@ -1,0 +1,307 @@
+#include "farm/json.hh"
+
+#include <cctype>
+
+#include "util/env.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, const std::string &origin)
+        : text_(text), origin_(origin)
+    {
+    }
+
+    JsonValue document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing content after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const
+    {
+        throw EnvError(origin_ + ":" + std::to_string(line_) + ": " +
+                       what);
+    }
+
+    bool eof() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    char next()
+    {
+        char c = text_[pos_++];
+        if (c == '\n')
+            line_++;
+        return c;
+    }
+
+    void skipWs()
+    {
+        while (!eof()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                next();
+            } else if (c == '#' ||
+                       (c == '/' && pos_ + 1 < text_.size() &&
+                        text_[pos_ + 1] == '/')) {
+                while (!eof() && peek() != '\n')
+                    next();
+            } else {
+                return;
+            }
+        }
+    }
+
+    void expect(char c, const char *where)
+    {
+        if (eof() || peek() != c)
+            fail(std::string("expected '") + c + "' " + where);
+        next();
+    }
+
+    bool literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            n++;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonValue value()
+    {
+        skipWs();
+        if (eof())
+            fail("unexpected end of input");
+        char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return stringValue();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return numberValue();
+        JsonValue v;
+        if (literal("true")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.text = "true";
+            return v;
+        }
+        if (literal("false")) {
+            v.kind = JsonValue::Kind::Bool;
+            v.text = "false";
+            return v;
+        }
+        if (literal("null")) {
+            v.kind = JsonValue::Kind::Null;
+            return v;
+        }
+        fail(std::string("unexpected character '") + c + "'");
+    }
+
+    JsonValue object()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        next(); // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            next();
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            if (eof() || peek() != '"')
+                fail("expected string key in object");
+            std::string key = parseString();
+            for (const auto &m : v.members)
+                if (m.first == key)
+                    fail("duplicate key \"" + key + "\"");
+            skipWs();
+            expect(':', "after object key");
+            v.members.emplace_back(std::move(key), value());
+            skipWs();
+            if (!eof() && peek() == ',') {
+                next();
+                skipWs();
+                if (!eof() && peek() == '}') { // trailing comma
+                    next();
+                    return v;
+                }
+                continue;
+            }
+            expect('}', "to close object");
+            return v;
+        }
+    }
+
+    JsonValue array()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        next(); // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            next();
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipWs();
+            if (!eof() && peek() == ',') {
+                next();
+                skipWs();
+                if (!eof() && peek() == ']') { // trailing comma
+                    next();
+                    return v;
+                }
+                continue;
+            }
+            expect(']', "to close array");
+            return v;
+        }
+    }
+
+    JsonValue stringValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.text = parseString();
+        return v;
+    }
+
+    std::string parseString()
+    {
+        next(); // opening '"'
+        std::string out;
+        for (;;) {
+            if (eof())
+                fail("unterminated string");
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\n')
+                fail("raw newline in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (eof())
+                fail("unterminated escape");
+            char e = next();
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'n': out += '\n'; break;
+            case 'r': out += '\r'; break;
+            case 't': out += '\t'; break;
+            case 'u': {
+                // Manifests are knob names and scene ids: basic
+                // multilingual plane escapes decode to UTF-8, which is
+                // all the farm ever needs.
+                unsigned code = 0;
+                for (int i = 0; i < 4; i++) {
+                    if (eof())
+                        fail("truncated \\u escape");
+                    char h = next();
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xC0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3F));
+                } else {
+                    out += char(0xE0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3F));
+                    out += char(0x80 | (code & 0x3F));
+                }
+                break;
+            }
+            default:
+                fail(std::string("bad escape '\\") + e + "'");
+            }
+        }
+    }
+
+    JsonValue numberValue()
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            next();
+        auto digits = [&]() {
+            bool any = false;
+            while (!eof() && std::isdigit((unsigned char)peek())) {
+                next();
+                any = true;
+            }
+            return any;
+        };
+        if (!digits())
+            fail("malformed number");
+        if (!eof() && peek() == '.') {
+            next();
+            if (!digits())
+                fail("malformed number (no digits after '.')");
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            next();
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                next();
+            if (!digits())
+                fail("malformed number (empty exponent)");
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.text = text_.substr(start, pos_ - start);
+        return v;
+    }
+
+    const std::string &text_;
+    const std::string &origin_;
+    size_t pos_ = 0;
+    int line_ = 1;
+};
+
+} // anonymous namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &m : members)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+JsonValue
+JsonValue::parse(const std::string &text, const std::string &origin)
+{
+    return Parser(text, origin).document();
+}
+
+} // namespace trt

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON reader for sweep manifests (DESIGN.md §13).
+ *
+ * Supports the full JSON value grammar plus two manifest conveniences:
+ * `//` and `#` line comments, and trailing commas in arrays/objects.
+ * Object member order is preserved (manifest expansion order is part
+ * of the farm's output contract), and scalar tokens keep their source
+ * text so integers round-trip through the same strict text parsers
+ * (util/env.hh) the TRT_* knobs use — no double-rounding of a u64.
+ *
+ * Errors throw EnvError naming the origin (file) and line.
+ */
+
+#ifndef TRT_FARM_JSON_HH
+#define TRT_FARM_JSON_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trt
+{
+
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    /** Scalar payload: decoded string, raw number token, or
+     *  "true"/"false" — ready for the env.hh text parsers. */
+    std::string text;
+    std::vector<JsonValue> items; //!< Array elements.
+    /** Object members, in source order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** True for values the manifest can feed to a knob parser. */
+    bool isScalar() const
+    {
+        return isBool() || isNumber() || isString();
+    }
+
+    /** Object member lookup; nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /**
+     * Parse @p text as one JSON document (trailing garbage is an
+     * error). @p origin names the source in EnvError messages.
+     */
+    static JsonValue parse(const std::string &text,
+                           const std::string &origin = "json");
+};
+
+} // namespace trt
+
+#endif // TRT_FARM_JSON_HH

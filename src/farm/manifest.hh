@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sweep manifests: a declarative cross-product of jobs (DESIGN.md §13).
+ *
+ * A manifest is a JSON document:
+ *
+ *     {
+ *       "name": "ci-smoke",                  // output file stem
+ *       "defaults": {"res": 128, "scale": 0.15},
+ *       "scenes":  ["CRNVL", "BUNNY"],       // axis 1
+ *       "configs": ["fifo", "vtq"],          // axis 2
+ *       "grid":    {"bvh_width": [4, 8]},    // extra axes (knob grids)
+ *       "jobs":    [{"scene": "FRST", "config": "predict"}]
+ *     }
+ *
+ * Expansion order is deterministic: scenes (outer) × configs × grid
+ * axes in declaration order, then explicit "jobs" entries, each merged
+ * over "defaults". Knob keys are the JobSpec serialization keys
+ * (harness/job.hh) and are validated with the same strict parsers as
+ * the TRT_* environment knobs — an unknown key or malformed value is a
+ * hard EnvError, never silently ignored. Jobs whose fingerprints
+ * collide (identical simulations) are deduplicated keep-first.
+ */
+
+#ifndef TRT_FARM_MANIFEST_HH
+#define TRT_FARM_MANIFEST_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/job.hh"
+
+namespace trt
+{
+
+struct Manifest
+{
+    /** Output file stem (results CSV/JSONL); "sweep" when omitted. */
+    std::string name = "sweep";
+    /** Expanded, fingerprint-deduplicated jobs in expansion order. */
+    std::vector<JobSpec> jobs;
+    /** Jobs dropped by the keep-first fingerprint dedup. */
+    size_t duplicates = 0;
+
+    /** Parse + expand @p text. @p origin names the source in errors. */
+    static Manifest parse(const std::string &text,
+                          const std::string &origin = "manifest");
+
+    /** Read @p path and parse it; EnvError on I/O failure. */
+    static Manifest load(const std::string &path);
+};
+
+} // namespace trt
+
+#endif // TRT_FARM_MANIFEST_HH

@@ -1,0 +1,185 @@
+#include "farm/protocol.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "gpu/run_stats_io.hh"
+#include "util/env.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+struct FrameHeader
+{
+    uint32_t magic;
+    uint32_t type;
+    uint64_t length;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+/** Payloads are RunStats blobs at most (a few MB for a framebuffer);
+ *  anything larger is a corrupt length from a torn stream. */
+constexpr uint64_t kMaxPayload = 1ull << 30;
+
+bool
+writeAll(int fd, const char *data, size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::write(fd, data, len);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += n;
+        len -= size_t(n);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+writeFrame(int fd, FarmMsg type, const std::string &payload)
+{
+    FrameHeader h{kFarmMagic, uint32_t(type), payload.size()};
+    char buf[sizeof(h)];
+    std::memcpy(buf, &h, sizeof(h));
+    if (!writeAll(fd, buf, sizeof(h)))
+        return false;
+    return writeAll(fd, payload.data(), payload.size());
+}
+
+int
+FrameReader::pump(int fd)
+{
+    char chunk[65536];
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n > 0) {
+        buf_.append(chunk, size_t(n));
+        return int(std::min<ssize_t>(n, INT32_MAX));
+    }
+    if (n == 0)
+        return -1; // EOF: peer closed (or died).
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        return 0;
+    return -1;
+}
+
+bool
+FrameReader::next(FarmMsg &type, std::string &payload)
+{
+    if (buf_.size() < sizeof(FrameHeader))
+        return false;
+    FrameHeader h;
+    std::memcpy(&h, buf_.data(), sizeof(h));
+    if (h.magic != kFarmMagic || h.length > kMaxPayload)
+        throw EnvError("farm protocol: corrupt frame header");
+    if (buf_.size() < sizeof(h) + h.length)
+        return false;
+    type = FarmMsg(h.type);
+    payload.assign(buf_, sizeof(h), h.length);
+    buf_.erase(0, sizeof(h) + h.length);
+    return true;
+}
+
+// ---- payload encode/decode -------------------------------------------
+
+std::string
+encodeJob(uint64_t index, const JobSpec &spec, bool resume)
+{
+    JobWire w{};
+    w.index = index;
+    w.resume = resume ? 1 : 0;
+    std::string out(reinterpret_cast<const char *>(&w), sizeof(w));
+    out += spec.serialize();
+    return out;
+}
+
+void
+decodeJob(const std::string &payload, uint64_t &index, JobSpec &spec,
+          bool &resume)
+{
+    if (payload.size() < sizeof(JobWire))
+        throw EnvError("farm protocol: truncated Job payload");
+    JobWire w;
+    std::memcpy(&w, payload.data(), sizeof(w));
+    index = w.index;
+    resume = w.resume != 0;
+    spec = JobSpec::deserialize(payload.substr(sizeof(w)), "farm job");
+}
+
+std::string
+encodeResult(uint64_t index, const JobOutcome &out)
+{
+    ResultWire w{};
+    w.index = index;
+    w.fingerprint = out.fingerprint;
+    w.wallMs = out.wallMs;
+    w.cacheHit = out.cacheHit ? 1 : 0;
+    std::ostringstream ss(std::ios::binary);
+    RunStatsIo::save(ss, out.stats);
+    std::string payload(reinterpret_cast<const char *>(&w), sizeof(w));
+    payload += ss.str();
+    return payload;
+}
+
+bool
+decodeResult(const std::string &payload, uint64_t &index, JobOutcome &out)
+{
+    if (payload.size() < sizeof(ResultWire))
+        return false;
+    ResultWire w;
+    std::memcpy(&w, payload.data(), sizeof(w));
+    index = w.index;
+    out.fingerprint = w.fingerprint;
+    out.wallMs = w.wallMs;
+    out.cacheHit = w.cacheHit != 0;
+    std::istringstream ss(payload.substr(sizeof(w)), std::ios::binary);
+    return RunStatsIo::load(ss, out.stats);
+}
+
+std::string
+encodeError(uint64_t index, const std::string &message)
+{
+    std::string payload(reinterpret_cast<const char *>(&index),
+                        sizeof(index));
+    payload += message;
+    return payload;
+}
+
+void
+decodeError(const std::string &payload, uint64_t &index,
+            std::string &message)
+{
+    if (payload.size() < sizeof(index))
+        throw EnvError("farm protocol: truncated Error payload");
+    std::memcpy(&index, payload.data(), sizeof(index));
+    message = payload.substr(sizeof(index));
+}
+
+std::string
+encodeHeartbeat(uint64_t index)
+{
+    return std::string(reinterpret_cast<const char *>(&index),
+                       sizeof(index));
+}
+
+bool
+decodeHeartbeat(const std::string &payload, uint64_t &index)
+{
+    if (payload.size() < sizeof(index))
+        return false;
+    std::memcpy(&index, payload.data(), sizeof(index));
+    return true;
+}
+
+} // namespace trt

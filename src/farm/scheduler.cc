@@ -1,0 +1,568 @@
+#include "farm/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "farm/protocol.hh"
+#include "farm/worker.hh"
+#include "harness/run_cache.hh"
+#include "util/env.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+uint64_t
+nowMs()
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Exponential backoff before re-dispatching attempt @p attempts+1. */
+uint64_t
+backoffMs(uint32_t attempts)
+{
+    uint32_t shift = std::min<uint32_t>(attempts > 0 ? attempts - 1 : 0,
+                                        6); // cap at 32 s
+    return 500ull << shift;
+}
+
+struct Worker
+{
+    pid_t pid = -1;
+    int jobFd = -1; //!< Scheduler → worker (blocking writes).
+    int resFd = -1; //!< Worker → scheduler (non-blocking reads).
+    FrameReader reader;
+    int64_t job = -1; //!< In-flight job index; -1 = idle.
+    uint64_t jobStartMs = 0;
+    uint64_t lastBeatMs = 0;
+    bool timedOut = false; //!< We SIGKILLed it for blowing the cap.
+
+    bool live() const { return pid > 0; }
+    bool busy() const { return live() && job >= 0; }
+};
+
+class Scheduler
+{
+  public:
+    Scheduler(const Manifest &manifest, const FarmOptions &opt)
+        : manifest_(manifest), opt_(opt)
+    {
+    }
+
+    FarmResult run()
+    {
+        uint64_t t0 = nowMs();
+        size_t n = manifest_.jobs.size();
+        res_.jobs.resize(n);
+        attempts_.assign(n, 0);
+        resume_.assign(n, false);
+        state_.assign(n, State::Pending);
+        for (size_t i = 0; i < n; i++) {
+            res_.jobs[i].spec = manifest_.jobs[i];
+            res_.jobs[i].fingerprint = manifest_.jobs[i].fingerprint();
+        }
+
+        if (opt_.dryRun) {
+            dryRun();
+            res_.wallMs = nowMs() - t0;
+            return std::move(res_);
+        }
+
+        openStreams();
+        cachePrepass();
+        for (size_t i = 0; i < n; i++)
+            if (state_[i] == State::Pending)
+                ready_.push_back(i);
+
+        if (!ready_.empty()) {
+            if (opt_.serial || opt_.workers == 0)
+                runSerial();
+            else
+                runParallel();
+        }
+
+        writeCsv();
+        res_.wallMs = nowMs() - t0;
+        return std::move(res_);
+    }
+
+  private:
+    enum class State : uint8_t
+    {
+        Pending,
+        InFlight,
+        Backoff,
+        Done,
+        Failed
+    };
+
+    void dryRun()
+    {
+        size_t cached = 0;
+        for (size_t i = 0; i < res_.jobs.size(); i++) {
+            const JobRecord &r = res_.jobs[i];
+            bool hit = cachedRunExists(r.fingerprint, r.spec.scene);
+            cached += hit;
+            std::printf("[farm] job=%zu %s fp=%016llx cached=%s\n", i,
+                        r.spec.label().c_str(),
+                        (unsigned long long)r.fingerprint,
+                        hit ? "yes" : "no");
+        }
+        std::printf("[farm] plan jobs=%zu cached=%zu to_run=%zu "
+                    "duplicates_dropped=%zu\n",
+                    res_.jobs.size(), cached, res_.jobs.size() - cached,
+                    manifest_.duplicates);
+    }
+
+    void openStreams()
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(opt_.outDir, ec);
+        jsonl_.open(std::filesystem::path(opt_.outDir) /
+                    (manifest_.name + ".jsonl"));
+    }
+
+    void cachePrepass()
+    {
+        for (size_t i = 0; i < res_.jobs.size(); i++) {
+            JobRecord &r = res_.jobs[i];
+            if (!loadCachedRun(r.fingerprint, r.spec.scene, r.stats))
+                continue;
+            r.cacheHit = true;
+            state_[i] = State::Done;
+            res_.cached++;
+            stream(i);
+        }
+    }
+
+    void finishJob(size_t idx, const JobOutcome &out)
+    {
+        JobRecord &r = res_.jobs[idx];
+        r.stats = out.stats;
+        r.cacheHit = out.cacheHit;
+        r.wallMs += out.wallMs;
+        r.attempts = attempts_[idx];
+        state_[idx] = State::Done;
+        res_.simulated++;
+        if (!out.cacheHit)
+            simWallMs_ += out.wallMs;
+        stream(idx);
+    }
+
+    /** A dispatch ended badly: retry with backoff or declare failure.
+     *  @p crashed marks worker-death/timeouts — their retry resumes
+     *  from the crash snapshot when one exists. */
+    void failAttempt(size_t idx, bool crashed, const std::string &why)
+    {
+        if (attempts_[idx] > opt_.retries) {
+            JobRecord &r = res_.jobs[idx];
+            r.failed = true;
+            r.error = why;
+            r.attempts = attempts_[idx];
+            state_[idx] = State::Failed;
+            res_.failed++;
+            stream(idx);
+            std::fprintf(stderr,
+                         "[farm] job=%zu %s FAILED after %u attempts: "
+                         "%s\n",
+                         idx, r.spec.label().c_str(), attempts_[idx],
+                         why.c_str());
+            return;
+        }
+        res_.retries++;
+        if (crashed)
+            resume_[idx] = true;
+        state_[idx] = State::Backoff;
+        backoff_.emplace_back(nowMs() + backoffMs(attempts_[idx]), idx);
+        std::fprintf(stderr,
+                     "[farm] job=%zu %s attempt %u failed (%s), "
+                     "retrying%s\n",
+                     idx, res_.jobs[idx].spec.label().c_str(),
+                     attempts_[idx], why.c_str(),
+                     crashed ? " with resume" : "");
+    }
+
+    void stream(size_t idx)
+    {
+        if (!jsonl_)
+            return;
+        jsonl_ << jobJsonLine(idx, res_.jobs[idx]) << "\n";
+        jsonl_.flush();
+    }
+
+    size_t terminalCount() const
+    {
+        size_t n = 0;
+        for (State s : state_)
+            n += (s == State::Done || s == State::Failed);
+        return n;
+    }
+
+    // ---- serial path -------------------------------------------------
+
+    void runSerial()
+    {
+        JobRunnerOptions ropt;
+        ropt.simThreads = opt_.simThreads;
+        while (!ready_.empty()) {
+            size_t idx = ready_.front();
+            ready_.pop_front();
+            attempts_[idx]++;
+            state_[idx] = State::InFlight;
+            try {
+                finishJob(idx, runJob(res_.jobs[idx].spec, ropt));
+            } catch (const std::exception &e) {
+                failAttempt(idx, false, e.what());
+                drainBackoffInto(ready_, UINT64_MAX);
+            }
+            progressMaybe();
+        }
+    }
+
+    // ---- parallel path -----------------------------------------------
+
+    void drainBackoffInto(std::deque<size_t> &out, uint64_t now)
+    {
+        for (auto it = backoff_.begin(); it != backoff_.end();) {
+            if (it->first <= now) {
+                state_[it->second] = State::Pending;
+                out.push_back(it->second);
+                it = backoff_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    void spawnWorker(Worker &w)
+    {
+        int job_pipe[2], res_pipe[2];
+        if (::pipe(job_pipe) != 0)
+            throw EnvError("farm: pipe() failed");
+        if (::pipe(res_pipe) != 0) {
+            ::close(job_pipe[0]);
+            ::close(job_pipe[1]);
+            throw EnvError("farm: pipe() failed");
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            for (int fd : {job_pipe[0], job_pipe[1], res_pipe[0],
+                           res_pipe[1]})
+                ::close(fd);
+            throw EnvError("farm: fork() failed");
+        }
+        if (pid == 0) {
+            // Child: keep only this worker's pipe ends. Inherited fds
+            // of sibling workers would hold their pipes open and mask
+            // their deaths from the scheduler.
+            ::close(job_pipe[1]);
+            ::close(res_pipe[0]);
+            for (const Worker &o : workers_) {
+                if (o.jobFd >= 0)
+                    ::close(o.jobFd);
+                if (o.resFd >= 0)
+                    ::close(o.resFd);
+            }
+            WorkerOptions wopt;
+            wopt.simThreads = opt_.simThreads;
+            wopt.heartbeatMs = opt_.heartbeatMs;
+            wopt.crashSentinel = opt_.injectCrashSentinel;
+            wopt.crashAtCycle = opt_.injectCrashAtCycle;
+            // _exit, not exit: atexit handlers (harness summary) and
+            // stdio flushes belong to the scheduler process.
+            ::_exit(workerMain(job_pipe[0], res_pipe[1], wopt));
+        }
+        ::close(job_pipe[0]);
+        ::close(res_pipe[1]);
+        ::fcntl(res_pipe[0], F_SETFL,
+                ::fcntl(res_pipe[0], F_GETFL) | O_NONBLOCK);
+        w.pid = pid;
+        w.jobFd = job_pipe[1];
+        w.resFd = res_pipe[0];
+        w.reader = FrameReader{};
+        w.job = -1;
+        w.timedOut = false;
+    }
+
+    void reapWorker(Worker &w)
+    {
+        if (w.jobFd >= 0)
+            ::close(w.jobFd);
+        if (w.resFd >= 0)
+            ::close(w.resFd);
+        if (w.pid > 0)
+            ::waitpid(w.pid, nullptr, 0);
+        w.pid = -1;
+        w.jobFd = -1;
+        w.resFd = -1;
+    }
+
+    void dispatch(Worker &w, size_t idx)
+    {
+        attempts_[idx]++;
+        state_[idx] = State::InFlight;
+        w.job = int64_t(idx);
+        w.jobStartMs = nowMs();
+        w.lastBeatMs = w.jobStartMs;
+        bool resume = resume_[idx];
+        if (!writeFrame(w.jobFd, FarmMsg::Job,
+                        encodeJob(idx, res_.jobs[idx].spec, resume)))
+            workerDied(w); // Already-dead worker: retry elsewhere.
+    }
+
+    /** The pipe went EOF (or a write failed): the worker is gone. */
+    void workerDied(Worker &w)
+    {
+        res_.workerCrashes++;
+        if (w.job >= 0) {
+            size_t idx = size_t(w.job);
+            res_.jobs[idx].wallMs += nowMs() - w.jobStartMs;
+            failAttempt(idx, true,
+                        w.timedOut ? "timeout (SIGKILL)"
+                                   : "worker died");
+            w.job = -1;
+        }
+        reapWorker(w);
+    }
+
+    /** Drain the fd, process every complete frame, then handle EOF.
+     *  Ordering matters: a SIGKILLed worker's final Result can already
+     *  sit in the pipe buffer — it must land before the death is
+     *  scored, or a finished job would be pointlessly retried.
+     *  Returns false when the worker died (and has been handled). */
+    bool serviceWorker(Worker &w)
+    {
+        bool dead = false;
+        for (;;) {
+            int n = w.reader.pump(w.resFd);
+            if (n < 0) {
+                dead = true;
+                break;
+            }
+            if (n == 0)
+                break; // EAGAIN: everything currently readable is in.
+        }
+        FarmMsg type;
+        std::string payload;
+        while (w.reader.next(type, payload)) {
+            switch (type) {
+            case FarmMsg::Heartbeat: {
+                uint64_t idx;
+                if (decodeHeartbeat(payload, idx))
+                    w.lastBeatMs = nowMs();
+                break;
+            }
+            case FarmMsg::Result: {
+                uint64_t idx;
+                JobOutcome out;
+                if (decodeResult(payload, idx, out) &&
+                    int64_t(idx) == w.job) {
+                    w.job = -1;
+                    finishJob(size_t(idx), out);
+                }
+                break;
+            }
+            case FarmMsg::Error: {
+                uint64_t idx;
+                std::string msg;
+                decodeError(payload, idx, msg);
+                if (int64_t(idx) == w.job) {
+                    w.job = -1;
+                    failAttempt(size_t(idx), false, msg);
+                }
+                break;
+            }
+            default:
+                break;
+            }
+        }
+        if (dead) {
+            workerDied(w);
+            return false;
+        }
+        return true;
+    }
+
+    void progressMaybe()
+    {
+        uint64_t now = nowMs();
+        if (now - lastProgressMs_ < uint64_t(opt_.progressS * 1000))
+            return;
+        lastProgressMs_ = now;
+        size_t done = terminalCount();
+        size_t total = res_.jobs.size();
+        // ETA from the average wall time of completed simulations,
+        // scaled by live parallelism.
+        double avg_ms = res_.simulated
+                            ? double(simWallMs_) / res_.simulated
+                            : 0.0;
+        size_t remaining = total - done;
+        uint32_t lanes = std::max<uint32_t>(
+            1, opt_.serial ? 1 : opt_.workers);
+        std::fprintf(stderr,
+                     "[farm] progress done=%zu/%zu cached=%u failed=%u "
+                     "retries=%u eta=%.0fs\n",
+                     done, total, res_.cached, res_.failed, res_.retries,
+                     avg_ms * double(remaining) / (1000.0 * lanes));
+    }
+
+    void runParallel()
+    {
+        // Workers that die mid-write must not take the scheduler down.
+        ::signal(SIGPIPE, SIG_IGN);
+        workers_.resize(opt_.workers);
+
+        while (terminalCount() < res_.jobs.size()) {
+            uint64_t now = nowMs();
+            drainBackoffInto(ready_, now);
+
+            // Keep the pool sized to the work: live workers ≤ max(
+            // ready + in-flight, 1), spawning lazily.
+            for (Worker &w : workers_) {
+                if (ready_.empty())
+                    break;
+                if (!w.live())
+                    spawnWorker(w);
+                if (!w.busy()) {
+                    size_t idx = ready_.front();
+                    ready_.pop_front();
+                    dispatch(w, idx);
+                }
+            }
+
+            // Per-attempt wall timeout: SIGKILL; death is then seen as
+            // pipe EOF below, which routes into the retry path. Re-read
+            // the clock: dispatch() above stamped jobStartMs after the
+            // loop-top `now`, and an unsigned now-jobStartMs underflow
+            // would look like an instant timeout.
+            now = nowMs();
+            uint64_t timeout_ms = uint64_t(opt_.timeoutS * 1000);
+            for (Worker &w : workers_) {
+                if (w.busy() && !w.timedOut && now >= w.jobStartMs &&
+                    now - w.jobStartMs > timeout_ms) {
+                    w.timedOut = true;
+                    ::kill(w.pid, SIGKILL);
+                }
+            }
+
+            // Poll live workers; wake up for the next backoff expiry
+            // or timeout deadline even if nothing lands.
+            std::vector<pollfd> pfds;
+            std::vector<size_t> pidx;
+            for (size_t i = 0; i < workers_.size(); i++) {
+                if (workers_[i].live()) {
+                    pfds.push_back(
+                        {workers_[i].resFd, POLLIN, 0});
+                    pidx.push_back(i);
+                }
+            }
+            if (pfds.empty()) {
+                if (ready_.empty() && backoff_.empty())
+                    break; // Nothing live, nothing runnable: done.
+                uint64_t wake = UINT64_MAX;
+                for (const auto &[at, idx] : backoff_)
+                    wake = std::min(wake, at);
+                if (wake != UINT64_MAX && wake > now)
+                    ::usleep(useconds_t(
+                        std::min<uint64_t>(wake - now, 1000) * 1000));
+                continue;
+            }
+            ::poll(pfds.data(), nfds_t(pfds.size()), 250);
+            for (size_t k = 0; k < pfds.size(); k++) {
+                if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR))
+                    serviceWorker(workers_[pidx[k]]);
+            }
+            progressMaybe();
+        }
+
+        // Orderly shutdown: idle workers get a Shutdown frame and a
+        // closed job pipe, then are reaped.
+        for (Worker &w : workers_) {
+            if (!w.live())
+                continue;
+            writeFrame(w.jobFd, FarmMsg::Shutdown, "");
+            reapWorker(w);
+        }
+    }
+
+    void writeCsv()
+    {
+        std::ofstream csv(std::filesystem::path(opt_.outDir) /
+                          (manifest_.name + ".csv"));
+        if (!csv)
+            return;
+        csv << jobCsvHeader() << "\n";
+        for (size_t i = 0; i < res_.jobs.size(); i++) {
+            if (state_[i] == State::Done)
+                csv << jobCsvRow(i, res_.jobs[i]) << "\n";
+        }
+    }
+
+    const Manifest &manifest_;
+    const FarmOptions &opt_;
+    FarmResult res_;
+    std::vector<uint32_t> attempts_;
+    std::vector<char> resume_; // vector<bool> is bit-packed; avoid.
+    std::vector<State> state_;
+    std::deque<size_t> ready_;
+    std::vector<std::pair<uint64_t, size_t>> backoff_; // (readyAtMs, idx)
+    std::vector<Worker> workers_;
+    std::ofstream jsonl_;
+    uint64_t lastProgressMs_ = 0;
+    uint64_t simWallMs_ = 0;
+};
+
+} // anonymous namespace
+
+FarmOptions
+FarmOptions::fromEnv()
+{
+    FarmOptions o;
+    o.workers = uint32_t(envUInt("TRT_FARM_WORKERS", o.workers, 256));
+    o.retries = uint32_t(envUInt("TRT_FARM_RETRIES", o.retries, 100));
+    o.timeoutS = envDouble("TRT_FARM_TIMEOUT_S", o.timeoutS);
+    if (o.timeoutS <= 0)
+        throw EnvError("TRT_FARM_TIMEOUT_S: expected a positive number");
+    o.injectCrashSentinel = envString("TRT_FARM_INJECT_CRASH", "");
+    o.injectCrashAtCycle =
+        envUInt("TRT_FARM_INJECT_CRASH_AT", o.injectCrashAtCycle);
+    return o;
+}
+
+std::string
+FarmResult::summaryLine() const
+{
+    std::ostringstream ss;
+    ss << "[farm] done jobs=" << jobs.size() << " cached=" << cached
+       << " simulated=" << simulated << " failed=" << failed
+       << " retries=" << retries << " worker_crashes=" << workerCrashes
+       << " wall=" << (wallMs / 1000) << "." << (wallMs % 1000) / 100
+       << "s";
+    return ss.str();
+}
+
+FarmResult
+runFarm(const Manifest &manifest, const FarmOptions &opt)
+{
+    return Scheduler(manifest, opt).run();
+}
+
+} // namespace trt

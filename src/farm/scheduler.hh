@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The farm scheduler: manifest in, aggregated results out
+ * (DESIGN.md §13).
+ *
+ * runFarm() expands nothing itself — it takes an already-expanded
+ * Manifest — and drives it to completion:
+ *
+ *   1. Cache prepass: jobs whose fingerprint already has a run-cache
+ *      blob complete immediately (counted as "cached" in the summary —
+ *      the observable dedup-against-the-cache the ISSUE asks for).
+ *   2. Dispatch: remaining jobs go to a pool of forked workers over
+ *      the pipe protocol (farm/protocol.hh), one in-flight job per
+ *      worker, scheduler single-threaded around poll().
+ *   3. Supervision: per-job wall timeout (a worker that blows it is
+ *      SIGKILLed), heartbeat tracking, worker death detection via pipe
+ *      EOF + waitpid.
+ *   4. Retry: a crashed/timed-out/errored job goes back in the queue
+ *      with exponential backoff (0.5 s × 2^(attempt-1)) up to
+ *      FarmOptions::retries extra attempts; retries after a crash set
+ *      resume so the snapshot/--resume path (DESIGN.md §7) continues
+ *      the interrupted simulation bit-identically.
+ *   5. Streaming: each terminal job appends one JSONL line; a progress
+ *      line (done/cached/failed/ETA) prints every progressS seconds;
+ *      the deterministic CSV is written at the end in manifest order.
+ */
+
+#ifndef TRT_FARM_SCHEDULER_HH
+#define TRT_FARM_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "farm/aggregate.hh"
+#include "farm/manifest.hh"
+
+namespace trt
+{
+
+struct FarmOptions
+{
+    uint32_t workers = 2;  //!< Pool size (TRT_FARM_WORKERS).
+    uint32_t retries = 2;  //!< Extra attempts/job (TRT_FARM_RETRIES).
+    double timeoutS = 600; //!< Per-attempt wall cap (TRT_FARM_TIMEOUT_S).
+    bool serial = false;   //!< In-process, no forks (golden runs).
+    bool dryRun = false;   //!< Print the plan, run nothing.
+    std::string outDir = "results/farm"; //!< CSV/JSONL destination.
+    uint32_t simThreads = 1; //!< SM tick threads per worker.
+    double progressS = 5.0;  //!< Progress summary period.
+    uint32_t heartbeatMs = 500;
+    /** Crash injection (tests/CI): sentinel path + firing cycle,
+     *  TRT_FARM_INJECT_CRASH / TRT_FARM_INJECT_CRASH_AT. */
+    std::string injectCrashSentinel;
+    uint64_t injectCrashAtCycle = 20000;
+
+    /** Read the TRT_FARM_* knobs (strict; EnvError on bad values). */
+    static FarmOptions fromEnv();
+};
+
+struct FarmResult
+{
+    std::vector<JobRecord> jobs; //!< Manifest expansion order.
+    uint32_t simulated = 0;      //!< Ran on a worker (or serially).
+    uint32_t cached = 0;         //!< Skipped via the run-cache prepass.
+    uint32_t failed = 0;
+    uint32_t retries = 0;        //!< Re-dispatches (all causes).
+    uint32_t workerCrashes = 0;  //!< Pipe-EOF worker deaths observed.
+    uint64_t wallMs = 0;
+
+    bool ok() const { return failed == 0; }
+    std::string summaryLine() const; //!< The "[farm] done ..." line.
+};
+
+/** Drive @p manifest to completion (or print the --dry-run plan). */
+FarmResult runFarm(const Manifest &manifest, const FarmOptions &opt);
+
+} // namespace trt
+
+#endif // TRT_FARM_SCHEDULER_HH

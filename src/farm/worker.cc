@@ -1,0 +1,154 @@
+#include "farm/worker.hh"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "farm/protocol.hh"
+#include "snapshot/snapshot.hh"
+
+namespace trt
+{
+
+namespace
+{
+
+/** Try to win the pool-wide crash lottery: the sentinel is created
+ *  O_EXCL, so exactly one worker (first come) crashes per sweep. */
+bool
+claimCrashSentinel(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0)
+        return false;
+    ::close(fd);
+    return true;
+}
+
+/** Periodic heartbeats on a background thread; all frames to the
+ *  result fd (heartbeats here, Result/Error from the main thread) go
+ *  through one mutex so they never interleave mid-frame. */
+class Heartbeat
+{
+  public:
+    Heartbeat(int fd, std::mutex &writeMtx, uint64_t jobIndex,
+              uint32_t periodMs)
+        : fd_(fd), write_mtx_(writeMtx), index_(jobIndex),
+          period_ms_(periodMs)
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    ~Heartbeat()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+    }
+
+  private:
+    void run()
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        while (!stop_) {
+            if (cv_.wait_for(lk, std::chrono::milliseconds(period_ms_),
+                             [this] { return stop_; }))
+                return;
+            std::lock_guard<std::mutex> wlk(write_mtx_);
+            writeFrame(fd_, FarmMsg::Heartbeat, encodeHeartbeat(index_));
+        }
+    }
+
+    int fd_;
+    std::mutex &write_mtx_;
+    uint64_t index_;
+    uint32_t period_ms_;
+    std::thread thread_;
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // anonymous namespace
+
+int
+workerMain(int jobFd, int resultFd, const WorkerOptions &opt)
+{
+    // A scheduler that died leaves us writing into a closed pipe;
+    // surface that as a write error, not a fatal SIGPIPE.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    std::mutex write_mtx;
+    FrameReader reader;
+    FarmMsg type;
+    std::string payload;
+    for (;;) {
+        while (!reader.next(type, payload)) {
+            if (reader.pump(jobFd) < 0)
+                return 0; // Scheduler closed the job pipe: done.
+        }
+        if (type == FarmMsg::Shutdown)
+            return 0;
+        if (type != FarmMsg::Job)
+            continue; // Ignore anything unexpected.
+
+        uint64_t index = 0;
+        JobSpec spec;
+        bool resume = false;
+        try {
+            decodeJob(payload, index, spec, resume);
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lk(write_mtx);
+            if (!writeFrame(resultFd, FarmMsg::Error,
+                            encodeError(index, e.what())))
+                return 1;
+            continue;
+        }
+
+        JobRunnerOptions ropt;
+        ropt.simThreads = opt.simThreads;
+        ropt.resume = resume;
+        bool injected = false;
+        // The crash lottery is drawn only for fresh attempts: a resumed
+        // job is the recovery of a previous crash and must complete.
+        if (!resume && claimCrashSentinel(opt.crashSentinel)) {
+            ropt.haltAtCycle = opt.crashAtCycle;
+            injected = true;
+        }
+
+        try {
+            Heartbeat beat(resultFd, write_mtx, index, opt.heartbeatMs);
+            JobOutcome out = runJob(spec, ropt);
+            std::lock_guard<std::mutex> lk(write_mtx);
+            if (!writeFrame(resultFd, FarmMsg::Result,
+                            encodeResult(index, out)))
+                return 1;
+        } catch (const SimulationHalted &) {
+            // Injected crash: the snapshot is on disk; die the way a
+            // real crash would so the scheduler exercises its actual
+            // recovery path (EOF on the pipe, waitpid, retry+resume).
+            (void)injected;
+            ::raise(SIGKILL);
+            return 137; // not reached
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lk(write_mtx);
+            if (!writeFrame(resultFd, FarmMsg::Error,
+                            encodeError(index, e.what())))
+                return 1;
+        }
+    }
+}
+
+} // namespace trt

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The farm worker: one forked child per pool slot (DESIGN.md §13).
+ *
+ * workerMain() loops reading Job frames from the scheduler, executes
+ * each through the shared JobRunner path (harness/job.hh — run cache,
+ * snapshots, sampled or full simulation), and replies with one Result
+ * (or Error) frame. While a job simulates, a heartbeat thread pings
+ * the scheduler every heartbeatMs so a hung simulation is
+ * distinguishable from a slow one.
+ *
+ * Deterministic crash injection (tests + the CI farm-smoke job): when
+ * crashSentinel names a path, the first worker to create it — open()
+ * with O_CREAT|O_EXCL, so exactly one pool-wide winner per sweep —
+ * arms SnapshotPolicy::haltAtCycle at crashAtCycle and SIGKILLs itself
+ * when the halt fires. The snapshot is already on disk at that point,
+ * so the scheduler's retry (which sets resume) continues the very same
+ * simulation; DESIGN.md §7 guarantees the result is bit-identical to
+ * an uninterrupted run.
+ */
+
+#ifndef TRT_FARM_WORKER_HH
+#define TRT_FARM_WORKER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace trt
+{
+
+struct WorkerOptions
+{
+    /** SM tick threads per worker (JobRunnerOptions::simThreads). */
+    uint32_t simThreads = 1;
+    /** Heartbeat period while a job is simulating. */
+    uint32_t heartbeatMs = 500;
+    /** Crash-injection sentinel path; empty = no injection. */
+    std::string crashSentinel;
+    /** Cycle at which the injected crash fires. */
+    uint64_t crashAtCycle = 20000;
+};
+
+/**
+ * Serve jobs from @p jobFd, replies to @p resultFd, until a Shutdown
+ * frame or EOF. Returns the process exit code. The caller (a forked
+ * child) must _exit() with it — running atexit handlers would flush
+ * the parent's inherited state twice.
+ */
+int workerMain(int jobFd, int resultFd, const WorkerOptions &opt);
+
+} // namespace trt
+
+#endif // TRT_FARM_WORKER_HH

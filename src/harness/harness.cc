@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "bvh/io.hh"
+#include "harness/job.hh"
 #include "harness/run_cache.hh"
 #include "util/env.hh"
 
@@ -331,77 +332,18 @@ RunStats
 runScene(const std::string &name, const GpuConfig &cfg,
          const HarnessOptions &opt)
 {
-    // Consult the run cache before touching the scene bundle: a warm
-    // cache skips scene generation and the BVH build as well. Sampled
-    // runs fold their SampleConfig into the fingerprint so full and
-    // sampled (or differently-sampled) results never alias.
-    SampleConfig sample = SampleConfig::fromEnv();
-    uint64_t fp = runFingerprint(cfg, name, opt.sceneScale,
-                                 sample.enabled ? sample.fingerprint() : 0);
-    RunStats st;
-    // Telemetry wants the simulation to actually run (a cache hit
-    // would produce no trace), so loads are bypassed; stores still
-    // happen below — the result is valid for non-telemetry runs too.
-    if (!opt.telem.on() && loadCachedRun(fp, name, st))
-        return st;
-
-    const SceneBundle &b = getSceneBundle(name, opt.sceneScale);
-    auto t0 = std::chrono::steady_clock::now();
-    // Wall-clock-only knobs, applied after the fingerprint above so
-    // cached results remain valid across thread counts and telemetry
-    // settings.
-    GpuConfig run_cfg = cfg;
-    if (run_cfg.simThreads == 0)
-        run_cfg.simThreads = opt.effectiveSimThreads();
-    if (opt.telem.on()) {
-        run_cfg.telem = opt.telem;
-        if (run_cfg.telem.outBase.empty()) {
-            // Scene + architecture + policy + short fingerprint: keeps
-            // concurrent scenes and configurations from clobbering each
-            // other's traces in one output directory.
-            char fp_hex[9];
-            std::snprintf(fp_hex, sizeof(fp_hex), "%08x",
-                          unsigned(fp & 0xffffffffu));
-            run_cfg.telem.outBase = name + "_" +
-                                    rtArchName(run_cfg.arch) + "_" +
-                                    dispatchPolicyName(run_cfg.policy) +
-                                    "_" + fp_hex;
-        }
-    }
-    SnapshotPolicy snap = SnapshotPolicy::fromEnv(fp);
-    if (sample.enabled) {
-        st = simulateSampled(run_cfg, b.scene, b.bvh, sample, snap,
-                             opt.resume);
-        if ((snap.captureEnabled() || opt.resume) && !snap.keep)
-            removeSnapshotsFor(snap.dir, fp);
-    } else if (snap.captureEnabled() || opt.resume) {
-        st = simulateWithSnapshots(run_cfg, b.scene, b.bvh, snap,
-                                   opt.resume);
-        // The run completed: its snapshots are spent (resuming them
-        // would replay work already banked in the run cache).
-        if (!snap.keep)
-            removeSnapshotsFor(snap.dir, fp);
-    } else {
-        st = simulate(run_cfg, b.scene, b.bvh);
-    }
-    uint64_t ms = msSince(t0);
-    harnessTiming().simulateMs += ms;
-    harnessTiming().simulatedCycles += st.cycles;
-    harnessTiming().simulatedRays += st.raysTraced;
-    if (envFlag("TRT_SIM_RATE", false)) {
-        // Machine-parseable per-scene rate line (key=value pairs).
-        double s = double(std::max<uint64_t>(ms, 1)) / 1000.0;
-        std::fprintf(stderr,
-                     "[harness] sim-rate scene=%s arch=%s cycles=%llu "
-                     "rays=%llu ms=%llu cyc_per_s=%.0f mrays_per_s=%.3f\n",
-                     name.c_str(), rtArchName(cfg.arch),
-                     (unsigned long long)st.cycles,
-                     (unsigned long long)st.raysTraced,
-                     (unsigned long long)ms, double(st.cycles) / s,
-                     double(st.raysTraced) / s / 1e6);
-    }
-    storeCachedRun(fp, name, st);
-    return st;
+    // One execution path for benches, tests and farm workers: the
+    // actual run-cache/snapshot/simulate logic lives in executeJob()
+    // (harness/job.hh). The environment-dependent pieces — sampling
+    // mode and BVH build parameters — are resolved here so the
+    // fingerprint matches what a JobSpec with the same knobs computes.
+    JobRunnerOptions ropt;
+    ropt.simThreads = opt.effectiveSimThreads();
+    ropt.resume = opt.resume;
+    ropt.telem = opt.telem;
+    return executeJob(name, opt.sceneScale, cfg, BvhConfig::fromEnv(),
+                      SampleConfig::fromEnv(), ropt)
+        .stats;
 }
 
 void

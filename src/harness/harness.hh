@@ -104,6 +104,23 @@
  *   TRT_TELEM_OUT      telemetry output directory, default
  *                      "telemetry" (same as --telem-out, which also
  *                      turns both TRT_TELEM and TRT_TELEM_TRACE on).
+ *   TRT_FARM_WORKERS   trt_farm (DESIGN.md §13): worker subprocess
+ *                      pool size, default 2. Aggregated results are
+ *                      bit-identical at any pool size (and --serial).
+ *   TRT_FARM_RETRIES   trt_farm: max re-dispatches per job after a
+ *                      worker crash or timeout (default 2). Retries
+ *                      resume from the crashed attempt's snapshot
+ *                      when one exists.
+ *   TRT_FARM_TIMEOUT_S trt_farm: per-attempt timeout in seconds
+ *                      (default 600; heartbeats keep long simulations
+ *                      alive). A worker silent past it is SIGKILLed
+ *                      and the job retried.
+ *   TRT_FARM_INJECT_CRASH  trt_farm fault injection (tests/CI): path
+ *                      of an O_EXCL sentinel; exactly one fresh
+ *                      worker attempt claims it, snapshots at
+ *                      TRT_FARM_INJECT_CRASH_AT cycles (default
+ *                      20000), and SIGKILLs itself to exercise the
+ *                      real retry-with-resume path.
  */
 
 #ifndef TRT_HARNESS_HARNESS_HH

@@ -1,8 +1,10 @@
 #include "harness/run_cache.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <iomanip>
 #include <fstream>
@@ -11,6 +13,8 @@
 #include <sstream>
 #include <vector>
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "geom/hash.hh"
@@ -48,11 +52,67 @@ runCacheCapBytes()
 }
 
 /**
+ * Cross-process prune lock: an O_CREAT|O_EXCL sentinel file in the
+ * runs directory. Concurrent farm workers all store results into the
+ * same cache; two of them scanning + removing LRU blobs at once could
+ * delete far past the cap (each computes its own eviction list from a
+ * stale total). The sentinel serializes pruning across processes; a
+ * holder that died mid-prune is recovered by age (a prune takes
+ * milliseconds, so a sentinel older than kPruneLockStaleS seconds is
+ * orphaned and safe to break).
+ */
+class PruneLock
+{
+  public:
+    explicit PruneLock(const std::filesystem::path &dir)
+        : path_(dir / ".prune.lock")
+    {
+        for (int attempt = 0; attempt < 2; attempt++) {
+            int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_EXCL,
+                            0644);
+            if (fd >= 0) {
+                ::close(fd);
+                held_ = true;
+                return;
+            }
+            if (errno != EEXIST)
+                return; // Unwritable directory: skip pruning.
+            // Another process holds it — or died holding it. Break
+            // stale locks once, then give up (the live holder prunes).
+            struct stat st{};
+            if (attempt == 0 && ::stat(path_.c_str(), &st) == 0 &&
+                ::time(nullptr) - st.st_mtime > kPruneLockStaleS) {
+                std::error_code ec;
+                std::filesystem::remove(path_, ec);
+                continue;
+            }
+            return;
+        }
+    }
+
+    ~PruneLock()
+    {
+        if (held_) {
+            std::error_code ec;
+            std::filesystem::remove(path_, ec);
+        }
+    }
+
+    bool held() const { return held_; }
+
+  private:
+    static constexpr time_t kPruneLockStaleS = 120;
+    std::filesystem::path path_;
+    bool held_ = false;
+};
+
+/**
  * Evict least-recently-used blobs until the directory fits the cap.
  * mtime is the recency signal (loadCachedRun touches it on every hit);
- * ties break on path for determinism. Serialized within the process;
- * concurrent processes at worst prune the same files, which the
- * error_code removes tolerate.
+ * ties break on path for determinism. Serialized within the process by
+ * a mutex and across processes by PruneLock, so concurrent farm
+ * workers never compound their evictions; racing file removals are
+ * still tolerated via error_code.
  */
 void
 pruneRunCache(const std::filesystem::path &dir)
@@ -63,6 +123,9 @@ pruneRunCache(const std::filesystem::path &dir)
 
     static std::mutex prune_mtx;
     std::lock_guard<std::mutex> lk(prune_mtx);
+    PruneLock cross_process_lock(dir);
+    if (!cross_process_lock.held())
+        return; // Another process is pruning this directory right now.
 
     struct Blob
     {
@@ -170,7 +233,7 @@ runCacheEnabled()
 
 uint64_t
 runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale,
-               uint64_t modeFp)
+               const BvhConfig &bvhCfg, uint64_t modeFp)
 {
     Fnv1a h;
     h.pod(uint32_t(0x52554E01)); // schema tag
@@ -181,15 +244,32 @@ runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale,
     // parameters themselves). Hashed unconditionally so full runs
     // (modeFp == 0) key differently from any sampled run.
     h.pod(modeFp);
-    // The harness builds bundles with the environment's BVH parameters
-    // (TRT_BVH_WIDTH); a change there changes simulated addresses and
-    // must invalidate runs.
-    h.pod(BvhConfig::fromEnv().fingerprint());
+    // The BVH build parameters change simulated addresses and must
+    // invalidate runs.
+    h.pod(bvhCfg.fingerprint());
     h.pod(uint32_t(RunStatsIo::kVersion));
     // Build stamp: simulator code changes invalidate old results even
     // when no schema version was bumped.
     h.str(std::string(__DATE__ " " __TIME__));
     return h.value();
+}
+
+uint64_t
+runFingerprint(const GpuConfig &cfg, const std::string &scene, float scale,
+               uint64_t modeFp)
+{
+    // The harness default: bundles are built with the environment's
+    // BVH parameters (TRT_BVH_WIDTH), so they key the fingerprint.
+    return runFingerprint(cfg, scene, scale, BvhConfig::fromEnv(), modeFp);
+}
+
+bool
+cachedRunExists(uint64_t fp, const std::string &scene)
+{
+    if (!runCacheEnabled())
+        return false;
+    std::error_code ec;
+    return std::filesystem::exists(runCachePath(fp, scene), ec);
 }
 
 bool
@@ -221,9 +301,14 @@ storeCachedRun(uint64_t fp, const std::string &scene, const RunStats &st)
     std::filesystem::create_directories(path.parent_path(), ec);
 
     // Write to a private temp file and rename so concurrent bench
-    // processes never observe a half-written blob.
+    // processes never observe a half-written blob. The name carries
+    // pid + a process-wide counter: two threads of one process (or a
+    // forked farm worker reusing a recycled pid) storing the same
+    // fingerprint must never interleave writes into one temp file.
+    static std::atomic<uint64_t> tmp_seq{0};
     std::ostringstream tmp_name;
-    tmp_name << path.string() << ".tmp." << ::getpid();
+    tmp_name << path.string() << ".tmp." << ::getpid() << "."
+             << tmp_seq.fetch_add(1);
     std::filesystem::path tmp(tmp_name.str());
     {
         std::ofstream os(tmp, std::ios::binary);

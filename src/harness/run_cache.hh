@@ -77,6 +77,21 @@ bool runCacheEnabled();
 uint64_t runFingerprint(const GpuConfig &cfg, const std::string &scene,
                         float scale, uint64_t modeFp = 0);
 
+/** Same, with an explicit BvhConfig instead of BvhConfig::fromEnv() —
+ *  what JobSpec::fingerprint() uses so a job's BVH width is part of
+ *  the spec, not ambient process state. The env-reading overload above
+ *  delegates here. */
+uint64_t runFingerprint(const GpuConfig &cfg, const std::string &scene,
+                        float scale, const BvhConfig &bvhCfg,
+                        uint64_t modeFp);
+
+/**
+ * True when a blob for @p fp exists on disk (no load, no validation,
+ * no timing counters, no mtime touch). The farm's --dry-run uses this
+ * to report cache-hit status without perturbing the cache.
+ */
+bool cachedRunExists(uint64_t fp, const std::string &scene);
+
 /**
  * Try to load the memoized result for @p fp. Counts a hit or miss in
  * harnessTiming() when the cache is enabled; returns false (without

@@ -12,10 +12,9 @@ namespace
 {
 
 [[noreturn]] void
-fail(const char *name, const char *value, const char *expected)
+fail(const std::string &name, const char *value, const char *expected)
 {
-    throw EnvError(std::string(name) + "=\"" + value + "\": expected " +
-                   expected);
+    throw EnvError(name + "=\"" + value + "\": expected " + expected);
 }
 
 } // namespace
@@ -41,19 +40,25 @@ envString(const char *name, const std::string &defaultValue)
 }
 
 bool
-envFlag(const char *name, bool defaultValue)
+parseFlagText(const std::string &what, const std::string &text)
 {
-    const char *v = std::getenv(name);
-    if (!v)
-        return defaultValue;
-    std::string s(v);
+    std::string s(text);
     std::transform(s.begin(), s.end(), s.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     if (s.empty() || s == "0" || s == "false" || s == "off" || s == "no")
         return false;
     if (s == "1" || s == "true" || s == "on" || s == "yes")
         return true;
-    fail(name, v, "a boolean (0/1/true/false/on/off/yes/no)");
+    fail(what, text.c_str(), "a boolean (0/1/true/false/on/off/yes/no)");
+}
+
+bool
+envFlag(const char *name, bool defaultValue)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return defaultValue;
+    return parseFlagText(name, v);
 }
 
 int64_t
@@ -77,25 +82,44 @@ envInt(const char *name, int64_t defaultValue, int64_t minValue,
 }
 
 uint64_t
-envUInt(const char *name, uint64_t defaultValue, uint64_t maxValue)
+parseUIntText(const std::string &what, const std::string &text,
+              uint64_t maxValue)
 {
-    const char *v = std::getenv(name);
-    if (!v || !*v)
-        return defaultValue;
+    const char *v = text.c_str();
     // Reject a leading '-' explicitly: strtoull would silently wrap it.
     const char *p = v;
     while (*p && std::isspace(static_cast<unsigned char>(*p)))
         ++p;
     if (*p == '-')
-        fail(name, v, "a non-negative integer");
+        fail(what, v, "a non-negative integer");
     errno = 0;
     char *end = nullptr;
     unsigned long long parsed = std::strtoull(v, &end, 10);
     if (end == v || *end != '\0' || errno == ERANGE)
-        fail(name, v, "a non-negative integer");
+        fail(what, v, "a non-negative integer");
     if (parsed > maxValue)
-        fail(name, v,
+        fail(what, v,
              ("an integer <= " + std::to_string(maxValue)).c_str());
+    return parsed;
+}
+
+uint64_t
+envUInt(const char *name, uint64_t defaultValue, uint64_t maxValue)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return defaultValue;
+    return parseUIntText(name, v, maxValue);
+}
+
+double
+parseDoubleText(const std::string &what, const std::string &text)
+{
+    errno = 0;
+    char *end = nullptr;
+    double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE)
+        fail(what, text.c_str(), "a number");
     return parsed;
 }
 
@@ -105,12 +129,7 @@ envDouble(const char *name, double defaultValue)
     const char *v = std::getenv(name);
     if (!v || !*v)
         return defaultValue;
-    errno = 0;
-    char *end = nullptr;
-    double parsed = std::strtod(v, &end);
-    if (end == v || *end != '\0' || errno == ERANGE)
-        fail(name, v, "a number");
-    return parsed;
+    return parseDoubleText(name, v);
 }
 
 } // namespace trt

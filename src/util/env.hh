@@ -51,6 +51,21 @@ uint64_t envUInt(const char *name, uint64_t defaultValue,
 /** Floating-point knob; throws EnvError on malformed input. */
 double envDouble(const char *name, double defaultValue);
 
+// ---- strict text parsing -------------------------------------------
+// The same validation the env knobs get, applied to values that arrive
+// as text from elsewhere (sweep manifests, the farm worker protocol).
+// @p what names the knob/field in the error message.
+
+/** Parse @p text as a boolean with the envFlag() spellings. */
+bool parseFlagText(const std::string &what, const std::string &text);
+
+/** Parse @p text as a non-negative integer <= @p maxValue. */
+uint64_t parseUIntText(const std::string &what, const std::string &text,
+                       uint64_t maxValue = UINT64_MAX);
+
+/** Parse @p text as a floating-point number. */
+double parseDoubleText(const std::string &what, const std::string &text);
+
 } // namespace trt
 
 #endif // TRT_UTIL_ENV_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * trt_farm — sharded, fault-tolerant sweep orchestrator (DESIGN.md
+ * §13).
+ *
+ *   trt_farm [flags] <manifest.json>
+ *
+ *   --dry-run        Print the expanded job list with per-job
+ *                    fingerprints and cache-hit status; run nothing.
+ *   --serial         Run all jobs in-process (golden-reference mode).
+ *   --workers N      Worker pool size      (default TRT_FARM_WORKERS).
+ *   --retries N      Extra attempts/job    (default TRT_FARM_RETRIES).
+ *   --timeout S      Per-attempt wall cap  (default TRT_FARM_TIMEOUT_S).
+ *   --out DIR        Results directory     (default results/farm).
+ *
+ * Exit status: 0 when every job completed (cached or simulated),
+ * 1 when any job exhausted its retries, 2 on a usage/manifest error.
+ */
+
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "farm/manifest.hh"
+#include "farm/scheduler.hh"
+#include "util/env.hh"
+
+namespace
+{
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--dry-run] [--serial] [--workers N] "
+                 "[--retries N] [--timeout S] [--out DIR] "
+                 "<manifest.json>\n",
+                 argv0);
+    std::exit(2);
+}
+
+const char *
+flagValue(int argc, char **argv, int &i, const char *argv0)
+{
+    if (i + 1 >= argc)
+        usage(argv0);
+    return argv[++i];
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace trt;
+    try {
+        FarmOptions opt = FarmOptions::fromEnv();
+        std::string manifest_path;
+        for (int i = 1; i < argc; i++) {
+            std::string a = argv[i];
+            if (a == "--dry-run") {
+                opt.dryRun = true;
+            } else if (a == "--serial") {
+                opt.serial = true;
+            } else if (a == "--workers") {
+                opt.workers = uint32_t(parseUIntText(
+                    "--workers", flagValue(argc, argv, i, argv[0]),
+                    256));
+            } else if (a == "--retries") {
+                opt.retries = uint32_t(parseUIntText(
+                    "--retries", flagValue(argc, argv, i, argv[0]),
+                    100));
+            } else if (a == "--timeout") {
+                opt.timeoutS = parseDoubleText(
+                    "--timeout", flagValue(argc, argv, i, argv[0]));
+                if (opt.timeoutS <= 0)
+                    throw EnvError(
+                        "--timeout: expected a positive number");
+            } else if (a == "--out") {
+                opt.outDir = flagValue(argc, argv, i, argv[0]);
+            } else if (a == "--help" || a == "-h") {
+                usage(argv[0]);
+            } else if (!a.empty() && a[0] == '-') {
+                std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+                usage(argv[0]);
+            } else if (manifest_path.empty()) {
+                manifest_path = a;
+            } else {
+                usage(argv[0]);
+            }
+        }
+        if (manifest_path.empty())
+            usage(argv[0]);
+
+        Manifest m = Manifest::load(manifest_path);
+        std::fprintf(stderr,
+                     "[farm] manifest %s: %zu jobs (%zu duplicates "
+                     "dropped)\n",
+                     m.name.c_str(), m.jobs.size(), m.duplicates);
+        FarmResult res = runFarm(m, opt);
+        if (!opt.dryRun)
+            std::printf("%s\n", res.summaryLine().c_str());
+        return res.ok() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "trt_farm: %s\n", e.what());
+        return 2;
+    }
+}
